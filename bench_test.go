@@ -1,0 +1,136 @@
+package spinal
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its artifact at quick scale and
+// logs the resulting table, so `go test -bench=. -benchmem` doubles as a
+// full reproduction run. See EXPERIMENTS.md for paper-vs-measured values
+// and cmd/spinalsim for the standalone runner (including -full scale).
+
+import (
+	"testing"
+
+	"spinal/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) {
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+// BenchmarkFig8_1 regenerates Figure 8-1 (rate and gap vs SNR for spinal,
+// Raptor, Strider, Strider+ and the LDPC envelope) — the flagship result.
+func BenchmarkFig8_1(b *testing.B) { runExperiment(b, "fig8-1") }
+
+// BenchmarkIntroTable regenerates the Chapter 1 gains table (reuses the
+// Fig 8-1 sweep when cached).
+func BenchmarkIntroTable(b *testing.B) { runExperiment(b, "intro-table") }
+
+// BenchmarkFig8_2 regenerates Figure 8-2 (rateless vs fixed-rate spinal).
+func BenchmarkFig8_2(b *testing.B) { runExperiment(b, "fig8-2") }
+
+// BenchmarkFig8_3 regenerates Figure 8-3 (small-packet performance).
+func BenchmarkFig8_3(b *testing.B) { runExperiment(b, "fig8-3") }
+
+// BenchmarkFig8_4 regenerates Figure 8-4 (fading, known h).
+func BenchmarkFig8_4(b *testing.B) { runExperiment(b, "fig8-4") }
+
+// BenchmarkFig8_5 regenerates Figure 8-5 (fading, AWGN decoders).
+func BenchmarkFig8_5(b *testing.B) { runExperiment(b, "fig8-5") }
+
+// BenchmarkFig8_6 regenerates Figure 8-6 (compute budget vs performance).
+func BenchmarkFig8_6(b *testing.B) { runExperiment(b, "fig8-6") }
+
+// BenchmarkFig8_7 regenerates Figure 8-7 (bubble depth tradeoff).
+func BenchmarkFig8_7(b *testing.B) { runExperiment(b, "fig8-7") }
+
+// BenchmarkFig8_8 regenerates Figure 8-8 (output density c).
+func BenchmarkFig8_8(b *testing.B) { runExperiment(b, "fig8-8") }
+
+// BenchmarkFig8_9 regenerates Figure 8-9 (tail symbols).
+func BenchmarkFig8_9(b *testing.B) { runExperiment(b, "fig8-9") }
+
+// BenchmarkFig8_10 regenerates Figure 8-10 (puncturing schedules).
+func BenchmarkFig8_10(b *testing.B) { runExperiment(b, "fig8-10") }
+
+// BenchmarkFig8_11 regenerates Figure 8-11 (symbols-to-decode CDF).
+func BenchmarkFig8_11(b *testing.B) { runExperiment(b, "fig8-11") }
+
+// BenchmarkFig8_12 regenerates Figure 8-12 (code block length).
+func BenchmarkFig8_12(b *testing.B) { runExperiment(b, "fig8-12") }
+
+// BenchmarkTable8_1 regenerates Table 8.1 (OFDM PAPR by constellation).
+func BenchmarkTable8_1(b *testing.B) { runExperiment(b, "table8-1") }
+
+// BenchmarkFigB_2 regenerates Figure B-2 (hardware parameter set in
+// simulation).
+func BenchmarkFigB_2(b *testing.B) { runExperiment(b, "figB-2") }
+
+// BenchmarkBSC exercises the §4.6 BSC capacity claim.
+func BenchmarkBSC(b *testing.B) { runExperiment(b, "bsc") }
+
+// BenchmarkHashAblation exercises the §7.1 hash-choice ablation.
+func BenchmarkHashAblation(b *testing.B) { runExperiment(b, "hash-ablation") }
+
+// --- Micro-benchmarks of the core code paths ---
+
+// BenchmarkEncoder measures raw symbol generation throughput.
+func BenchmarkEncoder(b *testing.B) {
+	p := DefaultParams()
+	msg := make([]byte, 32)
+	for i := range msg {
+		msg[i] = byte(i * 37)
+	}
+	enc := NewEncoder(msg, 256, p)
+	sched := enc.NewSchedule()
+	ids := sched.NextSubpass()
+	b.ResetTimer()
+	var sink complex128
+	for i := 0; i < b.N; i++ {
+		for _, s := range enc.Symbols(ids) {
+			sink += s
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkDecode measures one full bubble decode of a 256-bit message
+// with two passes of symbols at the default parameters.
+func BenchmarkDecode(b *testing.B) {
+	p := DefaultParams()
+	msg := make([]byte, 32)
+	for i := range msg {
+		msg[i] = byte(i*73 + 11)
+	}
+	enc := NewEncoder(msg, 256, p)
+	dec := NewDecoder(256, p)
+	sched := enc.NewSchedule()
+	for sub := 0; sub < 16; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Symbols(ids))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode()
+	}
+}
+
+// BenchmarkHWModel regenerates the Appendix B throughput/area model.
+func BenchmarkHWModel(b *testing.B) { runExperiment(b, "hw-model") }
+
+// BenchmarkAttemptAblation regenerates the decode-attempt granularity
+// ablation.
+func BenchmarkAttemptAblation(b *testing.B) { runExperiment(b, "ablation-attempts") }
+
+// BenchmarkGEChannel regenerates the bursty-channel extension experiment.
+func BenchmarkGEChannel(b *testing.B) { runExperiment(b, "ge-channel") }

@@ -1,0 +1,65 @@
+// Command spinalsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spinalsim -list
+//	spinalsim -exp fig8-1 [-full] [-seed 7]
+//	spinalsim -all
+//
+// Quick scale (default) uses reduced trial counts chosen so every
+// qualitative result is stable; -full approaches the paper's parameters
+// at much longer runtime. See EXPERIMENTS.md for paper-vs-measured
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spinal/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available experiments")
+		exp  = flag.String("exp", "", "experiment id to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		full = flag.Bool("full", false, "full scale (paper-sized parameters; slow)")
+		seed = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: !*full, Seed: *seed}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All {
+			run(e, cfg)
+		}
+	case *exp != "":
+		e := experiments.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		run(*e, cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(e experiments.Experiment, cfg experiments.Config) {
+	start := time.Now()
+	tables := e.Run(cfg)
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+}

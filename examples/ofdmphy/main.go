@@ -1,0 +1,78 @@
+// Ofdmphy: the Appendix B stack end to end — spinal symbols carried on an
+// 802.11a/g-like OFDM PHY over a frequency-selective multipath channel.
+//
+// The transmitter builds OFDM frames (preamble + cyclic-prefixed data
+// symbols); the receiver estimates the per-subcarrier channel from the
+// preamble and hands the spinal decoder raw subcarrier observations with
+// their fading coefficients — the decoder's §8.3 fading-aware metric does
+// the rest. No equalization-induced noise coloring, no bit demapping.
+//
+// Run with:
+//
+//	go run ./examples/ofdmphy [-snr 15] [-taps 4]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"spinal"
+	"spinal/internal/channel"
+	"spinal/internal/phy"
+)
+
+func main() {
+	snrDB := flag.Float64("snr", 15, "channel SNR in dB")
+	nTaps := flag.Int("taps", 4, "multipath taps (1 = flat channel)")
+	flag.Parse()
+
+	// A random but fixed multipath profile with exponentially decaying
+	// power.
+	rng := rand.New(rand.NewSource(2))
+	taps := make([]complex128, *nTaps)
+	amp := 1.0
+	for i := range taps {
+		taps[i] = complex(rng.NormFloat64()*amp, rng.NormFloat64()*amp)
+		amp *= 0.6
+	}
+	ch := channel.NewMultipath(taps, *snrDB, 3)
+
+	p := spinal.DefaultParams()
+	nBits := 192 // the hardware prototype's code block size
+	msg := make([]byte, nBits/8)
+	rng.Read(msg)
+
+	enc := spinal.NewEncoder(msg, nBits, p)
+	dec := spinal.NewDecoder(nBits, p)
+	sched := enc.NewSchedule()
+
+	frames, symbols := 0, 0
+	for pass := 0; pass < 48; pass++ {
+		// One PHY frame per pass: collect the pass's subpasses.
+		var ids []spinal.SymbolID
+		for sub := 0; sub < sched.Subpasses(); sub++ {
+			ids = append(ids, sched.NextSubpass()...)
+		}
+		x := enc.Symbols(ids)
+		rx := ch.Transmit(phy.Modulate(x))
+		y, h := phy.Demodulate(rx, len(x))
+		dec.AddFaded(ids, y, h)
+		frames++
+		symbols += len(x)
+		if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+			rate := float64(nBits) / float64(symbols)
+			fmt.Printf("decoded %d bits after %d OFDM frames (%d data symbols)\n",
+				nBits, frames, symbols)
+			fmt.Printf("rate %.2f bits/symbol over a %d-tap channel at %.0f dB\n",
+				rate, *nTaps, *snrDB)
+			fmt.Printf("subcarrier gain spread: %.1f dB (frequency selectivity)\n",
+				phy.SubcarrierSNRSpread(h))
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "failed to decode within 48 frames — SNR too low?")
+	os.Exit(1)
+}

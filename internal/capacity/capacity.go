@@ -1,0 +1,97 @@
+// Package capacity computes Shannon limits and the "gap to capacity"
+// metric defined in §8.1 of the paper.
+//
+// Rates throughout the repository are measured in bits per (complex)
+// channel use, matching the paper's bits-per-symbol convention. The gap to
+// capacity of a code achieving rate R at snrDB is snrStar − snrDB, where
+// C(snrStar) = R; it is negative for real codes and 0 for a
+// capacity-achieving one.
+package capacity
+
+import "math"
+
+// AWGN returns the Shannon capacity of the complex AWGN channel in bits
+// per symbol at the given linear SNR: log2(1 + SNR).
+func AWGN(snr float64) float64 {
+	return math.Log2(1 + snr)
+}
+
+// AWGNdB returns the complex AWGN capacity at the given SNR in dB.
+func AWGNdB(snrDB float64) float64 {
+	return AWGN(FromDB(snrDB))
+}
+
+// SNRForRate inverts AWGN: it returns the linear SNR at which the complex
+// AWGN capacity equals rate bits/symbol.
+func SNRForRate(rate float64) float64 {
+	return math.Exp2(rate) - 1
+}
+
+// GapDB returns the gap to capacity, in dB, of a code achieving rate
+// bits/symbol at snrDB (§8.1). Example from the paper: 3 bits/symbol at
+// 12 dB gives 8.45 − 12 = −3.55 dB. A non-positive rate yields -Inf.
+func GapDB(rate, snrDB float64) float64 {
+	if rate <= 0 {
+		return math.Inf(-1)
+	}
+	return ToDB(SNRForRate(rate)) - snrDB
+}
+
+// FractionOfCapacity returns rate / C(snrDB), the metric of Figures 8-3
+// and 8-6.
+func FractionOfCapacity(rate, snrDB float64) float64 {
+	c := AWGNdB(snrDB)
+	if c <= 0 {
+		return 0
+	}
+	return rate / c
+}
+
+// BSC returns the capacity of the binary symmetric channel with crossover
+// probability p, in bits per channel use: 1 − H(p).
+func BSC(p float64) float64 {
+	return 1 - BinaryEntropy(p)
+}
+
+// BinaryEntropy returns H(p) = −p·log2 p − (1−p)·log2(1−p), with the
+// continuous extension H(0)=H(1)=0.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Rayleigh returns the ergodic capacity of a Rayleigh fading channel with
+// average linear SNR, E[log2(1+|h|²·SNR)] with |h|² exponential(1),
+// evaluated by Gauss–Laguerre-style numeric integration. This is the top
+// curve of Figures 8-4 and 8-5.
+func Rayleigh(snr float64) float64 {
+	// E[log2(1+g·snr)] with g ~ Exp(1): integrate over g with composite
+	// Simpson on a transformed axis. Substituting g = -ln(1-u), u∈(0,1)
+	// makes the weight uniform.
+	const steps = 2000
+	sum := 0.0
+	h := 1.0 / steps
+	for i := 0; i < steps; i++ {
+		u := (float64(i) + 0.5) * h
+		g := -math.Log(1 - u)
+		sum += math.Log2(1 + g*snr)
+	}
+	return sum * h
+}
+
+// RayleighdB is Rayleigh at an SNR given in dB.
+func RayleighdB(snrDB float64) float64 {
+	return Rayleigh(FromDB(snrDB))
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// ToDB converts a linear power ratio to decibels.
+func ToDB(lin float64) float64 {
+	return 10 * math.Log10(lin)
+}

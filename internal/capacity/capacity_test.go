@@ -1,0 +1,121 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAWGNKnownPoints(t *testing.T) {
+	// C(SNR=1) = 1 bit/symbol; C(SNR=3) = 2; C(SNR=15) = 4.
+	cases := []struct{ snr, want float64 }{
+		{1, 1}, {3, 2}, {7, 3}, {15, 4}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := AWGN(c.snr); !almost(got, c.want, 1e-12) {
+			t.Errorf("AWGN(%g) = %g, want %g", c.snr, got, c.want)
+		}
+	}
+}
+
+func TestPaperGapExample(t *testing.T) {
+	// §8.1: a code at 3 bits/symbol and 12 dB has gap 8.45 − 12 = −3.55 dB
+	// (the paper rounds the capacity SNR of 3 bits/symbol to 8.45 dB).
+	gap := GapDB(3, 12)
+	if !almost(gap, -3.55, 0.01) {
+		t.Fatalf("gap = %g, want ≈ −3.55", gap)
+	}
+}
+
+func TestSNRForRateInverts(t *testing.T) {
+	err := quick.Check(func(r float64) bool {
+		r = math.Mod(math.Abs(r), 10) + 0.01
+		return almost(AWGN(SNRForRate(r)), r, 1e-9)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapZeroAtCapacity(t *testing.T) {
+	for snrDB := -5.0; snrDB <= 35; snrDB += 5 {
+		rate := AWGNdB(snrDB)
+		if gap := GapDB(rate, snrDB); !almost(gap, 0, 1e-9) {
+			t.Errorf("gap at capacity (%g dB) = %g, want 0", snrDB, gap)
+		}
+	}
+}
+
+func TestGapNegativeBelowCapacity(t *testing.T) {
+	for snrDB := 0.0; snrDB <= 30; snrDB += 5 {
+		rate := 0.7 * AWGNdB(snrDB)
+		if gap := GapDB(rate, snrDB); gap >= 0 {
+			t.Errorf("sub-capacity gap at %g dB = %g, want < 0", snrDB, gap)
+		}
+	}
+}
+
+func TestGapZeroRate(t *testing.T) {
+	if !math.IsInf(GapDB(0, 10), -1) {
+		t.Fatal("zero rate should have -Inf gap")
+	}
+}
+
+func TestFractionOfCapacity(t *testing.T) {
+	if got := FractionOfCapacity(AWGNdB(10), 10); !almost(got, 1, 1e-12) {
+		t.Errorf("fraction at capacity = %g", got)
+	}
+	if got := FractionOfCapacity(1, 0); got <= 0 || got >= 1.1 {
+		t.Errorf("odd fraction %g", got)
+	}
+}
+
+func TestBSC(t *testing.T) {
+	if !almost(BSC(0), 1, 0) {
+		t.Error("BSC(0) should be 1")
+	}
+	if !almost(BSC(0.5), 0, 1e-12) {
+		t.Error("BSC(0.5) should be 0")
+	}
+	if !almost(BSC(0.11), BSC(0.89), 1e-12) {
+		t.Error("BSC should be symmetric about 1/2")
+	}
+	if !almost(BinaryEntropy(0.5), 1, 1e-12) {
+		t.Error("H(1/2) = 1")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	err := quick.Check(func(db float64) bool {
+		db = math.Mod(db, 50)
+		return almost(ToDB(FromDB(db)), db, 1e-9)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRayleighBelowAWGN(t *testing.T) {
+	// Jensen: E[log2(1+g·snr)] ≤ log2(1+snr) with equality only degenerate.
+	for _, snrDB := range []float64{0, 10, 20, 30} {
+		r := RayleighdB(snrDB)
+		a := AWGNdB(snrDB)
+		if r >= a {
+			t.Errorf("Rayleigh capacity %g ≥ AWGN %g at %g dB", r, a, snrDB)
+		}
+		if r <= 0 {
+			t.Errorf("Rayleigh capacity non-positive at %g dB", snrDB)
+		}
+	}
+}
+
+func TestRayleighHighSNRShape(t *testing.T) {
+	// At high SNR the Rayleigh penalty approaches the Euler–Mascheroni
+	// constant in nats: C_awgn − C_ray → γ/ln2 ≈ 0.8327 bits.
+	diff := AWGNdB(35) - RayleighdB(35)
+	if !almost(diff, 0.8327, 0.02) {
+		t.Errorf("high-SNR Rayleigh penalty = %g, want ≈0.8327", diff)
+	}
+}

@@ -1,0 +1,271 @@
+// Package channel implements the channel models of §8: complex AWGN,
+// binary symmetric (BSC), Rayleigh block fading (§8.3) and a symbol
+// erasure channel used by the framing tests.
+//
+// All channels are deterministic given their seed, so every experiment in
+// the repository is reproducible. Signal power is normalized to 1 per
+// complex symbol everywhere (see package modem), so for AWGN the total
+// complex noise variance is 1/SNR.
+package channel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AWGN is a complex additive white Gaussian noise channel at a fixed SNR.
+type AWGN struct {
+	rng      *rand.Rand
+	noiseVar float64 // total complex noise variance (both dimensions)
+}
+
+// NewAWGN creates an AWGN channel with the given SNR in dB and seed.
+func NewAWGN(snrDB float64, seed int64) *AWGN {
+	snr := math.Pow(10, snrDB/10)
+	return &AWGN{rng: rand.New(rand.NewSource(seed)), noiseVar: 1 / snr}
+}
+
+// NoiseVar reports the total complex noise variance σ² (the per-dimension
+// variance is σ²/2).
+func (c *AWGN) NoiseVar() float64 { return c.noiseVar }
+
+// Transmit adds independent Gaussian noise to each symbol, returning a new
+// slice.
+func (c *AWGN) Transmit(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	sd := math.Sqrt(c.noiseVar / 2)
+	for i, s := range x {
+		y[i] = s + complex(c.rng.NormFloat64()*sd, c.rng.NormFloat64()*sd)
+	}
+	return y
+}
+
+// BSC is a binary symmetric channel with crossover probability P.
+type BSC struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// NewBSC creates a BSC with crossover probability p and seed.
+func NewBSC(p float64, seed int64) *BSC {
+	if p < 0 || p > 1 {
+		panic("channel: BSC crossover probability out of range")
+	}
+	return &BSC{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// P reports the crossover probability.
+func (c *BSC) P() float64 { return c.p }
+
+// Transmit flips each bit independently with probability P.
+func (c *BSC) Transmit(bits []byte) []byte {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		if c.rng.Float64() < c.p {
+			out[i] = b ^ 1
+		} else {
+			out[i] = b & 1
+		}
+	}
+	return out
+}
+
+// Rayleigh is the §8.3 Rayleigh block-fading channel: y = h·x + n, where
+// n is complex Gaussian noise of power σ² and h is redrawn every Tau
+// symbols with uniform phase and Rayleigh magnitude (E|h|² = 1).
+type Rayleigh struct {
+	rng      *rand.Rand
+	noiseVar float64
+	tau      int
+	h        complex128
+	left     int // symbols until next h redraw
+}
+
+// NewRayleigh creates a Rayleigh fading channel with average SNR snrDB,
+// coherence time tau (in symbols) and seed.
+func NewRayleigh(snrDB float64, tau int, seed int64) *Rayleigh {
+	if tau < 1 {
+		panic("channel: coherence time must be ≥ 1 symbol")
+	}
+	snr := math.Pow(10, snrDB/10)
+	return &Rayleigh{
+		rng:      rand.New(rand.NewSource(seed)),
+		noiseVar: 1 / snr,
+		tau:      tau,
+	}
+}
+
+// NoiseVar reports the total complex noise variance.
+func (c *Rayleigh) NoiseVar() float64 { return c.noiseVar }
+
+// Transmit applies block fading and noise. It returns the received symbols
+// and the per-symbol fading coefficients actually used, which the caller
+// may give to a decoder (Fig 8-4) or withhold (Fig 8-5).
+func (c *Rayleigh) Transmit(x []complex128) (y, h []complex128) {
+	y = make([]complex128, len(x))
+	h = make([]complex128, len(x))
+	sd := math.Sqrt(c.noiseVar / 2)
+	for i, s := range x {
+		if c.left == 0 {
+			// Complex Gaussian with unit total variance has Rayleigh
+			// magnitude and uniform phase.
+			c.h = complex(c.rng.NormFloat64()/math.Sqrt2, c.rng.NormFloat64()/math.Sqrt2)
+			c.left = c.tau
+		}
+		c.left--
+		h[i] = c.h
+		y[i] = c.h*s + complex(c.rng.NormFloat64()*sd, c.rng.NormFloat64()*sd)
+	}
+	return y, h
+}
+
+// Multipath is a static frequency-selective channel: the transmitted
+// sample stream is convolved with a fixed tap vector (normalized to unit
+// energy) and AWGN is added. It models the indoor environments of the
+// Appendix B over-the-air experiments; the OFDM PHY (internal/phy) turns
+// it into flat per-subcarrier fading.
+type Multipath struct {
+	taps []complex128
+	awgn *AWGN
+}
+
+// NewMultipath creates a multipath channel with the given taps (delay
+// spread = len(taps)-1 samples) at snrDB. Taps are copied and normalized
+// to unit total energy so receive SNR matches snrDB.
+func NewMultipath(taps []complex128, snrDB float64, seed int64) *Multipath {
+	if len(taps) == 0 {
+		panic("channel: multipath needs at least one tap")
+	}
+	var e float64
+	for _, t := range taps {
+		e += real(t)*real(t) + imag(t)*imag(t)
+	}
+	if e == 0 {
+		panic("channel: all-zero multipath taps")
+	}
+	norm := complex(1/math.Sqrt(e), 0)
+	cp := make([]complex128, len(taps))
+	for i, t := range taps {
+		cp[i] = t * norm
+	}
+	return &Multipath{taps: cp, awgn: NewAWGN(snrDB, seed)}
+}
+
+// Taps returns a copy of the normalized tap vector.
+func (c *Multipath) Taps() []complex128 {
+	return append([]complex128(nil), c.taps...)
+}
+
+// NoiseVar reports the total complex noise variance.
+func (c *Multipath) NoiseVar() float64 { return c.awgn.NoiseVar() }
+
+// Transmit convolves the sample stream with the channel taps and adds
+// noise. The output has the same length as the input (trailing channel
+// memory is truncated; OFDM cyclic prefixes absorb the leading edge).
+func (c *Multipath) Transmit(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	for i := range x {
+		var acc complex128
+		for j, t := range c.taps {
+			if i-j < 0 {
+				break
+			}
+			acc += t * x[i-j]
+		}
+		y[i] = acc
+	}
+	return c.awgn.Transmit(y)
+}
+
+// GilbertElliott is a two-state Markov AWGN channel: a Good state with
+// high SNR and a Bad state with low SNR (bursty interference), switching
+// with the given per-symbol transition probabilities. It models the
+// time-varying conditions of the paper's introduction at time scales a
+// single message can straddle.
+type GilbertElliott struct {
+	rng          *rand.Rand
+	goodVar      float64
+	badVar       float64
+	pGoodToBad   float64
+	pBadToGood   float64
+	bad          bool
+	symbolsInBad int
+	symbolsTotal int
+}
+
+// NewGilbertElliott creates the channel. goodSNRdB/badSNRdB are the two
+// states' SNRs; pGB and pBG the per-symbol transition probabilities.
+func NewGilbertElliott(goodSNRdB, badSNRdB, pGB, pBG float64, seed int64) *GilbertElliott {
+	if pGB < 0 || pGB > 1 || pBG < 0 || pBG > 1 {
+		panic("channel: transition probabilities out of range")
+	}
+	return &GilbertElliott{
+		rng:        rand.New(rand.NewSource(seed)),
+		goodVar:    math.Pow(10, -goodSNRdB/10),
+		badVar:     math.Pow(10, -badSNRdB/10),
+		pGoodToBad: pGB,
+		pBadToGood: pBG,
+	}
+}
+
+// Transmit adds state-dependent Gaussian noise, advancing the Markov
+// state per symbol. State persists across calls.
+func (c *GilbertElliott) Transmit(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	for i, s := range x {
+		if c.bad {
+			if c.rng.Float64() < c.pBadToGood {
+				c.bad = false
+			}
+		} else {
+			if c.rng.Float64() < c.pGoodToBad {
+				c.bad = true
+			}
+		}
+		v := c.goodVar
+		if c.bad {
+			v = c.badVar
+			c.symbolsInBad++
+		}
+		c.symbolsTotal++
+		sd := math.Sqrt(v / 2)
+		y[i] = s + complex(c.rng.NormFloat64()*sd, c.rng.NormFloat64()*sd)
+	}
+	return y
+}
+
+// BadFraction reports the fraction of transmitted symbols sent in the Bad
+// state so far.
+func (c *GilbertElliott) BadFraction() float64 {
+	if c.symbolsTotal == 0 {
+		return 0
+	}
+	return float64(c.symbolsInBad) / float64(c.symbolsTotal)
+}
+
+// Erasure drops symbols independently with probability P, modeling lost
+// frames at the link layer. Transmit returns the surviving symbols and
+// their original indices.
+type Erasure struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// NewErasure creates an erasure channel with loss probability p.
+func NewErasure(p float64, seed int64) *Erasure {
+	if p < 0 || p > 1 {
+		panic("channel: erasure probability out of range")
+	}
+	return &Erasure{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// Transmit returns the delivered symbols along with their indices in x.
+func (c *Erasure) Transmit(x []complex128) (kept []complex128, idx []int) {
+	for i, s := range x {
+		if c.rng.Float64() >= c.p {
+			kept = append(kept, s)
+			idx = append(idx, i)
+		}
+	}
+	return kept, idx
+}

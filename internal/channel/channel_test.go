@@ -1,0 +1,281 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAWGNNoisePower(t *testing.T) {
+	for _, snrDB := range []float64{0, 10, 20} {
+		c := NewAWGN(snrDB, 42)
+		n := 200000
+		x := make([]complex128, n)
+		y := c.Transmit(x)
+		var p float64
+		for _, s := range y {
+			p += real(s)*real(s) + imag(s)*imag(s)
+		}
+		p /= float64(n)
+		want := math.Pow(10, -snrDB/10)
+		if math.Abs(p-want)/want > 0.03 {
+			t.Errorf("snr=%g dB: measured noise power %g, want %g", snrDB, p, want)
+		}
+	}
+}
+
+func TestAWGNZeroMean(t *testing.T) {
+	c := NewAWGN(0, 1)
+	x := make([]complex128, 100000)
+	y := c.Transmit(x)
+	var re, im float64
+	for _, s := range y {
+		re += real(s)
+		im += imag(s)
+	}
+	re /= float64(len(y))
+	im /= float64(len(y))
+	if math.Abs(re) > 0.02 || math.Abs(im) > 0.02 {
+		t.Errorf("noise mean (%g, %g) not ≈ 0", re, im)
+	}
+}
+
+func TestAWGNPreservesSignal(t *testing.T) {
+	c := NewAWGN(60, 3) // essentially noiseless
+	x := []complex128{1 + 2i, -3 + 0.5i}
+	y := c.Transmit(x)
+	for i := range x {
+		if d := y[i] - x[i]; math.Hypot(real(d), imag(d)) > 0.01 {
+			t.Errorf("symbol %d moved too much at 60 dB", i)
+		}
+	}
+}
+
+func TestAWGNDeterministic(t *testing.T) {
+	x := []complex128{1, 1i, -1, -1i}
+	a := NewAWGN(5, 99).Transmit(x)
+	b := NewAWGN(5, 99).Transmit(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+	c := NewAWGN(5, 100).Transmit(x)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestBSCFlipRate(t *testing.T) {
+	for _, p := range []float64{0, 0.05, 0.3} {
+		c := NewBSC(p, 7)
+		n := 100000
+		bits := make([]byte, n)
+		out := c.Transmit(bits)
+		flips := 0
+		for _, b := range out {
+			if b == 1 {
+				flips++
+			}
+		}
+		got := float64(flips) / float64(n)
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("p=%g: flip rate %g", p, got)
+		}
+	}
+}
+
+func TestBSCPreservesValues(t *testing.T) {
+	c := NewBSC(0.5, 11)
+	out := c.Transmit([]byte{0, 1, 0, 1, 1})
+	for _, b := range out {
+		if b != 0 && b != 1 {
+			t.Fatal("BSC output not binary")
+		}
+	}
+}
+
+func TestRayleighCoherence(t *testing.T) {
+	c := NewRayleigh(20, 10, 5)
+	x := make([]complex128, 100)
+	_, h := c.Transmit(x)
+	for i := 0; i < 100; i += 10 {
+		for j := 1; j < 10; j++ {
+			if h[i+j] != h[i] {
+				t.Fatalf("h changed within coherence block at %d", i+j)
+			}
+		}
+	}
+	changes := 0
+	for i := 10; i < 100; i += 10 {
+		if h[i] != h[i-10] {
+			changes++
+		}
+	}
+	if changes < 8 {
+		t.Fatalf("h barely changes across blocks: %d/9", changes)
+	}
+}
+
+func TestRayleighUnitAveragePower(t *testing.T) {
+	c := NewRayleigh(100, 1, 13) // noiseless; h changes every symbol
+	x := make([]complex128, 200000)
+	for i := range x {
+		x[i] = 1
+	}
+	y, h := c.Transmit(x)
+	var hp float64
+	for i := range y {
+		hp += real(h[i])*real(h[i]) + imag(h[i])*imag(h[i])
+	}
+	hp /= float64(len(h))
+	if math.Abs(hp-1) > 0.02 {
+		t.Errorf("E|h|² = %g, want 1", hp)
+	}
+}
+
+func TestRayleighStateSpansCalls(t *testing.T) {
+	// Coherence blocks must continue across Transmit calls.
+	c := NewRayleigh(20, 8, 21)
+	_, h1 := c.Transmit(make([]complex128, 4))
+	_, h2 := c.Transmit(make([]complex128, 4))
+	if h1[3] != h2[0] {
+		t.Fatal("fading block did not persist across Transmit calls")
+	}
+}
+
+func TestErasure(t *testing.T) {
+	c := NewErasure(0.3, 17)
+	n := 50000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	kept, idx := c.Transmit(x)
+	if len(kept) != len(idx) {
+		t.Fatal("kept/idx length mismatch")
+	}
+	got := 1 - float64(len(kept))/float64(n)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("erasure rate %g, want 0.3", got)
+	}
+	for j, i := range idx {
+		if kept[j] != x[i] {
+			t.Fatal("erasure channel corrupted a delivered symbol")
+		}
+		if j > 0 && idx[j] <= idx[j-1] {
+			t.Fatal("indices not strictly increasing")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("BSC(-0.1)", func() { NewBSC(-0.1, 0) })
+	mustPanic("BSC(1.5)", func() { NewBSC(1.5, 0) })
+	mustPanic("Rayleigh tau=0", func() { NewRayleigh(10, 0, 0) })
+	mustPanic("Erasure(2)", func() { NewErasure(2, 0) })
+}
+
+func TestMultipathUnitEnergy(t *testing.T) {
+	c := NewMultipath([]complex128{3, 4i}, 100, 1) // will be normalized
+	taps := c.Taps()
+	var e float64
+	for _, tap := range taps {
+		e += real(tap)*real(tap) + imag(tap)*imag(tap)
+	}
+	if math.Abs(e-1) > 1e-12 {
+		t.Fatalf("tap energy %g, want 1", e)
+	}
+}
+
+func TestMultipathSingleTapIsAWGN(t *testing.T) {
+	c := NewMultipath([]complex128{1}, 60, 2)
+	x := []complex128{1 + 1i, -2, 3i}
+	y := c.Transmit(x)
+	for i := range x {
+		if d := y[i] - x[i]; math.Hypot(real(d), imag(d)) > 0.01 {
+			t.Fatal("single-tap channel should be near-identity at 60 dB")
+		}
+	}
+}
+
+func TestMultipathConvolution(t *testing.T) {
+	c := NewMultipath([]complex128{1, 1}, 100, 3) // taps become (1,1)/√2
+	x := []complex128{1, 0, 0, 1}
+	y := c.Transmit(x)
+	s := complex(1/math.Sqrt2, 0)
+	want := []complex128{s, s, 0, s}
+	for i := range want {
+		if d := y[i] - want[i]; math.Hypot(real(d), imag(d)) > 0.01 {
+			t.Fatalf("convolution wrong at %d: %v want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMultipathPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMultipath(nil, 10, 0) },
+		func() { NewMultipath([]complex128{0, 0}, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for bad multipath taps")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGilbertElliottStateMix(t *testing.T) {
+	// With pGB = pBG = 0.01 the stationary distribution is 50/50.
+	c := NewGilbertElliott(25, 0, 0.01, 0.01, 4)
+	c.Transmit(make([]complex128, 200000))
+	if f := c.BadFraction(); math.Abs(f-0.5) > 0.05 {
+		t.Fatalf("bad fraction %g, want ≈0.5", f)
+	}
+}
+
+func TestGilbertElliottBursty(t *testing.T) {
+	// Low transition probabilities must produce long runs: count state
+	// flips via noise power proxy over a long block.
+	c := NewGilbertElliott(40, -10, 0.002, 0.002, 5)
+	y := c.Transmit(make([]complex128, 50000))
+	flips := 0
+	prevBad := false
+	for i, v := range y {
+		bad := real(v)*real(v)+imag(v)*imag(v) > 0.5 // crude state guess
+		if i > 0 && bad != prevBad {
+			flips++
+		}
+		prevBad = bad
+	}
+	// With p=0.002 expect ≈200 true flips; the noisy proxy inflates the
+	// count, but iid states would give ≈25000.
+	if flips > 10000 {
+		t.Fatalf("channel not bursty: %d flips", flips)
+	}
+}
+
+func TestGilbertElliottPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad probabilities")
+		}
+	}()
+	NewGilbertElliott(10, 0, -0.1, 0.5, 0)
+}

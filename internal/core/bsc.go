@@ -1,0 +1,85 @@
+package core
+
+import "spinal/internal/hashfn"
+
+// BSCDecoder is the bubble decoder for the binary symmetric channel. The
+// only change from the AWGN decoder is the branch metric: Hamming distance
+// between received bits and the bits the candidate spine state would have
+// produced (§4.1). Use C=1 in Params for BSC operation.
+type BSCDecoder struct {
+	p     Params
+	nBits int
+	ns    int
+	rng   hashfn.RNG
+
+	ts   [][]uint32
+	bits [][]byte
+
+	nsyms int
+}
+
+// NewBSCDecoder creates a BSC decoder for nBits-bit messages.
+func NewBSCDecoder(nBits int, p Params) *BSCDecoder {
+	p = p.withDefaults()
+	if nBits < 1 {
+		panic("core: message must have at least one bit")
+	}
+	ns := numSpine(nBits, p.K)
+	return &BSCDecoder{
+		p:     p,
+		nBits: nBits,
+		ns:    ns,
+		rng:   hashfn.RNG{H: p.Hash},
+		ts:    make([][]uint32, ns),
+		bits:  make([][]byte, ns),
+	}
+}
+
+// NewSchedule returns a fresh transmission schedule matching this decoder.
+func (d *BSCDecoder) NewSchedule() *Schedule {
+	return NewSchedule(d.ns, d.p.Ways, d.p.Tail)
+}
+
+// Add stores received bits for the given SymbolIDs.
+func (d *BSCDecoder) Add(ids []SymbolID, bits []byte) {
+	if len(ids) != len(bits) {
+		panic("core: mismatched bit batch lengths")
+	}
+	for i, id := range ids {
+		c := id.Chunk
+		d.ts[c] = append(d.ts[c], id.RNGIndex)
+		d.bits[c] = append(d.bits[c], bits[i]&1)
+		d.nsyms++
+	}
+}
+
+// SymbolCount reports the number of bits stored so far.
+func (d *BSCDecoder) SymbolCount() int { return d.nsyms }
+
+// Reset discards stored bits for reuse on a new message.
+func (d *BSCDecoder) Reset() {
+	for i := range d.ts {
+		d.ts[i] = d.ts[i][:0]
+		d.bits[i] = d.bits[i][:0]
+	}
+	d.nsyms = 0
+}
+
+// Decode runs the bubble decoder and returns the most likely message and
+// its Hamming path cost.
+func (d *BSCDecoder) Decode() ([]byte, float64) {
+	bs := beamSearch{nBits: d.nBits, p: d.p, cost: d.branchCost}
+	return bs.run()
+}
+
+func (d *BSCDecoder) branchCost(chunk int, state uint32) float64 {
+	ts := d.ts[chunk]
+	bits := d.bits[chunk]
+	var dist int
+	for i, t := range ts {
+		if byte(d.rng.Word(state, t)&1) != bits[i] {
+			dist++
+		}
+	}
+	return float64(dist)
+}

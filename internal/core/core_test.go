@@ -1,0 +1,495 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spinal/internal/channel"
+	"spinal/internal/hashfn"
+	"spinal/internal/modem"
+)
+
+func randomMessage(rng *rand.Rand, nBits int) []byte {
+	msg := make([]byte, (nBits+7)/8)
+	rng.Read(msg)
+	// Clear bits beyond nBits so equality comparisons are meaningful.
+	if nBits%8 != 0 {
+		msg[len(msg)-1] &= (1 << uint(nBits%8)) - 1
+	}
+	return msg
+}
+
+func testParams() Params {
+	return Params{K: 4, B: 16, D: 1, C: 6, Tail: 2, Ways: 8}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed int64, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(k8%8) + 1
+		nBits := 8 + rng.Intn(120)
+		msg := randomMessage(rng, nBits)
+		out := make([]byte, len(msg))
+		ns := numSpine(nBits, k)
+		for j := 0; j < ns; j++ {
+			setChunk(out, nBits, k, j, chunkAt(msg, nBits, k, j))
+		}
+		return bytes.Equal(msg, out)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkBits(t *testing.T) {
+	// 10 bits at k=4: chunks of 4, 4, 2.
+	if numSpine(10, 4) != 3 {
+		t.Fatal("numSpine(10,4) != 3")
+	}
+	if chunkBits(10, 4, 0) != 4 || chunkBits(10, 4, 1) != 4 || chunkBits(10, 4, 2) != 2 {
+		t.Fatal("chunkBits wrong for ragged tail")
+	}
+	if numSpine(256, 4) != 64 {
+		t.Fatal("numSpine(256,4) != 64")
+	}
+}
+
+func TestSpineDiffersAfterFlippedBit(t *testing.T) {
+	// The defining property (§3.1): messages sharing a prefix share the
+	// spine prefix; after the first differing chunk the spines diverge.
+	rng := rand.New(rand.NewSource(5))
+	p := testParams().withDefaults()
+	nBits := 128
+	msg := randomMessage(rng, nBits)
+	s1 := spine(msg, nBits, p)
+	flipBit := 64 // chunk 16
+	msg2 := append([]byte(nil), msg...)
+	msg2[flipBit/8] ^= 1 << uint(flipBit%8)
+	s2 := spine(msg2, nBits, p)
+	for j := 0; j < 16; j++ {
+		if s1[j] != s2[j] {
+			t.Fatalf("spine prefix differs at chunk %d before the flipped bit", j)
+		}
+	}
+	diverged := 0
+	for j := 16; j < len(s1); j++ {
+		if s1[j] != s2[j] {
+			diverged++
+		}
+	}
+	if diverged < len(s1)-16 {
+		t.Fatalf("spines re-converged: only %d of %d post-flip chunks differ", diverged, len(s1)-16)
+	}
+}
+
+func TestEncoderPrefixProperty(t *testing.T) {
+	// Rateless prefix property (§1, §3): the symbol stream at a higher
+	// rate is a prefix of the stream at a lower rate. Equivalently, the
+	// schedule+encoder produce identical symbols regardless of how many
+	// subpasses are eventually generated.
+	rng := rand.New(rand.NewSource(6))
+	nBits := 96
+	msg := randomMessage(rng, nBits)
+	p := testParams()
+	enc := NewEncoder(msg, nBits, p)
+
+	collect := func(subpasses int) []complex128 {
+		sched := enc.NewSchedule()
+		var out []complex128
+		for i := 0; i < subpasses; i++ {
+			out = append(out, enc.Symbols(sched.NextSubpass())...)
+		}
+		return out
+	}
+	short := collect(5)
+	long := collect(20)
+	if len(long) <= len(short) {
+		t.Fatal("longer schedule yielded fewer symbols")
+	}
+	for i := range short {
+		if short[i] != long[i] {
+			t.Fatalf("prefix property violated at symbol %d", i)
+		}
+	}
+}
+
+func TestScheduleCoversEverySpineOncePerPass(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8} {
+		for _, tail := range []int{1, 2, 3} {
+			ns := 40
+			s := NewSchedule(ns, ways, tail)
+			counts := make(map[int]int)
+			rngSeen := make(map[SymbolID]bool)
+			for sub := 0; sub < ways; sub++ { // one full pass
+				for _, id := range s.NextSubpass() {
+					counts[id.Chunk]++
+					if rngSeen[id] {
+						t.Fatalf("ways=%d tail=%d: duplicate SymbolID %v", ways, tail, id)
+					}
+					rngSeen[id] = true
+				}
+			}
+			for c := 0; c < ns-1; c++ {
+				if counts[c] != 1 {
+					t.Fatalf("ways=%d: chunk %d transmitted %d times in one pass", ways, c, counts[c])
+				}
+			}
+			if counts[ns-1] != tail {
+				t.Fatalf("ways=%d tail=%d: last chunk transmitted %d times", ways, tail, counts[ns-1])
+			}
+			if got, want := len(rngSeen), s.SymbolsPerPass(); got != want {
+				t.Fatalf("pass emitted %d symbols, want %d", got, want)
+			}
+		}
+	}
+}
+
+func TestScheduleRNGIndicesSequential(t *testing.T) {
+	// Each chunk's RNG indices must be 0,1,2,... in emission order, so the
+	// decoder can reconstruct them from the shared schedule alone.
+	s := NewSchedule(16, 8, 2)
+	next := make([]uint32, 16)
+	for i := 0; i < 40; i++ {
+		for _, id := range s.NextSubpass() {
+			if id.RNGIndex != next[id.Chunk] {
+				t.Fatalf("chunk %d: RNG index %d, want %d", id.Chunk, id.RNGIndex, next[id.Chunk])
+			}
+			next[id.Chunk]++
+		}
+	}
+}
+
+func TestSchedulePrefixSpreads(t *testing.T) {
+	// After the first subpass of an 8-way schedule, transmitted chunks
+	// should be spaced 8 apart — the property that makes early decode
+	// attempts useful.
+	s := NewSchedule(64, 8, 1)
+	ids := s.NextSubpass()
+	if len(ids) != 8 {
+		t.Fatalf("first subpass has %d symbols, want 8", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i].Chunk-ids[i-1].Chunk != 8 {
+			t.Fatal("first subpass chunks not evenly spaced")
+		}
+	}
+}
+
+func TestDecodeNoiseless(t *testing.T) {
+	// With no noise and one full pass, the decoder must recover the
+	// message exactly for a variety of message sizes and k.
+	rng := rand.New(rand.NewSource(7))
+	for _, nBits := range []int{8, 32, 96, 256} {
+		for _, k := range []int{1, 3, 4} {
+			p := testParams()
+			p.K = k
+			msg := randomMessage(rng, nBits)
+			enc := NewEncoder(msg, nBits, p)
+			dec := NewDecoder(nBits, p)
+			sched := enc.NewSchedule()
+			for sub := 0; sub < p.Ways*2; sub++ { // two passes
+				ids := sched.NextSubpass()
+				dec.Add(ids, enc.Symbols(ids))
+			}
+			got, cost := dec.Decode()
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("nBits=%d k=%d: noiseless decode failed", nBits, k)
+			}
+			if cost != 0 {
+				t.Fatalf("nBits=%d k=%d: noiseless cost = %g, want 0", nBits, k, cost)
+			}
+		}
+	}
+}
+
+func TestDecodeAWGNModerateSNR(t *testing.T) {
+	// At 15 dB with a few passes, a B=64 decoder should recover 256-bit
+	// messages reliably.
+	rng := rand.New(rand.NewSource(8))
+	p := testParams()
+	p.B = 64
+	nBits := 256
+	ok := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		ch := channel.NewAWGN(15, int64(trial))
+		sched := enc.NewSchedule()
+		for sub := 0; sub < 4*p.Ways; sub++ { // four passes ⇒ rate 1 bit/symbol
+			ids := sched.NextSubpass()
+			dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+		}
+		if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+			ok++
+		}
+	}
+	if ok < trials-1 {
+		t.Fatalf("only %d/%d messages decoded at 15 dB, rate 1", ok, trials)
+	}
+}
+
+func TestDecodeImprovesWithMoreSymbols(t *testing.T) {
+	// Rateless behaviour: a message that fails with few symbols succeeds
+	// once enough symbols arrive.
+	rng := rand.New(rand.NewSource(9))
+	p := testParams()
+	p.B = 32
+	nBits := 128
+	msg := randomMessage(rng, nBits)
+	enc := NewEncoder(msg, nBits, p)
+	dec := NewDecoder(nBits, p)
+	ch := channel.NewAWGN(5, 42)
+	sched := enc.NewSchedule()
+	decodedAt := -1
+	for sub := 1; sub <= 12*p.Ways; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+		if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+			decodedAt = sub
+			break
+		}
+	}
+	if decodedAt < 0 {
+		t.Fatal("message never decoded at 5 dB within 12 passes")
+	}
+	// At 5 dB capacity ≈ 2.06 b/s, so k=4 needs ≳2 passes; decoding after
+	// a single subpass would mean the test is vacuous.
+	if decodedAt <= 1 {
+		t.Fatalf("decoded suspiciously early (subpass %d)", decodedAt)
+	}
+	_ = rng
+}
+
+func TestDecoderD2MatchesD1Noiseless(t *testing.T) {
+	// Depth-2 bubble decoding must also recover noiseless messages.
+	rng := rand.New(rand.NewSource(10))
+	for _, d := range []int{2, 3} {
+		p := testParams()
+		p.D = d
+		p.B = 4
+		nBits := 64
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Symbols(ids))
+		}
+		if got, _ := dec.Decode(); !bytes.Equal(got, msg) {
+			t.Fatalf("d=%d: noiseless decode failed", d)
+		}
+	}
+}
+
+func TestDeeperLookaheadBeatsSmallBeamAtSameBudget(t *testing.T) {
+	// Fig 8-7's setup: with the node budget B·2^kd held constant, compare
+	// (B=16,d=1) against (B=2,d=2) at k=3. We only assert both decode
+	// noiselessly and that the d=2 configuration works at all; the
+	// throughput ordering is exercised in the experiments package.
+	rng := rand.New(rand.NewSource(11))
+	for _, cfg := range []struct{ b, d int }{{16, 1}, {2, 2}} {
+		p := testParams()
+		p.K = 3
+		p.B = cfg.b
+		p.D = cfg.d
+		nBits := 72
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Symbols(ids))
+		}
+		if got, _ := dec.Decode(); !bytes.Equal(got, msg) {
+			t.Fatalf("B=%d d=%d: noiseless decode failed", cfg.b, cfg.d)
+		}
+	}
+}
+
+func TestBSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := Params{K: 4, B: 64, D: 1, C: 1, Tail: 2, Ways: 8}
+	nBits := 128
+	for _, flip := range []float64{0, 0.05} {
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewBSCDecoder(nBits, p)
+		ch := channel.NewBSC(flip, 77)
+		sched := enc.NewSchedule()
+		// BSC capacity at p=0.05 is ≈0.71 bits/use; k=4 needs ≳6 passes.
+		for sub := 0; sub < 10*p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, ch.Transmit(enc.Bits(ids)))
+		}
+		got, _ := dec.Decode()
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("BSC flip=%g: decode failed", flip)
+		}
+	}
+}
+
+func TestFadingAwareDecoding(t *testing.T) {
+	// On a Rayleigh channel with known h, the fading-aware decoder must
+	// recover messages; the same symbol budget without fading info should
+	// fail more often (§8.3).
+	rng := rand.New(rand.NewSource(13))
+	p := testParams()
+	p.B = 64
+	nBits := 128
+	okAware, okBlind := 0, 0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		aware := NewDecoder(nBits, p)
+		blind := NewDecoder(nBits, p)
+		ch := channel.NewRayleigh(20, 10, int64(100+trial))
+		sched := enc.NewSchedule()
+		for sub := 0; sub < 6*p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			y, h := ch.Transmit(enc.Symbols(ids))
+			aware.AddFaded(ids, y, h)
+			blind.Add(ids, y)
+		}
+		if got, _ := aware.Decode(); bytes.Equal(got, msg) {
+			okAware++
+		}
+		if got, _ := blind.Decode(); bytes.Equal(got, msg) {
+			okBlind++
+		}
+	}
+	if okAware < trials-1 {
+		t.Fatalf("fading-aware decoder succeeded only %d/%d", okAware, trials)
+	}
+	if okBlind > okAware {
+		t.Fatalf("blind decoder (%d) outperformed fading-aware (%d)", okBlind, okAware)
+	}
+}
+
+func TestDecoderReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := testParams()
+	nBits := 64
+	dec := NewDecoder(nBits, p)
+	for round := 0; round < 2; round++ {
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Symbols(ids))
+		}
+		if got, _ := dec.Decode(); !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: decode failed", round)
+		}
+		dec.Reset()
+		if dec.SymbolCount() != 0 {
+			t.Fatal("Reset did not clear symbol count")
+		}
+	}
+}
+
+func TestGaussianMapperDecodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	p := testParams()
+	p.Mapper = modem.NewTruncGaussian(p.C, 2)
+	nBits := 96
+	msg := randomMessage(rng, nBits)
+	enc := NewEncoder(msg, nBits, p)
+	dec := NewDecoder(nBits, p)
+	ch := channel.NewAWGN(20, 5)
+	sched := enc.NewSchedule()
+	for sub := 0; sub < 3*p.Ways; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+	}
+	if got, _ := dec.Decode(); !bytes.Equal(got, msg) {
+		t.Fatal("truncated-Gaussian constellation decode failed")
+	}
+}
+
+func TestHashAgnostic(t *testing.T) {
+	// §7.1: the code works identically well with any of the three hashes.
+	rng := rand.New(rand.NewSource(16))
+	for _, h := range []string{"oaat", "lookup3", "salsa20"} {
+		p := testParams()
+		switch h {
+		case "lookup3":
+			p.Hash = hashfn.Lookup3{}
+		case "salsa20":
+			p.Hash = hashfn.Salsa20{}
+		}
+		nBits := 64
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Symbols(ids))
+		}
+		if got, _ := dec.Decode(); !bytes.Equal(got, msg) {
+			t.Fatalf("hash %s: decode failed", h)
+		}
+	}
+}
+
+func TestSeedMismatchFailsToDecode(t *testing.T) {
+	// Different s0 at encoder and decoder must not decode — the seed is
+	// part of the code.
+	rng := rand.New(rand.NewSource(17))
+	p := testParams()
+	nBits := 64
+	msg := randomMessage(rng, nBits)
+	enc := NewEncoder(msg, nBits, p)
+	p2 := p
+	p2.Seed = 12345
+	dec := NewDecoder(nBits, p2)
+	sched := enc.NewSchedule()
+	for sub := 0; sub < 2*p.Ways; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Symbols(ids))
+	}
+	if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+		t.Fatal("decoded despite mismatched seeds")
+	}
+}
+
+func TestSelectBest(t *testing.T) {
+	err := quick.Check(func(seed int64, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		k := 1 + int(k8)%n
+		cands := make([]candidate, n)
+		for i := range cands {
+			cands[i].score = float64(rng.Intn(50))
+		}
+		sorted := make([]float64, n)
+		for i := range cands {
+			sorted[i] = cands[i].score
+		}
+		// Selection correctness: max of kept ≤ min of dropped.
+		selectBest(cands, k)
+		maxKept := cands[0].score
+		for _, c := range cands[:k] {
+			if c.score > maxKept {
+				maxKept = c.score
+			}
+		}
+		for _, c := range cands[k:] {
+			if c.score < maxKept {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

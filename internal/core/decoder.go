@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+
+	"spinal/internal/hashfn"
+)
+
+// Decoder is the bubble decoder for the AWGN channel (§4), optionally
+// fading-aware (§8.3). It stores every received symbol and rebuilds the
+// decoding tree on each Decode call; §7.1 found that caching explored
+// nodes between attempts does not help, because new symbols change pruning
+// decisions.
+type Decoder struct {
+	p     Params
+	nBits int
+	ns    int
+	rng   hashfn.RNG
+	cmask uint32
+	table []float64 // constellation lookup, indexed by c-bit value
+
+	// Received data per chunk, parallel slices.
+	ts [][]uint32     // RNG indices
+	ys [][]complex128 // received symbols
+	hs [][]complex128 // fading coefficients; nil slice ⇒ h=1 for the chunk
+
+	nsyms int
+}
+
+// NewDecoder creates a decoder for nBits-bit messages with the given code
+// parameters.
+func NewDecoder(nBits int, p Params) *Decoder {
+	p = p.withDefaults()
+	if nBits < 1 {
+		panic("core: message must have at least one bit")
+	}
+	ns := numSpine(nBits, p.K)
+	table := make([]float64, 1<<uint(p.C))
+	for b := range table {
+		table[b] = p.Mapper.Map(uint32(b))
+	}
+	return &Decoder{
+		p:     p,
+		nBits: nBits,
+		ns:    ns,
+		rng:   hashfn.RNG{H: p.Hash},
+		cmask: (1 << uint(p.C)) - 1,
+		table: table,
+		ts:    make([][]uint32, ns),
+		ys:    make([][]complex128, ns),
+		hs:    make([][]complex128, ns),
+	}
+}
+
+// NewSchedule returns a fresh transmission schedule matching this decoder.
+func (d *Decoder) NewSchedule() *Schedule {
+	return NewSchedule(d.ns, d.p.Ways, d.p.Tail)
+}
+
+// Add stores received symbols (AWGN: fading coefficient 1).
+func (d *Decoder) Add(ids []SymbolID, y []complex128) {
+	d.AddFaded(ids, y, nil)
+}
+
+// AddFaded stores received symbols along with their known fading
+// coefficients (Fig 8-4). h may be nil, in which case the decoder treats
+// the channel as unfaded — Fig 8-5's "AWGN decoder on a fading channel".
+func (d *Decoder) AddFaded(ids []SymbolID, y []complex128, h []complex128) {
+	if len(ids) != len(y) || (h != nil && len(h) != len(y)) {
+		panic("core: mismatched symbol batch lengths")
+	}
+	for i, id := range ids {
+		c := id.Chunk
+		d.ts[c] = append(d.ts[c], id.RNGIndex)
+		d.ys[c] = append(d.ys[c], y[i])
+		if h != nil {
+			if d.hs[c] == nil && len(d.ts[c]) > 1 {
+				// Earlier symbols for this chunk arrived without fading
+				// info; backfill with h=1.
+				d.hs[c] = make([]complex128, len(d.ts[c])-1)
+				for j := range d.hs[c] {
+					d.hs[c][j] = 1
+				}
+			}
+			d.hs[c] = append(d.hs[c], h[i])
+		} else if d.hs[c] != nil {
+			d.hs[c] = append(d.hs[c], 1)
+		}
+		d.nsyms++
+	}
+}
+
+// SymbolCount reports the number of symbols stored so far.
+func (d *Decoder) SymbolCount() int { return d.nsyms }
+
+// Reset discards stored symbols so the decoder can be reused for a new
+// message with the same parameters.
+func (d *Decoder) Reset() {
+	for i := range d.ts {
+		d.ts[i] = d.ts[i][:0]
+		d.ys[i] = d.ys[i][:0]
+		d.hs[i] = nil
+	}
+	d.nsyms = 0
+}
+
+// Decode runs the bubble decoder over all stored symbols and returns the
+// most likely message and its path cost. The caller checks correctness
+// (via CRC at the link layer, §6, or direct comparison in simulations) and
+// requests more symbols if the result is wrong.
+func (d *Decoder) Decode() ([]byte, float64) {
+	bs := beamSearch{nBits: d.nBits, p: d.p, cost: d.branchCost}
+	return bs.run()
+}
+
+// branchCost is the ℓ2 distance between the stored symbols of a chunk and
+// the symbols the candidate spine state would have produced (equation
+// 4.2). Chunks with no symbols yet (punctured) cost 0, so all children of
+// a parent score equally, exactly as §5 prescribes.
+func (d *Decoder) branchCost(chunk int, state uint32) float64 {
+	ts := d.ts[chunk]
+	ys := d.ys[chunk]
+	hs := d.hs[chunk]
+	c := uint(d.p.C)
+	var sum float64
+	for i, t := range ts {
+		w := d.rng.Word(state, t)
+		x := complex(d.table[w&d.cmask], d.table[w>>c&d.cmask])
+		if hs != nil {
+			x *= hs[i]
+		}
+		dr := real(ys[i]) - real(x)
+		di := imag(ys[i]) - imag(x)
+		sum += dr*dr + di*di
+	}
+	return sum
+}
+
+// beamSearch is the bubble decoder's search core, shared by the AWGN and
+// BSC decoders. cost(chunk, state) is the branch cost of the edge whose
+// child spine value is state at the given chunk index.
+type beamSearch struct {
+	nBits int
+	p     Params
+	cost  func(chunk int, state uint32) float64
+}
+
+type beamNode struct {
+	state uint32
+	back  int32
+	cost  float64
+}
+
+type candidate struct {
+	state  uint32
+	parent int32 // index into current beam
+	bits   uint16
+	cost   float64 // accumulated true path cost
+	score  float64 // cost + best lookahead cost to depth d
+}
+
+type backRec struct {
+	parent int32
+	bits   uint16
+}
+
+// run executes the search and returns the best message with its path
+// cost.
+func (bs *beamSearch) run() ([]byte, float64) {
+	k := bs.p.K
+	ns := numSpine(bs.nBits, k)
+	beam := []beamNode{{state: bs.p.Seed, back: -1, cost: 0}}
+	arena := make([]backRec, 0, ns*bs.p.B)
+	var cands []candidate
+
+	for p := 0; p < ns; p++ {
+		// Lookahead depth: explore subtrees to depth dd below the children
+		// being scored. At the tail of the message the lookahead shrinks.
+		dd := bs.p.D
+		if p+dd > ns {
+			dd = ns - p
+		}
+		kb := chunkBits(bs.nBits, k, p)
+		cands = cands[:0]
+		for bi := range beam {
+			node := &beam[bi]
+			for m := uint32(0); m < 1<<uint(kb); m++ {
+				cs := bs.p.Hash.Sum(node.state, m, kb)
+				base := node.cost + bs.cost(p, cs)
+				score := base
+				if dd > 1 {
+					score += bs.explore(cs, p+1, dd-1)
+				}
+				cands = append(cands, candidate{
+					state: cs, parent: int32(bi), bits: uint16(m),
+					cost: base, score: score,
+				})
+			}
+		}
+		keep := bs.p.B
+		if keep > len(cands) {
+			keep = len(cands)
+		}
+		selectBest(cands, keep)
+		newBeam := make([]beamNode, keep)
+		for i := 0; i < keep; i++ {
+			arena = append(arena, backRec{
+				parent: beam[cands[i].parent].back, bits: cands[i].bits,
+			})
+			newBeam[i] = beamNode{
+				state: cands[i].state,
+				back:  int32(len(arena) - 1),
+				cost:  cands[i].cost,
+			}
+		}
+		beam = newBeam
+	}
+
+	// The final beam holds complete messages; return the lowest-cost one
+	// (§4.4: with tail symbols the correct candidate has the lowest cost).
+	best := 0
+	for i := 1; i < len(beam); i++ {
+		if beam[i].cost < beam[best].cost {
+			best = i
+		}
+	}
+	msg := make([]byte, (bs.nBits+7)/8)
+	idx := beam[best].back
+	for j := ns - 1; j >= 0; j-- {
+		setChunk(msg, bs.nBits, k, j, uint32(arena[idx].bits))
+		idx = arena[idx].parent
+	}
+	return msg, beam[best].cost
+}
+
+// explore returns the minimum additional path cost over all descendants
+// depth levels below (state, chunk); this is the subtree score used to
+// rank candidates when D > 1 (Fig 4-1 steps b–c).
+func (bs *beamSearch) explore(state uint32, chunk, depth int) float64 {
+	kb := chunkBits(bs.nBits, bs.p.K, chunk)
+	best := math.Inf(1)
+	for m := uint32(0); m < 1<<uint(kb); m++ {
+		cs := bs.p.Hash.Sum(state, m, kb)
+		c := bs.cost(chunk, cs)
+		if depth > 1 && chunk+1 < numSpine(bs.nBits, bs.p.K) {
+			c += bs.explore(cs, chunk+1, depth-1)
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// selectBest partially sorts cands so the k lowest-score candidates occupy
+// cands[:k] (quickselect; ties broken arbitrarily, as §4.3 permits).
+func selectBest(cands []candidate, k int) {
+	if k >= len(cands) {
+		return
+	}
+	lo, hi := 0, len(cands)-1
+	for lo < hi {
+		p := hoarePartition(cands, lo, hi)
+		if k-1 <= p {
+			hi = p
+		} else {
+			lo = p + 1
+		}
+	}
+}
+
+// hoarePartition rearranges cands[lo..hi] and returns j such that every
+// element of cands[lo..j] has score ≤ every element of cands[j+1..hi],
+// with lo ≤ j < hi.
+func hoarePartition(cands []candidate, lo, hi int) int {
+	// Median-of-three pivot to avoid quadratic behaviour on sorted input.
+	mid := lo + (hi-lo)/2
+	if cands[mid].score < cands[lo].score {
+		cands[mid], cands[lo] = cands[lo], cands[mid]
+	}
+	if cands[hi].score < cands[lo].score {
+		cands[hi], cands[lo] = cands[lo], cands[hi]
+	}
+	if cands[hi].score < cands[mid].score {
+		cands[hi], cands[mid] = cands[mid], cands[hi]
+	}
+	pivot := cands[mid].score
+	i, j := lo-1, hi+1
+	for {
+		for {
+			i++
+			if cands[i].score >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if cands[j].score <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		cands[i], cands[j] = cands[j], cands[i]
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import "spinal/internal/hashfn"
+
+// Encoder produces the rateless symbol stream for one message (§3). It is
+// a pure function of (message, Params): any SymbolID may be generated at
+// any time and in any order, so lost or punctured symbols are never
+// computed (§7.1).
+type Encoder struct {
+	p     Params
+	nBits int
+	sp    []uint32
+	rng   hashfn.RNG
+	cmask uint32
+}
+
+// NewEncoder builds an encoder for the first nBits bits of msg. nBits must
+// be positive and msg must hold at least ⌈nBits/8⌉ bytes.
+func NewEncoder(msg []byte, nBits int, p Params) *Encoder {
+	p = p.withDefaults()
+	if nBits < 1 {
+		panic("core: message must have at least one bit")
+	}
+	if len(msg)*8 < nBits {
+		panic("core: message shorter than nBits")
+	}
+	return &Encoder{
+		p:     p,
+		nBits: nBits,
+		sp:    spine(msg, nBits, p),
+		rng:   hashfn.RNG{H: p.Hash},
+		cmask: (1 << uint(p.C)) - 1,
+	}
+}
+
+// NumSpine reports the number of spine values (message chunks).
+func (e *Encoder) NumSpine() int { return len(e.sp) }
+
+// Params returns the encoder's (defaulted) parameters.
+func (e *Encoder) Params() Params { return e.p }
+
+// NewSchedule returns a fresh transmission schedule matching this encoder.
+func (e *Encoder) NewSchedule() *Schedule {
+	return NewSchedule(len(e.sp), e.p.Ways, e.p.Tail)
+}
+
+// Symbol generates the I/Q symbol for one SymbolID. One RNG word supplies
+// both c-bit constellation inputs (I from the low bits, Q from the next c
+// bits).
+func (e *Encoder) Symbol(id SymbolID) complex128 {
+	w := e.rng.Word(e.sp[id.Chunk], id.RNGIndex)
+	return complex(e.p.Mapper.Map(w&e.cmask), e.p.Mapper.Map(w>>uint(e.p.C)&e.cmask))
+}
+
+// Symbols generates the symbols for a batch of SymbolIDs (one subpass,
+// typically).
+func (e *Encoder) Symbols(ids []SymbolID) []complex128 {
+	out := make([]complex128, len(ids))
+	for i, id := range ids {
+		out[i] = e.Symbol(id)
+	}
+	return out
+}
+
+// Bit generates the coded bit for one SymbolID in BSC mode (§3.3: c = 1
+// and the sender transmits the bit directly).
+func (e *Encoder) Bit(id SymbolID) byte {
+	return byte(e.rng.Word(e.sp[id.Chunk], id.RNGIndex) & 1)
+}
+
+// Bits generates coded bits for a batch of SymbolIDs.
+func (e *Encoder) Bits(ids []SymbolID) []byte {
+	out := make([]byte, len(ids))
+	for i, id := range ids {
+		out[i] = e.Bit(id)
+	}
+	return out
+}

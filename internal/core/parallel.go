@@ -1,0 +1,117 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DecodeParallel runs the bubble decoder with the candidate-expansion
+// stage fanned out across workers goroutines (workers ≤ 0 means
+// GOMAXPROCS). This mirrors the §7.2/Appendix B observation that the
+// expensive likelihood computations parallelize freely while pruning is
+// a (cheap) serial stage: each step's B·2^k branch evaluations are
+// sharded over workers, then a single quickselect keeps the best B.
+//
+// The result is bit-identical to Decode up to cost ties (§4.3 allows
+// arbitrary tie-breaking, and tie order can differ between serial and
+// sharded expansion).
+//
+// Parallelism pays off when branch costs are heavy — many stored passes
+// (low SNR) or large B·2^k; at light symbol loads the per-step goroutine
+// fan-out costs more than it saves (see BenchmarkDecodeSerial vs
+// BenchmarkDecodeParallel4), which is why the simulation engine uses the
+// serial decoder and parallelizes across messages instead.
+func (d *Decoder) DecodeParallel(workers int) ([]byte, float64) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bs := beamSearch{nBits: d.nBits, p: d.p, cost: d.branchCost}
+	if workers == 1 {
+		return bs.run()
+	}
+	return bs.runParallel(workers)
+}
+
+// runParallel is beamSearch.run with the expansion loop sharded by beam
+// index.
+func (bs *beamSearch) runParallel(workers int) ([]byte, float64) {
+	k := bs.p.K
+	ns := numSpine(bs.nBits, k)
+	beam := []beamNode{{state: bs.p.Seed, back: -1, cost: 0}}
+	arena := make([]backRec, 0, ns*bs.p.B)
+
+	var wg sync.WaitGroup
+	for p := 0; p < ns; p++ {
+		dd := bs.p.D
+		if p+dd > ns {
+			dd = ns - p
+		}
+		kb := chunkBits(bs.nBits, k, p)
+		fan := 1 << uint(kb)
+		cands := make([]candidate, len(beam)*fan)
+
+		shard := (len(beam) + workers - 1) / workers
+		if shard < 1 {
+			shard = 1
+		}
+		for w := 0; w < workers && w*shard < len(beam); w++ {
+			lo := w * shard
+			hi := lo + shard
+			if hi > len(beam) {
+				hi = len(beam)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for bi := lo; bi < hi; bi++ {
+					node := &beam[bi]
+					for m := uint32(0); m < uint32(fan); m++ {
+						cs := bs.p.Hash.Sum(node.state, m, kb)
+						base := node.cost + bs.cost(p, cs)
+						score := base
+						if dd > 1 {
+							score += bs.explore(cs, p+1, dd-1)
+						}
+						cands[bi*fan+int(m)] = candidate{
+							state: cs, parent: int32(bi), bits: uint16(m),
+							cost: base, score: score,
+						}
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		keep := bs.p.B
+		if keep > len(cands) {
+			keep = len(cands)
+		}
+		selectBest(cands, keep)
+		newBeam := make([]beamNode, keep)
+		for i := 0; i < keep; i++ {
+			arena = append(arena, backRec{
+				parent: beam[cands[i].parent].back, bits: cands[i].bits,
+			})
+			newBeam[i] = beamNode{
+				state: cands[i].state,
+				back:  int32(len(arena) - 1),
+				cost:  cands[i].cost,
+			}
+		}
+		beam = newBeam
+	}
+
+	best := 0
+	for i := 1; i < len(beam); i++ {
+		if beam[i].cost < beam[best].cost {
+			best = i
+		}
+	}
+	msg := make([]byte, (bs.nBits+7)/8)
+	idx := beam[best].back
+	for j := ns - 1; j >= 0; j-- {
+		setChunk(msg, bs.nBits, k, j, uint32(arena[idx].bits))
+		idx = arena[idx].parent
+	}
+	return msg, beam[best].cost
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spinal/internal/channel"
+)
+
+func TestDecodeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	p := testParams()
+	p.B = 64
+	nBits := 192
+	for trial := 0; trial < 4; trial++ {
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		ch := channel.NewAWGN(12, int64(600+trial))
+		sched := enc.NewSchedule()
+		for sub := 0; sub < 3*p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+		}
+		serial, costS := dec.Decode()
+		par, costP := dec.DecodeParallel(4)
+		// Tie-breaking may differ, but both must produce the same message
+		// whenever either is correct, and costs must agree when messages
+		// agree.
+		if bytes.Equal(serial, msg) != bytes.Equal(par, msg) {
+			t.Fatalf("trial %d: serial correct=%v parallel correct=%v",
+				trial, bytes.Equal(serial, msg), bytes.Equal(par, msg))
+		}
+		if bytes.Equal(serial, par) && costS != costP {
+			t.Fatalf("trial %d: same message, different costs %g vs %g", trial, costS, costP)
+		}
+	}
+}
+
+func TestDecodeParallelNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, workers := range []int{0, 1, 2, 8, 33} {
+		p := testParams()
+		nBits := 96
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Symbols(ids))
+		}
+		got, cost := dec.DecodeParallel(workers)
+		if !bytes.Equal(got, msg) || cost != 0 {
+			t.Fatalf("workers=%d: noiseless parallel decode failed", workers)
+		}
+	}
+}
+
+func TestDecodeParallelDeeperLookahead(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	p := testParams()
+	p.D = 2
+	p.B = 4
+	nBits := 64
+	msg := randomMessage(rng, nBits)
+	enc := NewEncoder(msg, nBits, p)
+	dec := NewDecoder(nBits, p)
+	sched := enc.NewSchedule()
+	for sub := 0; sub < p.Ways; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Symbols(ids))
+	}
+	if got, _ := dec.DecodeParallel(3); !bytes.Equal(got, msg) {
+		t.Fatal("parallel d=2 decode failed")
+	}
+}
+
+func BenchmarkDecodeSerial(b *testing.B) {
+	benchDecode(b, 1)
+}
+
+func BenchmarkDecodeParallel4(b *testing.B) {
+	benchDecode(b, 4)
+}
+
+func benchDecode(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(33))
+	p := Params{K: 4, B: 256, D: 1, C: 6, Tail: 2, Ways: 8}
+	nBits := 256
+	msg := randomMessage(rng, nBits)
+	enc := NewEncoder(msg, nBits, p)
+	dec := NewDecoder(nBits, p)
+	sched := enc.NewSchedule()
+	for sub := 0; sub < 2*p.Ways; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Symbols(ids))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers == 1 {
+			dec.Decode()
+		} else {
+			dec.DecodeParallel(workers)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyNoiselessDecodeAnySize: for arbitrary message sizes
+// (including sizes not divisible by k or 8) and arbitrary k, a noiseless
+// two-pass transmission decodes exactly.
+func TestPropertyNoiselessDecodeAnySize(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw uint16, kRaw, waysRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nBits := 9 + int(nRaw)%120
+		k := 1 + int(kRaw)%6
+		ways := []int{1, 2, 4, 8}[waysRaw%4]
+		p := Params{K: k, B: 16, D: 1, C: 6, Tail: 2, Ways: ways}
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < 2*ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Symbols(ids))
+		}
+		got, cost := dec.Decode()
+		return bytes.Equal(got, msg) && cost == 0
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySchedulePartition: over any number of subpasses, every
+// SymbolID is unique and per-chunk RNG indices are gap-free.
+func TestPropertySchedulePartition(t *testing.T) {
+	err := quick.Check(func(nsRaw uint8, waysRaw, tailRaw uint8, subs uint8) bool {
+		ns := 1 + int(nsRaw)%100
+		ways := []int{1, 2, 4, 8}[waysRaw%4]
+		tail := 1 + int(tailRaw)%4
+		s := NewSchedule(ns, ways, tail)
+		seen := map[SymbolID]bool{}
+		maxIdx := make([]int64, ns)
+		for i := range maxIdx {
+			maxIdx[i] = -1
+		}
+		count := 0
+		for sub := 0; sub < 1+int(subs)%40; sub++ {
+			for _, id := range s.NextSubpass() {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+				if int64(id.RNGIndex) != maxIdx[id.Chunk]+1 {
+					return false
+				}
+				maxIdx[id.Chunk]++
+				count++
+			}
+		}
+		return count == len(seen)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEncoderPure: Symbol is a pure function — repeated and
+// out-of-order queries agree.
+func TestPropertyEncoderPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	msg := randomMessage(rng, 64)
+	enc := NewEncoder(msg, 64, testParams())
+	err := quick.Check(func(chunkRaw, idxRaw uint8) bool {
+		id := SymbolID{Chunk: int(chunkRaw) % enc.NumSpine(), RNGIndex: uint32(idxRaw)}
+		return enc.Symbol(id) == enc.Symbol(id)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaggedMessageSizes pins down the chunking edge cases directly.
+func TestRaggedMessageSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct{ nBits, k int }{
+		{13, 3}, {13, 4}, {1, 1}, {7, 8}, {9, 8}, {17, 5},
+	} {
+		p := testParams()
+		p.K = tc.k
+		msg := randomMessage(rng, tc.nBits)
+		enc := NewEncoder(msg, tc.nBits, p)
+		dec := NewDecoder(tc.nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < 3*p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Symbols(ids))
+		}
+		got, _ := dec.Decode()
+		if !bytes.Equal(got, msg) {
+			t.Errorf("nBits=%d k=%d: ragged decode failed", tc.nBits, tc.k)
+		}
+	}
+}
+
+// TestFadingBackfill covers the decoder path where fading info starts
+// arriving only after some symbols were stored without it.
+func TestFadingBackfill(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := testParams()
+	nBits := 64
+	msg := randomMessage(rng, nBits)
+	enc := NewEncoder(msg, nBits, p)
+	dec := NewDecoder(nBits, p)
+	sched := enc.NewSchedule()
+
+	// First subpass without fading info, rest with h=1 explicitly; the
+	// channel is noiseless so both conventions agree and decode must
+	// succeed.
+	ids := sched.NextSubpass()
+	dec.Add(ids, enc.Symbols(ids))
+	for sub := 1; sub < 2*p.Ways; sub++ {
+		ids := sched.NextSubpass()
+		y := enc.Symbols(ids)
+		h := make([]complex128, len(y))
+		for i := range h {
+			h[i] = 1
+		}
+		dec.AddFaded(ids, y, h)
+	}
+	if got, _ := dec.Decode(); !bytes.Equal(got, msg) {
+		t.Fatal("decode failed after fading backfill")
+	}
+}
+
+// TestParamsValidation exercises every Params.check failure branch.
+func TestParamsValidation(t *testing.T) {
+	base := testParams()
+	cases := []func(*Params){
+		func(p *Params) { p.K = 0 },
+		func(p *Params) { p.K = 9 },
+		func(p *Params) { p.B = 0 },
+		func(p *Params) { p.D = 0 },
+		func(p *Params) { p.C = 0 },
+		func(p *Params) { p.C = 17 },
+		func(p *Params) { p.Tail = -1 },
+		func(p *Params) { p.Ways = 3 },
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic for invalid params", i)
+				}
+			}()
+			NewEncoder([]byte{1, 2, 3, 4}, 32, p)
+		}()
+	}
+	// Invalid message sizes.
+	for _, f := range []func(){
+		func() { NewEncoder([]byte{1}, 0, base) },
+		func() { NewEncoder([]byte{1}, 9, base) },
+		func() { NewDecoder(0, base) },
+		func() { NewBSCDecoder(0, base) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for invalid message size")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMismatchedBatchPanics verifies Add validates its inputs.
+func TestMismatchedBatchPanics(t *testing.T) {
+	dec := NewDecoder(32, testParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched batch")
+		}
+	}()
+	dec.Add([]SymbolID{{Chunk: 0, RNGIndex: 0}}, []complex128{1, 2})
+}
+
+// TestBSCDecoderMismatchPanics does the same for the BSC decoder.
+func TestBSCDecoderMismatchPanics(t *testing.T) {
+	dec := NewBSCDecoder(32, Params{K: 4, B: 4, D: 1, C: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched batch")
+		}
+	}()
+	dec.Add([]SymbolID{{Chunk: 0}}, []byte{0, 1})
+}
+
+// TestBSCReset mirrors the AWGN reset test for the BSC decoder.
+func TestBSCReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := Params{K: 4, B: 32, D: 1, C: 1, Tail: 2, Ways: 8}
+	nBits := 64
+	dec := NewBSCDecoder(nBits, p)
+	for round := 0; round < 2; round++ {
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		sched := enc.NewSchedule()
+		for sub := 0; sub < 6*p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, enc.Bits(ids))
+		}
+		if got, _ := dec.Decode(); !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: BSC decode failed", round)
+		}
+		dec.Reset()
+		if dec.SymbolCount() != 0 {
+			t.Fatal("Reset did not clear")
+		}
+	}
+}
+
+// TestCollisionRarity is the §8.4 spine-collision analysis, scaled down:
+// across many random message pairs sharing no prefix relationship, final
+// spine values collide at ≈ 2^-32 per pair — i.e. never in this sample.
+func TestCollisionRarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := testParams().withDefaults()
+	nBits := 64
+	seen := make(map[uint32]int)
+	const trials = 20000
+	collisions := 0
+	for i := 0; i < trials; i++ {
+		msg := randomMessage(rng, nBits)
+		sp := spine(msg, nBits, p)
+		final := sp[len(sp)-1]
+		if _, ok := seen[final]; ok {
+			collisions++
+		}
+		seen[final] = i
+	}
+	// Birthday bound: 20000²/2^33 ≈ 0.047 expected collisions; allow a
+	// couple before declaring the hash broken.
+	if collisions > 2 {
+		t.Fatalf("%d final-spine collisions in %d messages", collisions, trials)
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/hw"
+	"spinal/internal/sim"
+)
+
+// HWModel reproduces the Appendix B hardware story quantitatively: the
+// published FPGA (≈10 Mbit/s) and 65 nm (≈50 Mbit/s) operating points,
+// plus worker/selection scaling showing where pruning becomes the
+// bottleneck (the motivation for depth-d decoding, Fig 8-7).
+func HWModel(Config) []*Table {
+	t := &Table{
+		Name:   "hw-model",
+		Title:  "Appendix B hardware decoder model (paper: 10 Mb/s FPGA, 50 Mb/s 65nm, 0.60 mm²)",
+		Header: []string{"design point", "clock(MHz)", "workers", "Mb/s", "area(mm²)"},
+	}
+	add := func(name string, c hw.Config) {
+		t.AddRow(name, f2(c.ClockMHz), fmt.Sprint(c.Workers),
+			f2(c.ThroughputMbps()), f2(c.Area()))
+	}
+	add("FPGA prototype", hw.FPGA())
+	add("TSMC 65nm", hw.ASIC())
+
+	scale := &Table{
+		Name:   "hw-model-scaling",
+		Title:  "throughput vs worker count (selection unit saturates)",
+		Header: []string{"workers", "expansion cyc/step", "selection cyc/step", "Mb/s"},
+	}
+	for _, w := range []int{2, 8, 32, 128, 512} {
+		c := hw.FPGA()
+		c.Workers = w
+		scale.AddRow(fmt.Sprint(w), f2(c.ExpansionCycles()), f2(c.SelectionCycles()),
+			f2(c.ThroughputMbps()))
+	}
+	return []*Table{t, scale}
+}
+
+// AttemptAblation quantifies the decode-attempt granularity choice the
+// engine makes (DESIGN.md §5): per-symbol attempts recover the rate that
+// subpass-granularity attempts forfeit at high SNR, and buy little at
+// low SNR.
+func AttemptAblation(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	trials := 6
+	if cfg.Quick {
+		trials = 4
+	}
+	modes := []struct {
+		name string
+		ae   int
+	}{
+		{"per symbol", -1},
+		{"per subpass", 1},
+		{"per pass", 8},
+	}
+	t := &Table{
+		Name:   "ablation-attempts",
+		Title:  "rate (bits/symbol) vs decode-attempt granularity, n=256",
+		Header: []string{"SNR(dB)"},
+	}
+	for _, m := range modes {
+		t.Header = append(t.Header, m.name)
+	}
+	for _, snr := range []float64{5, 15, 25} {
+		row := []string{f2(snr)}
+		for _, m := range modes {
+			r := sim.MeasureSpinal(sim.SpinalConfig{
+				Params: p, NBits: 256, SNRdB: snr, Trials: trials,
+				Seed: cfg.Seed*1_000_003 + 83, AttemptEvery: m.ae,
+			})
+			row = append(row, f2(r.Rate))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// GEChannel runs the rateless spinal code over a bursty Gilbert–Elliott
+// channel — the time-varying conditions of Chapter 1 — against the best
+// oracle-chosen fixed rate. The rateless code rides out bad bursts by
+// simply taking longer on affected messages.
+func GEChannel(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	nBits := 256
+	messages := 24
+	if cfg.Quick {
+		messages = 12
+	}
+	t := &Table{
+		Name:   "ge-channel",
+		Title:  "bursty Gilbert-Elliott channel (good 20 dB / bad 0 dB): rateless vs best fixed rate",
+		Header: []string{"P(bad)", "rateless b/sym", "best fixed b/sym", "rateless failures"},
+	}
+	for _, pBad := range []float64{0.1, 0.3, 0.5} {
+		// Per-symbol transition probabilities for the target stationary
+		// bad fraction with ≈200-symbol average bursts.
+		pBG := 1.0 / 200
+		pGB := pBG * pBad / (1 - pBad)
+
+		// Rateless.
+		var bits, syms, fails int
+		for m := 0; m < messages; m++ {
+			rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(m)))
+			msg := make([]byte, nBits/8)
+			rng.Read(msg)
+			enc := core.NewEncoder(msg, nBits, p)
+			dec := core.NewDecoder(nBits, p)
+			sched := enc.NewSchedule()
+			ch := channel.NewGilbertElliott(20, 0, pGB, pBG, cfg.Seed*37+int64(m))
+			decoded := false
+			for sub := 0; sub < 24*sched.Subpasses() && !decoded; sub++ {
+				ids := sched.NextSubpass()
+				dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+				syms += len(ids)
+				if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+					bits += nBits
+					decoded = true
+				}
+			}
+			if !decoded {
+				fails++
+			}
+		}
+		rateless := float64(bits) / float64(syms)
+
+		// Fixed-rate oracle: sweep symbol budgets, keep the best
+		// throughput over the same channel statistics.
+		bestFixed := 0.0
+		for _, budgetSub := range []int{8, 12, 16, 24, 32, 48} {
+			var fBits, fSyms int
+			for m := 0; m < messages; m++ {
+				rng := rand.New(rand.NewSource(cfg.Seed*41 + int64(m)))
+				msg := make([]byte, nBits/8)
+				rng.Read(msg)
+				enc := core.NewEncoder(msg, nBits, p)
+				dec := core.NewDecoder(nBits, p)
+				sched := enc.NewSchedule()
+				ch := channel.NewGilbertElliott(20, 0, pGB, pBG, cfg.Seed*43+int64(m))
+				for sub := 0; sub < budgetSub; sub++ {
+					ids := sched.NextSubpass()
+					dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+					fSyms += len(ids)
+				}
+				if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+					fBits += nBits
+				}
+			}
+			if r := float64(fBits) / float64(fSyms); r > bestFixed {
+				bestFixed = r
+			}
+		}
+		t.AddRow(f2(pBad), f3(rateless), f3(bestFixed), fmt.Sprint(fails))
+	}
+	return []*Table{t}
+}

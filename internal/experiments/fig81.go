@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spinal/internal/capacity"
+	"spinal/internal/strider"
+)
+
+// fig81Series holds the raw rate-vs-SNR data shared by Fig8_1 and
+// IntroTable.
+type fig81Series struct {
+	snrs     []float64
+	spinal   []float64 // n=256 (quick) / plus n=1024 column in the table
+	spinal1k []float64
+	raptor   []float64
+	strider  []float64
+	striderP []float64
+	ldpcEnv  []float64
+}
+
+// runFig81 measures all codes across the SNR sweep. This is the
+// repository's flagship experiment.
+func runFig81(cfg Config) *fig81Series {
+	s := &fig81Series{snrs: snrSweep(cfg, -5, 35)}
+
+	spinalTrials := 6
+	raptorK := 2048
+	raptorTrials := 3
+	striderCfg := strider.Config{Layers: 33, LayerBits: 1514, MaxPasses: 27, TurboIters: 8}
+	striderTrials := 2
+	ldpcBlocks := 10
+	n1k := 1024
+	n1kTrials := 3
+	if cfg.Quick {
+		spinalTrials = 3
+		raptorK = 512
+		striderCfg.LayerBits = 80
+		striderCfg.TurboIters = 6
+		ldpcBlocks = 5
+		n1k = 0 // skip the n=1024 curve at quick scale
+	}
+	p := spinalParams(cfg)
+
+	for _, snr := range s.snrs {
+		s.spinal = append(s.spinal, spinalRate(cfg, p, 256, snr, spinalTrials, 11).Rate)
+		if n1k > 0 {
+			s.spinal1k = append(s.spinal1k, spinalRate(cfg, p, n1k, snr, n1kTrials, 13).Rate)
+		} else {
+			s.spinal1k = append(s.spinal1k, -1)
+		}
+		s.raptor = append(s.raptor, raptorRate(raptorK, 256, snr, raptorTrials, cfg.Seed*7+17))
+		s.strider = append(s.strider, striderRate(striderOpts{cfg: striderCfg}, snr, striderTrials, cfg.Seed*7+23))
+		s.striderP = append(s.striderP, striderRate(striderOpts{cfg: striderCfg, plus: true}, snr, striderTrials, cfg.Seed*7+29))
+		s.ldpcEnv = append(s.ldpcEnv, ldpcEnvelope(snr, ldpcBlocks, cfg.Seed*7+31))
+	}
+	return s
+}
+
+var fig81Cache = map[Config]*fig81Series{}
+
+func fig81Data(cfg Config) *fig81Series {
+	if s, ok := fig81Cache[cfg]; ok {
+		return s
+	}
+	s := runFig81(cfg)
+	fig81Cache[cfg] = s
+	return s
+}
+
+// Fig8_1 reproduces Figure 8-1: rate vs SNR and gap to capacity for
+// spinal codes and all baselines.
+func Fig8_1(cfg Config) []*Table {
+	s := fig81Data(cfg)
+
+	rate := &Table{
+		Name:   "fig8-1",
+		Title:  "rate (bits/symbol) vs SNR",
+		Header: []string{"SNR(dB)", "Shannon", "spinal n=256", "spinal n=1024", "raptor", "strider", "strider+", "LDPC env"},
+	}
+	gap := &Table{
+		Name:   "fig8-1-gap",
+		Title:  "gap to capacity (dB) vs SNR",
+		Header: []string{"SNR(dB)", "spinal n=256", "raptor", "strider+", "LDPC env"},
+	}
+	for i, snr := range s.snrs {
+		n1k := "-"
+		if s.spinal1k[i] >= 0 {
+			n1k = f2(s.spinal1k[i])
+		}
+		rate.AddRow(f2(snr), f2(capAt(snr)), f2(s.spinal[i]), n1k,
+			f2(s.raptor[i]), f2(s.strider[i]), f2(s.striderP[i]), f2(s.ldpcEnv[i]))
+		gap.AddRow(f2(snr),
+			f2(capacity.GapDB(s.spinal[i], snr)),
+			f2(capacity.GapDB(s.raptor[i], snr)),
+			f2(capacity.GapDB(s.striderP[i], snr)),
+			f2(capacity.GapDB(s.ldpcEnv[i], snr)))
+	}
+	return []*Table{rate, gap}
+}
+
+// IntroTable reproduces the Chapter 1 summary: spinal's aggregate rate
+// advantage over Raptor and Strider per SNR band, computed from the
+// Fig 8-1 sweep.
+func IntroTable(cfg Config) []*Table {
+	s := fig81Data(cfg)
+	bands := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"low (<10 dB)", -5, 10},
+		{"medium (10-20 dB)", 10, 20},
+		{"high (>20 dB)", 20, 36},
+	}
+	t := &Table{
+		Name:   "intro-table",
+		Title:  "spinal rate gain over baselines by SNR band (paper: raptor 12-21%, strider 25-40%)",
+		Header: []string{"band", "vs raptor", "vs strider", "vs strider+", "vs LDPC env"},
+	}
+	for _, b := range bands {
+		var sp, ra, st, stp, ld float64
+		for i, snr := range s.snrs {
+			if snr < b.lo || snr >= b.hi {
+				continue
+			}
+			sp += s.spinal[i]
+			ra += s.raptor[i]
+			st += s.strider[i]
+			stp += s.striderP[i]
+			ld += s.ldpcEnv[i]
+		}
+		pct := func(base float64) string {
+			if base <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%+.0f%%", 100*(sp/base-1))
+		}
+		t.AddRow(b.name, pct(ra), pct(st), pct(stp), pct(ld))
+	}
+	return []*Table{t}
+}

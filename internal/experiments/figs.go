@@ -1,0 +1,463 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spinal/internal/capacity"
+	"spinal/internal/core"
+	"spinal/internal/hashfn"
+	"spinal/internal/sim"
+	"spinal/internal/stats"
+	"spinal/internal/strider"
+)
+
+// Fig8_2 reproduces Figure 8-2: the rateless spinal code against every
+// rated version of itself. The hedging effect predicts the rateless curve
+// envelopes all fixed-rate curves.
+func Fig8_2(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	nBits := 256
+	trials := 8
+	if cfg.Quick {
+		trials = 4
+	}
+	// Fixed-rate grid in subpasses (8 subpasses = 1 pass).
+	subGrid := []int{4, 6, 8, 12, 16, 24, 32, 48, 64}
+	t := &Table{
+		Name:   "fig8-2",
+		Title:  "rateless vs best fixed-rate spinal (bits/symbol)",
+		Header: []string{"SNR(dB)", "Shannon", "rateless", "best fixed", "fixed rate used"},
+	}
+	snrs := []float64{6, 8, 10, 12, 14}
+	if cfg.Quick {
+		snrs = []float64{6, 10, 14}
+	}
+	for _, snr := range snrs {
+		rateless := spinalRate(cfg, p, nBits, snr, trials, 41).Rate
+		bestRate, bestLabel := 0.0, "-"
+		for _, sub := range subGrid {
+			r := sim.MeasureSpinalFixedRate(sim.SpinalConfig{
+				Params: p, NBits: nBits, SNRdB: snr, Trials: trials,
+				Seed: cfg.Seed*1_000_003 + 43,
+			}, sub)
+			if r.Rate > bestRate {
+				bestRate = r.Rate
+				bestLabel = fmt.Sprintf("%d subpasses", sub)
+			}
+		}
+		t.AddRow(f2(snr), f2(capAt(snr)), f2(rateless), f2(bestRate), bestLabel)
+	}
+	return []*Table{t}
+}
+
+// Fig8_3 reproduces Figure 8-3: average fraction of capacity for small
+// packets (1024, 2048, 3072 bits) for spinal, Raptor and Strider(+).
+func Fig8_3(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	sizes := []int{1024, 2048, 3072}
+	snrs := []float64{5, 10, 15, 20, 25}
+	spinalTrials, raptorTrials, striderTrials := 4, 3, 2
+	if cfg.Quick {
+		snrs = []float64{5, 15, 25}
+		spinalTrials, raptorTrials, striderTrials = 2, 2, 1
+	}
+	t := &Table{
+		Name:   "fig8-3",
+		Title:  "small packets: average fraction of capacity over 5-25 dB",
+		Header: []string{"size(bits)", "spinal", "raptor", "strider", "strider+"},
+	}
+	// Spinal splits >1024-bit messages into 1024-bit code blocks (§6), so
+	// its per-size performance equals the n=1024 block performance;
+	// measure once.
+	var spFrac float64
+	for _, snr := range snrs {
+		r := spinalRate(cfg, p, 1024, snr, spinalTrials, 47)
+		spFrac += capacity.FractionOfCapacity(r.Rate, snr)
+	}
+	spFrac /= float64(len(snrs))
+
+	for _, size := range sizes {
+		var raFrac, stFrac, stpFrac float64
+		layerBits := (size + 32) / 33 // round up so 33 layers carry ≥ size
+		if layerBits < 8 {
+			layerBits = 8
+		}
+		scfg := strider.Config{Layers: 33, LayerBits: layerBits, MaxPasses: 27, TurboIters: 6}
+		for _, snr := range snrs {
+			ra := raptorRate(size, 256, snr, raptorTrials, cfg.Seed*9+53)
+			st := striderRate(striderOpts{cfg: scfg}, snr, striderTrials, cfg.Seed*9+59)
+			stp := striderRate(striderOpts{cfg: scfg, plus: true}, snr, striderTrials, cfg.Seed*9+61)
+			raFrac += capacity.FractionOfCapacity(ra, snr)
+			stFrac += capacity.FractionOfCapacity(st, snr)
+			stpFrac += capacity.FractionOfCapacity(stp, snr)
+		}
+		n := float64(len(snrs))
+		t.AddRow(fmt.Sprint(size), f3(spFrac), f3(raFrac/n), f3(stFrac/n), f3(stpFrac/n))
+	}
+	return []*Table{t}
+}
+
+// fadingExperiment shares the machinery of Figures 8-4 and 8-5.
+func fadingExperiment(cfg Config, name, title string, provideH bool) []*Table {
+	p := spinalParams(cfg)
+	taus := []int{1, 10, 100}
+	snrs := snrSweep(cfg, 0, 30)
+	if cfg.Quick {
+		snrs = []float64{0, 10, 20, 30}
+	}
+	spinalTrials, striderTrials := 4, 2
+	if cfg.Quick {
+		spinalTrials = 2
+	}
+	scfg := strider.Config{Layers: 33, LayerBits: 80, MaxPasses: 27, TurboIters: 6}
+	if !cfg.Quick {
+		scfg.LayerBits = 1514
+		scfg.TurboIters = 8
+	}
+	t := &Table{
+		Name:   name,
+		Title:  title,
+		Header: []string{"SNR(dB)", "C_rayleigh"},
+	}
+	for _, tau := range taus {
+		t.Header = append(t.Header,
+			fmt.Sprintf("spinal τ=%d", tau), fmt.Sprintf("strider+ τ=%d", tau))
+	}
+	for _, snr := range snrs {
+		row := []string{f2(snr), f2(capacity.RayleighdB(snr))}
+		for _, tau := range taus {
+			// Fig 8-5's "AWGN decoder": phase-tracked but amplitude-blind
+			// (see sim.Fading.PhaseOnly).
+			fad := &sim.Fading{Tau: tau, ProvideH: provideH, PhaseOnly: !provideH}
+			maxPasses := 0
+			if !provideH {
+				// Blind decoding fails often; a tighter give-up budget
+				// bounds the cost of hopeless messages without changing
+				// the successful ones.
+				c := capacity.RayleighdB(snr)
+				if c < 0.1 {
+					c = 0.1
+				}
+				maxPasses = int(2*float64(p.K)/c) + 3
+			}
+			sp := sim.MeasureSpinal(sim.SpinalConfig{
+				Params: p, NBits: 256, SNRdB: snr, Trials: spinalTrials,
+				Seed: cfg.Seed*1_000_003 + 71, Fading: fad, MaxPasses: maxPasses,
+			})
+			st := striderRate(striderOpts{cfg: scfg, plus: true, fading: fad}, snr, striderTrials, cfg.Seed*11+73)
+			row = append(row, f2(sp.Rate), f2(st))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig8_4 reproduces Figure 8-4: Rayleigh fading with exact fading
+// information at the decoders.
+func Fig8_4(cfg Config) []*Table {
+	return fadingExperiment(cfg, "fig8-4",
+		"Rayleigh fading, decoders given exact h (rate, bits/symbol)", true)
+}
+
+// Fig8_5 reproduces Figure 8-5: the same channels decoded without fading
+// information (AWGN decoders).
+func Fig8_5(cfg Config) []*Table {
+	return fadingExperiment(cfg, "fig8-5",
+		"Rayleigh fading, AWGN decoders (no fading info)", false)
+}
+
+// Fig8_6 reproduces Figure 8-6: average fraction of capacity versus
+// compute budget B·2^k/k for k = 1..6.
+func Fig8_6(cfg Config) []*Table {
+	budgets := []int{16, 32, 64, 128, 256, 512, 1024}
+	snrs := []float64{2, 8, 14, 20, 24}
+	nBits := 256
+	trials := 4
+	if cfg.Quick {
+		budgets = []int{32, 128, 512}
+		snrs = []float64{2, 8, 14, 20, 24}
+		nBits = 96
+		trials = 5
+	}
+	t := &Table{
+		Name:   "fig8-6",
+		Title:  "fraction of capacity (avg over 2-24 dB) vs compute budget B·2^k/k",
+		Header: []string{"budget"},
+	}
+	for k := 1; k <= 6; k++ {
+		t.Header = append(t.Header, fmt.Sprintf("k=%d", k))
+	}
+	for _, budget := range budgets {
+		row := []string{fmt.Sprint(budget)}
+		for k := 1; k <= 6; k++ {
+			b := budget * k >> uint(k)
+			if b < 1 {
+				b = 1
+			}
+			p := core.Params{K: k, B: b, D: 1, C: 6, Tail: 2, Ways: 8}
+			var frac float64
+			for _, snr := range snrs {
+				r := spinalRate(cfg, p, nBits, snr, trials, int64(100*k+budget))
+				frac += capacity.FractionOfCapacity(r.Rate, snr)
+			}
+			row = append(row, f3(frac/float64(len(snrs))))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig8_7 reproduces Figure 8-7: bubble depth d against beam width B at a
+// constant node budget B·2^kd (k=3, n=256).
+func Fig8_7(cfg Config) []*Table {
+	nBits := 256
+	trials := 4
+	if cfg.Quick {
+		nBits = 96
+		trials = 2
+	}
+	configs := []struct{ b, d int }{{512, 1}, {64, 2}, {8, 3}, {1, 4}}
+	snrs := snrSweep(cfg, 0, 25)
+	if cfg.Quick {
+		snrs = []float64{0, 10, 20}
+		trials = 6
+	}
+	t := &Table{
+		Name:   "fig8-7",
+		Title:  "gap to capacity (dB) for constant node budget B·2^kd, k=3",
+		Header: []string{"SNR(dB)"},
+	}
+	for _, c := range configs {
+		t.Header = append(t.Header, fmt.Sprintf("B=%d,d=%d", c.b, c.d))
+	}
+	for _, snr := range snrs {
+		row := []string{f2(snr)}
+		for _, c := range configs {
+			p := core.Params{K: 3, B: c.b, D: c.d, C: 6, Tail: 2, Ways: 8}
+			r := spinalRate(cfg, p, nBits, snr, trials, int64(200+c.b))
+			row = append(row, f2(capacity.GapDB(r.Rate, snr)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig8_8 reproduces Figure 8-8: rate vs SNR for output densities c=1..6.
+func Fig8_8(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	nBits := 256
+	trials := 4
+	if cfg.Quick {
+		nBits = 96
+		trials = 4
+	}
+	snrs := snrSweep(cfg, -5, 35)
+	t := &Table{
+		Name:   "fig8-8",
+		Title:  "rate (bits/symbol) vs SNR for c=1..6",
+		Header: []string{"SNR(dB)", "Shannon"},
+	}
+	for c := 1; c <= 6; c++ {
+		t.Header = append(t.Header, fmt.Sprintf("c=%d", c))
+	}
+	for _, snr := range snrs {
+		row := []string{f2(snr), f2(capAt(snr))}
+		for c := 1; c <= 6; c++ {
+			pc := p
+			pc.C = c
+			pc.Mapper = nil
+			r := spinalRate(cfg, pc, nBits, snr, trials, int64(300+c))
+			row = append(row, f2(r.Rate))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig8_9 reproduces Figure 8-9: gap to capacity versus the number of tail
+// symbols per pass. Two is the paper's sweet spot.
+func Fig8_9(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	nBits := 256
+	trials := 10
+	snrs := []float64{5, 15, 25}
+	if cfg.Quick {
+		nBits = 96
+		trials = 8
+	}
+	t := &Table{
+		Name:   "fig8-9",
+		Title:  "gap to capacity (dB) vs tail symbols per pass",
+		Header: []string{"SNR(dB)", "1 tail", "2 tails", "3 tails", "4 tails", "5 tails"},
+	}
+	for _, snr := range snrs {
+		row := []string{f2(snr)}
+		for tail := 1; tail <= 5; tail++ {
+			pt := p
+			pt.Tail = tail
+			r := spinalRate(cfg, pt, nBits, snr, trials, int64(400+tail))
+			row = append(row, f2(capacity.GapDB(r.Rate, snr)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig8_10 reproduces Figure 8-10: gap to capacity under different
+// puncturing schedules. Finer puncturing allows more frequent decode
+// attempts and hence higher rates, especially at high SNR.
+func Fig8_10(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	nBits := 256
+	trials := 8
+	if cfg.Quick {
+		trials = 6
+	}
+	snrs := []float64{5, 15, 25, 35}
+	t := &Table{
+		Name:   "fig8-10",
+		Title:  "gap to capacity (dB) vs puncturing schedule (n=256)",
+		Header: []string{"SNR(dB)", "8-way", "4-way", "2-way", "none"},
+	}
+	for _, snr := range snrs {
+		row := []string{f2(snr)}
+		for _, ways := range []int{8, 4, 2, 1} {
+			pw := p
+			pw.Ways = ways
+			r := spinalRate(cfg, pw, nBits, snr, trials, int64(500+ways))
+			row = append(row, f2(capacity.GapDB(r.Rate, snr)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// Fig8_11 reproduces Figure 8-11: the distribution of symbols needed to
+// decode an n=256 message at various SNRs, reported as percentiles of the
+// empirical CDF.
+func Fig8_11(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	trials := 50
+	snrs := []float64{6, 10, 14, 18, 22, 26}
+	if cfg.Quick {
+		trials = 15
+		snrs = []float64{6, 14, 22}
+	}
+	t := &Table{
+		Name:   "fig8-11",
+		Title:  "symbols needed to decode n=256 (percentiles of CDF)",
+		Header: []string{"SNR(dB)", "trials", "P10", "P50", "P90", "failures"},
+	}
+	for _, snr := range snrs {
+		r := spinalRate(cfg, p, 256, snr, trials, 601)
+		var c stats.CDF
+		for _, s := range r.SymbolCounts {
+			c.Add(float64(s))
+		}
+		t.AddRow(f2(snr), fmt.Sprint(r.Messages),
+			f2(c.Percentile(10)), f2(c.Percentile(50)), f2(c.Percentile(90)),
+			fmt.Sprint(r.Failures))
+	}
+	return []*Table{t}
+}
+
+// Fig8_12 reproduces Figure 8-12: longer code blocks decode further from
+// capacity at fixed k and B.
+func Fig8_12(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	sizes := []int{64, 128, 256, 512, 1024, 2048}
+	trials := 6
+	snrs := []float64{5, 15, 25}
+	if cfg.Quick {
+		sizes = []int{64, 128, 256, 512}
+		trials = 4
+	}
+	t := &Table{
+		Name:   "fig8-12",
+		Title:  "gap to capacity (dB) vs code block length n",
+		Header: []string{"n(bits)", "gap@5dB", "gap@15dB", "gap@25dB", "avg"},
+	}
+	for _, n := range sizes {
+		row := []string{fmt.Sprint(n)}
+		var avg float64
+		for _, snr := range snrs {
+			r := spinalRate(cfg, p, n, snr, trials, int64(700+n))
+			g := capacity.GapDB(r.Rate, snr)
+			avg += g
+			row = append(row, f2(g))
+		}
+		row = append(row, f2(avg/float64(len(snrs))))
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// FigB_2 runs the hardware prototype's parameter set (n=192, k=4, c=7,
+// d=1, B=4) in simulation, the comparator the paper validated over the
+// air. Mbps assumes a 20 MHz 802.11a/g OFDM channel (48 data subcarriers
+// per 4 µs symbol = 12 Msym/s).
+func FigB_2(cfg Config) []*Table {
+	p := core.Params{K: 4, B: 4, D: 1, C: 7, Tail: 2, Ways: 8}
+	trials := 10
+	if cfg.Quick {
+		trials = 5
+	}
+	t := &Table{
+		Name:   "figB-2",
+		Title:  "hardware parameters in simulation (n=192, k=4, c=7, d=1, B=4)",
+		Header: []string{"SNR(dB)", "rate(b/sym)", "Mbps@20MHz", "failures"},
+	}
+	for snr := 0.0; snr <= 14; snr += 2 {
+		r := spinalRate(cfg, p, 192, snr, trials, 801)
+		t.AddRow(f2(snr), f2(r.Rate), f2(r.Rate*12), fmt.Sprint(r.Failures))
+	}
+	return []*Table{t}
+}
+
+// BSCExtra exercises the §4.6 claim that spinal codes approach BSC
+// capacity; the paper proves it but shows no figure.
+func BSCExtra(cfg Config) []*Table {
+	p := core.Params{K: 4, B: 64, D: 1, C: 1, Tail: 2, Ways: 8}
+	trials := 8
+	nBits := 256
+	if cfg.Quick {
+		trials = 3
+		nBits = 128
+	}
+	t := &Table{
+		Name:   "bsc",
+		Title:  "spinal codes on BSC(p): rate vs capacity 1-H(p)",
+		Header: []string{"p", "capacity", "rate", "fraction"},
+	}
+	for _, prob := range []float64{0.02, 0.05, 0.1, 0.2} {
+		rate, _ := sim.MeasureSpinalBSC(p, nBits, prob, trials, cfg.Seed*13+7)
+		c := capacity.BSC(prob)
+		t.AddRow(f3(prob), f3(c), f3(rate), f3(rate/c))
+	}
+	return []*Table{t}
+}
+
+// HashAblation verifies §7.1: one-at-a-time, lookup3 and Salsa20 give
+// indistinguishable code performance.
+func HashAblation(cfg Config) []*Table {
+	p := spinalParams(cfg)
+	nBits := 192
+	trials := 6
+	if cfg.Quick {
+		nBits = 96
+		trials = 4
+	}
+	hashes := []hashfn.Hash{hashfn.OneAtATime{}, hashfn.Lookup3{}, hashfn.Salsa20{}}
+	t := &Table{
+		Name:   "hash-ablation",
+		Title:  "rate at 10 dB by hash function (should be ≈ equal)",
+		Header: []string{"hash", "rate(b/sym)", "fraction of capacity"},
+	}
+	for _, h := range hashes {
+		ph := p
+		ph.Hash = h
+		r := spinalRate(cfg, ph, nBits, 10, trials, 901)
+		t.AddRow(h.Name(), f3(r.Rate), f3(capacity.FractionOfCapacity(r.Rate, 10)))
+	}
+	return []*Table{t}
+}

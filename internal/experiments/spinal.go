@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"spinal/internal/capacity"
+	"spinal/internal/core"
+	"spinal/internal/sim"
+)
+
+// capAt is shorthand for complex AWGN capacity at an SNR in dB.
+func capAt(snrDB float64) float64 { return capacity.AWGNdB(snrDB) }
+
+// spinalParams returns the paper's recommended operating point (k=4,
+// B=256, d=1, c=6). The beam width is kept at the paper's 256 even at
+// quick scale: it is what the flagship comparisons assume, and its cost
+// concentrates at low SNR where the quick grids are coarse.
+func spinalParams(Config) core.Params {
+	return core.DefaultParams()
+}
+
+// spinalRate measures the rateless spinal rate at one operating point,
+// with auto decode-attempt granularity (per-symbol at high SNR).
+func spinalRate(cfg Config, p core.Params, nBits int, snrDB float64, trials int, seedOff int64) sim.Result {
+	return sim.MeasureSpinal(sim.SpinalConfig{
+		Params: p,
+		NBits:  nBits,
+		SNRdB:  snrDB,
+		Trials: trials,
+		Seed:   cfg.Seed*1_000_003 + seedOff,
+	})
+}
+
+// snrSweep returns the experiment's SNR grid.
+func snrSweep(cfg Config, lo, hi float64) []float64 {
+	step := 1.0
+	if cfg.Quick {
+		step = 5.0
+	}
+	var out []float64
+	for s := lo; s <= hi+1e-9; s += step {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package framing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CCITT-FALSE of "123456789" is 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 = %#04x, want 0x29B1", got)
+	}
+	if got := CRC16(nil); got != 0xFFFF {
+		t.Fatalf("CRC16(nil) = %#04x, want 0xFFFF", got)
+	}
+}
+
+func TestCRCDetectsSingleBitErrors(t *testing.T) {
+	err := quick.Check(func(data []byte, pos uint16) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		bit := int(pos) % (len(data) * 8)
+		orig := CRC16(data)
+		data[bit/8] ^= 1 << uint(bit%8)
+		flipped := CRC16(data)
+		data[bit/8] ^= 1 << uint(bit%8)
+		return orig != flipped
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCDetectsBurstErrors(t *testing.T) {
+	// Any burst of ≤16 bits must be detected by a 16-bit CRC.
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64)
+	rng.Read(data)
+	orig := CRC16(data)
+	for trial := 0; trial < 200; trial++ {
+		start := rng.Intn(len(data)*8 - 16)
+		length := 1 + rng.Intn(16)
+		mut := append([]byte(nil), data...)
+		changed := false
+		for b := start; b < start+length; b++ {
+			if rng.Intn(2) == 1 {
+				mut[b/8] ^= 1 << uint(b%8)
+				changed = true
+			}
+		}
+		if changed && CRC16(mut) == orig {
+			t.Fatalf("burst error undetected (start=%d len=%d)", start, length)
+		}
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	payload := []byte("hello, spinal link layer")
+	b := Block{Payload: payload, CRC: CRC16(payload)}
+	got, ok := Verify(b.Bits())
+	if !ok {
+		t.Fatal("verification failed on intact block")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mangled")
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	payload := []byte("data data data")
+	bits := Block{Payload: payload, CRC: CRC16(payload)}.Bits()
+	bits[3] ^= 0x40
+	if _, ok := Verify(bits); ok {
+		t.Fatal("verification accepted corrupted block")
+	}
+	if _, ok := Verify([]byte{0x12}); ok {
+		t.Fatal("verification accepted truncated block")
+	}
+}
+
+func TestSegmentReassemble(t *testing.T) {
+	err := quick.Check(func(datagram []byte) bool {
+		blocks := Segment(datagram, 0)
+		for _, b := range blocks {
+			if b.NumBits() > MaxBlockBits {
+				return false
+			}
+			if CRC16(b.Payload) != b.CRC {
+				return false
+			}
+		}
+		var payloads [][]byte
+		for _, b := range blocks {
+			p, ok := Verify(b.Bits())
+			if !ok {
+				return false
+			}
+			payloads = append(payloads, p)
+		}
+		out := Reassemble(payloads)
+		if len(datagram) == 0 {
+			return len(out) == 0
+		}
+		return bytes.Equal(out, datagram)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentBlockCount(t *testing.T) {
+	// 1024-bit blocks carry 126 payload bytes; a 1500-byte datagram needs
+	// ⌈1500/126⌉ = 12 blocks.
+	blocks := Segment(make([]byte, 1500), 0)
+	if len(blocks) != 12 {
+		t.Fatalf("got %d blocks, want 12", len(blocks))
+	}
+	// A small datagram fits in a single small block.
+	blocks = Segment([]byte("x"), 0)
+	if len(blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(blocks))
+	}
+}
+
+func TestSegmentCustomSize(t *testing.T) {
+	blocks := Segment(make([]byte, 100), 256)
+	for _, b := range blocks {
+		if b.NumBits() > 256 {
+			t.Fatalf("block has %d bits, max 256", b.NumBits())
+		}
+	}
+	if len(blocks) != 4 { // 30 payload bytes per block
+		t.Fatalf("got %d blocks, want 4", len(blocks))
+	}
+}
+
+func TestSegmentEmptyDatagram(t *testing.T) {
+	blocks := Segment(nil, 0)
+	if len(blocks) != 1 {
+		t.Fatal("empty datagram should yield one empty block")
+	}
+	p, ok := Verify(blocks[0].Bits())
+	if !ok || len(p) != 0 {
+		t.Fatal("empty block round trip failed")
+	}
+}
+
+func TestAck(t *testing.T) {
+	a := Ack{Seq: 3, Decoded: []bool{true, true, false}}
+	if a.AllDecoded() {
+		t.Fatal("AllDecoded true with pending block")
+	}
+	a.Decoded[2] = true
+	if !a.AllDecoded() {
+		t.Fatal("AllDecoded false with all blocks done")
+	}
+	empty := Ack{}
+	if empty.AllDecoded() {
+		t.Fatal("empty ACK should not report all decoded")
+	}
+}

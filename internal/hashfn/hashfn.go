@@ -1,0 +1,193 @@
+// Package hashfn provides the hash functions used by spinal codes to build
+// the spine and to generate pseudo-random symbol bits.
+//
+// The paper (§3.2, §7.1) requires a hash drawn from a pairwise-independent
+// family, mapping a ν-bit state plus k message bits to a new ν-bit state,
+// and an RNG that maps a ν-bit seed and an index to a c-bit output. The
+// production choice is Jenkins' one-at-a-time hash; lookup3 and the Salsa20
+// core are provided so the §7.1 comparison (no discernible performance
+// difference between the three) can be reproduced.
+//
+// All functions here are deterministic: the encoder and decoder must agree
+// on the hash, the seed, and the initial state.
+package hashfn
+
+// Hash maps a 32-bit spine state and up to 32 message bits (the low k bits
+// of m) to a new 32-bit state. Implementations must be deterministic.
+type Hash interface {
+	// Sum computes the next spine value from the previous state and k
+	// message bits. k is the number of significant low bits in m and must
+	// be in [1, 32].
+	Sum(state uint32, m uint32, k int) uint32
+	// Name reports a short identifier used in experiment output.
+	Name() string
+}
+
+// OneAtATime is Jenkins' one-at-a-time hash, the implementation choice of
+// the paper (§7.1: 6 XORs, 15 shifts, 10 additions per application). The
+// zero value uses seed 0; a non-zero seed plays the role of the paper's
+// pseudo-random s0 scrambler, selecting a member of the hash family.
+type OneAtATime struct {
+	// Seed perturbs the hash; encoder and decoder must share it.
+	Seed uint32
+}
+
+// Name implements Hash.
+func (OneAtATime) Name() string { return "one-at-a-time" }
+
+// Sum implements Hash. It feeds the four state bytes and ⌈k/8⌉ message
+// bytes through the one-at-a-time mixing function.
+func (o OneAtATime) Sum(state uint32, m uint32, k int) uint32 {
+	h := o.Seed
+	h = oaatByte(h, byte(state))
+	h = oaatByte(h, byte(state>>8))
+	h = oaatByte(h, byte(state>>16))
+	h = oaatByte(h, byte(state>>24))
+	for ; k > 0; k -= 8 {
+		h = oaatByte(h, byte(m))
+		m >>= 8
+	}
+	h += h << 3
+	h ^= h >> 11
+	h += h << 15
+	return h
+}
+
+func oaatByte(h uint32, b byte) uint32 {
+	h += uint32(b)
+	h += h << 10
+	h ^= h >> 6
+	return h
+}
+
+// Lookup3 is Jenkins' lookup3 hash (hashword variant over 32-bit words).
+type Lookup3 struct {
+	Seed uint32
+}
+
+// Name implements Hash.
+func (Lookup3) Name() string { return "lookup3" }
+
+// Sum implements Hash. The state and message bits form a two-word input to
+// hashword.
+func (l Lookup3) Sum(state uint32, m uint32, k int) uint32 {
+	// Standard lookup3 initialization for a 2-word input.
+	a := uint32(0xdeadbeef) + 2<<2 + l.Seed
+	b := a
+	c := a
+	a += state
+	b += m & maskBits(k)
+	return lookup3Final(a, b, c)
+}
+
+func maskBits(k int) uint32 {
+	if k >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << uint(k)) - 1
+}
+
+func rot32(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+
+func lookup3Final(a, b, c uint32) uint32 {
+	c ^= b
+	c -= rot32(b, 14)
+	a ^= c
+	a -= rot32(c, 11)
+	b ^= a
+	b -= rot32(a, 25)
+	c ^= b
+	c -= rot32(b, 16)
+	a ^= c
+	a -= rot32(c, 4)
+	b ^= a
+	b -= rot32(a, 14)
+	c ^= b
+	c -= rot32(b, 24)
+	return c
+}
+
+// Salsa20 uses the Salsa20/20 core as a hash, the cryptographic-strength
+// reference the paper started with (§7.1). It is far more expensive than
+// OneAtATime but has demonstrated mixing properties.
+type Salsa20 struct {
+	Seed uint32
+}
+
+// Name implements Hash.
+func (Salsa20) Name() string { return "salsa20" }
+
+// Sum implements Hash. The 16-word Salsa20 input block holds the standard
+// "expand 32-byte k" constants, the state, the message bits and the seed;
+// the output is the first word of the core function.
+func (s Salsa20) Sum(state uint32, m uint32, k int) uint32 {
+	var in [16]uint32
+	in[0] = 0x61707865
+	in[5] = 0x3320646e
+	in[10] = 0x79622d32
+	in[15] = 0x6b206574
+	in[1] = state
+	in[2] = m & maskBits(k)
+	in[3] = s.Seed
+	in[4] = uint32(k)
+	out := salsa20Core(&in)
+	return out[0]
+}
+
+func salsa20Core(in *[16]uint32) [16]uint32 {
+	x := *in
+	for i := 0; i < 20; i += 2 {
+		// Column round.
+		x[4] ^= rot32(x[0]+x[12], 7)
+		x[8] ^= rot32(x[4]+x[0], 9)
+		x[12] ^= rot32(x[8]+x[4], 13)
+		x[0] ^= rot32(x[12]+x[8], 18)
+		x[9] ^= rot32(x[5]+x[1], 7)
+		x[13] ^= rot32(x[9]+x[5], 9)
+		x[1] ^= rot32(x[13]+x[9], 13)
+		x[5] ^= rot32(x[1]+x[13], 18)
+		x[14] ^= rot32(x[10]+x[6], 7)
+		x[2] ^= rot32(x[14]+x[10], 9)
+		x[6] ^= rot32(x[2]+x[14], 13)
+		x[10] ^= rot32(x[6]+x[2], 18)
+		x[3] ^= rot32(x[15]+x[11], 7)
+		x[7] ^= rot32(x[3]+x[15], 9)
+		x[11] ^= rot32(x[7]+x[3], 13)
+		x[15] ^= rot32(x[11]+x[7], 18)
+		// Row round.
+		x[1] ^= rot32(x[0]+x[3], 7)
+		x[2] ^= rot32(x[1]+x[0], 9)
+		x[3] ^= rot32(x[2]+x[1], 13)
+		x[0] ^= rot32(x[3]+x[2], 18)
+		x[6] ^= rot32(x[5]+x[4], 7)
+		x[7] ^= rot32(x[6]+x[5], 9)
+		x[4] ^= rot32(x[7]+x[6], 13)
+		x[5] ^= rot32(x[4]+x[7], 18)
+		x[11] ^= rot32(x[10]+x[9], 7)
+		x[8] ^= rot32(x[11]+x[10], 9)
+		x[9] ^= rot32(x[8]+x[11], 13)
+		x[10] ^= rot32(x[9]+x[8], 18)
+		x[12] ^= rot32(x[15]+x[14], 7)
+		x[13] ^= rot32(x[12]+x[15], 9)
+		x[14] ^= rot32(x[13]+x[12], 13)
+		x[15] ^= rot32(x[14]+x[13], 18)
+	}
+	for i := range x {
+		x[i] += in[i]
+	}
+	return x
+}
+
+// RNG generates the c-bit numbers fed to the constellation mapping
+// function. Following §7.1, output t for seed s is h(s, t): symbols need
+// not be generated in sequence, so punctured or lost symbols are never
+// computed. One 32-bit output supplies up to 32 bits, enough for both the
+// I and Q fields at c ≤ 16.
+type RNG struct {
+	H Hash
+}
+
+// Word returns the t-th 32-bit pseudo-random word for seed.
+func (r RNG) Word(seed uint32, t uint32) uint32 {
+	return r.H.Sum(seed, t, 32)
+}

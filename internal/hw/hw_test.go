@@ -1,0 +1,130 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCalibrationFPGA(t *testing.T) {
+	// The paper reports ≈10 Mbit/s on the FPGA prototype.
+	got := FPGA().ThroughputMbps()
+	if got < 8 || got > 13 {
+		t.Fatalf("FPGA point %.1f Mb/s, paper reports ≈10", got)
+	}
+}
+
+func TestCalibrationASIC(t *testing.T) {
+	// The paper estimates ≈50 Mbit/s at TSMC 65 nm.
+	got := ASIC().ThroughputMbps()
+	if got < 40 || got > 65 {
+		t.Fatalf("ASIC point %.1f Mb/s, paper estimates ≈50", got)
+	}
+}
+
+func TestCalibrationArea(t *testing.T) {
+	// The paper reports 0.60 mm² at 65 nm.
+	got := FPGA().Area()
+	if math.Abs(got-0.60) > 0.05 {
+		t.Fatalf("area %.2f mm², paper reports 0.60", got)
+	}
+}
+
+func TestThroughputScalesWithClock(t *testing.T) {
+	a := FPGA()
+	b := a
+	b.ClockMHz *= 2
+	if r := b.ThroughputMbps() / a.ThroughputMbps(); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("throughput not linear in clock: ratio %.3f", r)
+	}
+}
+
+func TestMoreWorkersNeverSlower(t *testing.T) {
+	prev := 0.0
+	for w := 1; w <= 64; w *= 2 {
+		c := FPGA()
+		c.Workers = w
+		got := c.ThroughputMbps()
+		if got < prev {
+			t.Fatalf("throughput fell from %.1f to %.1f at %d workers", prev, got, w)
+		}
+		prev = got
+	}
+}
+
+func TestSelectionBottleneck(t *testing.T) {
+	// With an enormous worker array, the selection unit caps the step
+	// time: throughput must saturate, matching the §8.4 observation that
+	// pruning becomes the bottleneck.
+	small := FPGA()
+	small.Workers = 64
+	big := small
+	big.Workers = 4096
+	if big.ThroughputMbps() > small.ThroughputMbps()*1.5 {
+		t.Fatalf("no selection saturation: %d workers %.1f vs %.1f",
+			big.Workers, big.ThroughputMbps(), small.ThroughputMbps())
+	}
+}
+
+func TestMorePassesSlower(t *testing.T) {
+	// More stored passes mean more RNG evaluations per node.
+	a := FPGA()
+	b := a
+	b.Passes = 8
+	if b.ThroughputMbps() >= a.ThroughputMbps() {
+		t.Fatal("more passes should reduce decode throughput")
+	}
+}
+
+func TestLargerBeamCostsArea(t *testing.T) {
+	a := FPGA()
+	b := a
+	b.Workers *= 4
+	b.HashUnitsPerWorker *= 2
+	if b.Area() <= a.Area() {
+		t.Fatal("bigger decoder should cost more area")
+	}
+}
+
+func TestDepthTradeoffStory(t *testing.T) {
+	// Fig 8-7's hardware motivation: at a constant node budget B·2^kd, a
+	// deeper decoder has cheaper *selection* (fewer, coarser candidates).
+	// Model the d=2 variant as selecting among B·2^k subtree groups
+	// instead of B·2^kd nodes: its selection cycles must be lower.
+	d1 := Config{ClockMHz: 50, Workers: 8, HashUnitsPerWorker: 2,
+		B: 512, K: 3, Passes: 2, NBits: 256, SelectWidth: 8}
+	d2 := d1
+	d2.B = 64 // same node count 512·8 = 64·8·8 at depth 2
+	if d2.SelectionCycles() >= d1.SelectionCycles() {
+		t.Fatalf("selection cost should shrink with depth: %g vs %g",
+			d2.SelectionCycles(), d1.SelectionCycles())
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.ClockMHz = 0 },
+		func(c *Config) { c.K = 9 },
+		func(c *Config) { c.SelectWidth = 0 },
+	}
+	for i, mutate := range bad {
+		c := FPGA()
+		mutate(&c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			c.CyclesPerStep()
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FPGA().String()
+	if !strings.Contains(s, "Mb/s") || !strings.Contains(s, "mm²") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,342 @@
+// Package ldpc implements the fixed-rate LDPC baseline of §8: quasi-cyclic
+// codes with the 802.11n block length (648 bits) and rate set {1/2, 2/3,
+// 3/4, 5/6}, a linear-time encoder exploiting the dual-diagonal parity
+// structure, and a floating-point sum-product belief-propagation decoder
+// run for forty full iterations, exactly as the paper's baseline.
+//
+// Substitution note (see DESIGN.md): the published 802.11n circulant shift
+// tables are replaced by a girth-conditioned pseudo-random QC construction
+// with the same block structure. The decoder, rates, block length and
+// modulations are as in the paper.
+package ldpc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Code is a quasi-cyclic LDPC code: an mb×nb array of Z×Z circulant
+// blocks. shifts[i][j] is the circulant shift of block (i,j), or -1 for a
+// zero block. The last mb block-columns form the dual-diagonal parity
+// part enabling linear-time encoding.
+type Code struct {
+	Z      int
+	nb, mb int
+	shifts [][]int
+
+	// Flattened Tanner graph for decoding.
+	checkVars [][]int32 // per check row: variable indices
+}
+
+// Rate identifiers matching the 802.11n family.
+const (
+	Rate12 = "1/2"
+	Rate23 = "2/3"
+	Rate34 = "3/4"
+	Rate56 = "5/6"
+)
+
+// Rates lists the supported code rates in increasing order.
+var Rates = []string{Rate12, Rate23, Rate34, Rate56}
+
+// NewQC constructs a quasi-cyclic code with nb=24 block columns and
+// expansion factor Z (802.11n uses Z=27 for n=648). The construction is
+// deterministic in seed; shifts in the information part are chosen to
+// avoid length-4 cycles where possible.
+func NewQC(rate string, Z int, seed int64) *Code {
+	var mb int
+	switch rate {
+	case Rate12:
+		mb = 12
+	case Rate23:
+		mb = 8
+	case Rate34:
+		mb = 6
+	case Rate56:
+		mb = 4
+	default:
+		panic(fmt.Sprintf("ldpc: unknown rate %q", rate))
+	}
+	const nb = 24
+	c := &Code{Z: Z, nb: nb, mb: mb}
+	rng := rand.New(rand.NewSource(seed))
+	kb := nb - mb
+
+	c.shifts = make([][]int, mb)
+	for i := range c.shifts {
+		c.shifts[i] = make([]int, nb)
+		for j := range c.shifts[i] {
+			c.shifts[i][j] = -1
+		}
+	}
+
+	// Information part: each block column gets weight 3 (one column gets
+	// weight 4 to break regularity slightly), rows chosen to balance row
+	// weights, shifts chosen to avoid 4-cycles among placed blocks.
+	rowWeight := make([]int, mb)
+	for j := 0; j < kb; j++ {
+		w := 3
+		if j == 0 {
+			w = 4
+		}
+		if w > mb {
+			w = mb
+		}
+		rows := pickRows(rng, rowWeight, mb, w)
+		for _, i := range rows {
+			c.shifts[i][j] = c.pickShift(rng, i, j)
+			rowWeight[i]++
+		}
+	}
+
+	// Parity part, 802.11n-style: block column kb has weight 3 with
+	// shifts {x, 0, x} at rows {0, mb/2, mb-1}; remaining columns form the
+	// dual diagonal.
+	const x = 1
+	c.shifts[0][kb] = x
+	c.shifts[mb/2][kb] = 0
+	c.shifts[mb-1][kb] = x
+	for j := 1; j < mb; j++ {
+		c.shifts[j-1][kb+j] = 0
+		c.shifts[j][kb+j] = 0
+	}
+
+	c.buildGraph()
+	return c
+}
+
+// pickRows selects w distinct rows, preferring lightly loaded ones.
+func pickRows(rng *rand.Rand, rowWeight []int, mb, w int) []int {
+	perm := rng.Perm(mb)
+	// Sort the permutation segment by current weight (stable enough via
+	// simple selection given tiny mb).
+	for i := 0; i < len(perm); i++ {
+		for j := i + 1; j < len(perm); j++ {
+			if rowWeight[perm[j]] < rowWeight[perm[i]] {
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+		}
+	}
+	return perm[:w]
+}
+
+// pickShift chooses a circulant shift for block (i, j) that avoids
+// creating a 4-cycle with already placed blocks, if it can find one in a
+// bounded number of tries. A 4-cycle among blocks (i,j),(i,j2),(i2,j),
+// (i2,j2) exists iff s(i,j)−s(i,j2)+s(i2,j2)−s(i2,j) ≡ 0 (mod Z).
+func (c *Code) pickShift(rng *rand.Rand, i, j int) int {
+	for try := 0; try < 64; try++ {
+		s := rng.Intn(c.Z)
+		if !c.makes4Cycle(i, j, s) {
+			return s
+		}
+	}
+	return rng.Intn(c.Z)
+}
+
+func (c *Code) makes4Cycle(i, j, s int) bool {
+	for j2 := 0; j2 < c.nb; j2++ {
+		if j2 == j || c.shifts[i][j2] < 0 {
+			continue
+		}
+		for i2 := 0; i2 < c.mb; i2++ {
+			if i2 == i || c.shifts[i2][j] < 0 || c.shifts[i2][j2] < 0 {
+				continue
+			}
+			d := s - c.shifts[i][j2] + c.shifts[i2][j2] - c.shifts[i2][j]
+			if ((d%c.Z)+c.Z)%c.Z == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *Code) buildGraph() {
+	c.checkVars = make([][]int32, c.mb*c.Z)
+	for bi := 0; bi < c.mb; bi++ {
+		for bj := 0; bj < c.nb; bj++ {
+			s := c.shifts[bi][bj]
+			if s < 0 {
+				continue
+			}
+			for r := 0; r < c.Z; r++ {
+				check := bi*c.Z + r
+				v := bj*c.Z + (r+s)%c.Z
+				c.checkVars[check] = append(c.checkVars[check], int32(v))
+			}
+		}
+	}
+}
+
+// N reports the code length in bits.
+func (c *Code) N() int { return c.nb * c.Z }
+
+// K reports the number of information bits.
+func (c *Code) K() int { return (c.nb - c.mb) * c.Z }
+
+// RateValue reports K/N.
+func (c *Code) RateValue() float64 { return float64(c.K()) / float64(c.N()) }
+
+// Encode computes the codeword (information bits followed by parity bits)
+// for K information bits, one bit per byte. It uses the dual-diagonal
+// back-substitution: p0 is the sum of all partial syndromes, then each
+// parity block follows from the previous row.
+func (c *Code) Encode(info []byte) []byte {
+	if len(info) != c.K() {
+		panic("ldpc: wrong info length")
+	}
+	Z, mb, kb := c.Z, c.mb, c.nb-c.mb
+	cw := make([]byte, c.N())
+	copy(cw, info)
+
+	// Partial syndromes λ_i = Σ_j σ^{s(i,j)} m_j over the information part.
+	lambda := make([][]byte, mb)
+	for i := range lambda {
+		lambda[i] = make([]byte, Z)
+		for j := 0; j < kb; j++ {
+			s := c.shifts[i][j]
+			if s < 0 {
+				continue
+			}
+			for r := 0; r < Z; r++ {
+				lambda[i][r] ^= info[j*Z+(r+s)%Z]
+			}
+		}
+	}
+
+	p := make([][]byte, mb)
+	// p0 = Σ λ_i: the weight-3 column contributes σ^x+σ^0+σ^x = σ^0 and
+	// every dual-diagonal column cancels.
+	p[0] = make([]byte, Z)
+	for i := 0; i < mb; i++ {
+		for r := 0; r < Z; r++ {
+			p[0][r] ^= lambda[i][r]
+		}
+	}
+	const x = 1
+	sigmaXP0 := make([]byte, Z)
+	for r := 0; r < Z; r++ {
+		sigmaXP0[r] = p[0][(r+x)%Z]
+	}
+	// Row 0: λ_0 + σ^x p0 + p1 = 0.
+	p[1] = make([]byte, Z)
+	for r := 0; r < Z; r++ {
+		p[1][r] = lambda[0][r] ^ sigmaXP0[r]
+	}
+	// Rows 1..mb-2: λ_i + p_i + p_{i+1} (+ p0 at the middle row) = 0.
+	for i := 1; i < mb-1; i++ {
+		p[i+1] = make([]byte, Z)
+		for r := 0; r < Z; r++ {
+			b := lambda[i][r] ^ p[i][r]
+			if i == mb/2 {
+				b ^= p[0][r]
+			}
+			p[i+1][r] = b
+		}
+	}
+	for i := 0; i < mb; i++ {
+		copy(cw[(kb+i)*Z:], p[i])
+	}
+	return cw
+}
+
+// SyndromeOK reports whether bits is a valid codeword (all parity checks
+// satisfied).
+func (c *Code) SyndromeOK(bits []byte) bool {
+	for _, vars := range c.checkVars {
+		var s byte
+		for _, v := range vars {
+			s ^= bits[v] & 1
+		}
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode runs floating-point sum-product belief propagation for up to
+// iters iterations over channel LLRs (positive means bit 0 likelier). It
+// returns the hard-decision codeword and whether all checks are satisfied.
+func (c *Code) Decode(llr []float64, iters int) ([]byte, bool) {
+	if len(llr) != c.N() {
+		panic("ldpc: wrong LLR length")
+	}
+	// Edge arrays: per check, per incident variable, the v→c and c→v
+	// messages.
+	nChecks := len(c.checkVars)
+	v2c := make([][]float64, nChecks)
+	c2v := make([][]float64, nChecks)
+	for ci, vars := range c.checkVars {
+		v2c[ci] = make([]float64, len(vars))
+		c2v[ci] = make([]float64, len(vars))
+		for ei, v := range vars {
+			v2c[ci][ei] = llr[v]
+		}
+	}
+	posterior := make([]float64, c.N())
+	hard := make([]byte, c.N())
+
+	for iter := 0; iter < iters; iter++ {
+		// Check update: tanh rule with exclusion.
+		for ci, vars := range c.checkVars {
+			// Product of tanh(m/2); handle zeros by counting.
+			prod := 1.0
+			zeros := 0
+			zeroIdx := -1
+			for ei := range vars {
+				t := math.Tanh(v2c[ci][ei] / 2)
+				if t == 0 {
+					zeros++
+					zeroIdx = ei
+					continue
+				}
+				prod *= t
+			}
+			for ei := range vars {
+				var ex float64
+				switch {
+				case zeros == 0:
+					ex = prod / math.Tanh(v2c[ci][ei]/2)
+				case zeros == 1 && ei == zeroIdx:
+					ex = prod
+				default:
+					ex = 0
+				}
+				if ex > 0.999999999999 {
+					ex = 0.999999999999
+				} else if ex < -0.999999999999 {
+					ex = -0.999999999999
+				}
+				c2v[ci][ei] = 2 * math.Atanh(ex)
+			}
+		}
+		// Variable update: posteriors then extrinsic v→c.
+		for v := range posterior {
+			posterior[v] = llr[v]
+		}
+		for ci, vars := range c.checkVars {
+			for ei, v := range vars {
+				posterior[v] += c2v[ci][ei]
+			}
+		}
+		for ci, vars := range c.checkVars {
+			for ei, v := range vars {
+				v2c[ci][ei] = posterior[v] - c2v[ci][ei]
+			}
+		}
+		for v := range hard {
+			if posterior[v] < 0 {
+				hard[v] = 1
+			} else {
+				hard[v] = 0
+			}
+		}
+		if c.SyndromeOK(hard) {
+			return hard, true
+		}
+	}
+	return hard, c.SyndromeOK(hard)
+}

@@ -1,0 +1,304 @@
+package ldpc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spinal/internal/channel"
+	"spinal/internal/modem"
+)
+
+func TestDimensions(t *testing.T) {
+	cases := []struct {
+		rate string
+		k    int
+	}{
+		{Rate12, 324}, {Rate23, 432}, {Rate34, 486}, {Rate56, 540},
+	}
+	for _, c := range cases {
+		code := NewQC(c.rate, 27, 1)
+		if code.N() != 648 {
+			t.Errorf("rate %s: N = %d, want 648", c.rate, code.N())
+		}
+		if code.K() != c.k {
+			t.Errorf("rate %s: K = %d, want %d", c.rate, code.K(), c.k)
+		}
+	}
+}
+
+func TestEncodeValidCodeword(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, rate := range Rates {
+		code := NewQC(rate, 27, 3)
+		for trial := 0; trial < 20; trial++ {
+			info := make([]byte, code.K())
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			cw := code.Encode(info)
+			if !code.SyndromeOK(cw) {
+				t.Fatalf("rate %s trial %d: encoder output fails parity", rate, trial)
+			}
+			for i := range info {
+				if cw[i] != info[i] {
+					t.Fatalf("rate %s: encoder not systematic", rate)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// Codewords of m1, m2 and m1⊕m2 must satisfy cw1⊕cw2 = cw(m1⊕m2).
+	code := NewQC(Rate12, 27, 5)
+	rng := rand.New(rand.NewSource(4))
+	m1 := make([]byte, code.K())
+	m2 := make([]byte, code.K())
+	m3 := make([]byte, code.K())
+	for i := range m1 {
+		m1[i] = byte(rng.Intn(2))
+		m2[i] = byte(rng.Intn(2))
+		m3[i] = m1[i] ^ m2[i]
+	}
+	cw1, cw2, cw3 := code.Encode(m1), code.Encode(m2), code.Encode(m3)
+	for i := range cw1 {
+		if cw1[i]^cw2[i] != cw3[i] {
+			t.Fatalf("linearity fails at bit %d", i)
+		}
+	}
+}
+
+func TestZeroMessageZeroCodeword(t *testing.T) {
+	code := NewQC(Rate34, 27, 6)
+	cw := code.Encode(make([]byte, code.K()))
+	for i, b := range cw {
+		if b != 0 {
+			t.Fatalf("zero message produced nonzero bit %d", i)
+		}
+	}
+}
+
+func TestDecodeNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, rate := range Rates {
+		code := NewQC(rate, 27, 8)
+		info := make([]byte, code.K())
+		for i := range info {
+			info[i] = byte(rng.Intn(2))
+		}
+		cw := code.Encode(info)
+		llr := make([]float64, code.N())
+		for i, b := range cw {
+			if b == 0 {
+				llr[i] = 20
+			} else {
+				llr[i] = -20
+			}
+		}
+		got, ok := code.Decode(llr, 40)
+		if !ok {
+			t.Fatalf("rate %s: noiseless decode did not converge", rate)
+		}
+		for i := range cw {
+			if got[i] != cw[i] {
+				t.Fatalf("rate %s: noiseless decode wrong at bit %d", rate, i)
+			}
+		}
+	}
+}
+
+// bpsk transmits a codeword over AWGN with BPSK (one bit per real
+// dimension, i.e. 2 bits per complex symbol) and returns bit LLRs.
+func bpskLLRs(cw []byte, snrDB float64, seed int64) []float64 {
+	ch := channel.NewAWGN(snrDB, seed)
+	syms := make([]complex128, (len(cw)+1)/2)
+	const a = 0.7071067811865476
+	for i := range syms {
+		re, im := a, a
+		if cw[2*i] == 1 {
+			re = -a
+		}
+		if 2*i+1 < len(cw) && cw[2*i+1] == 1 {
+			im = -a
+		}
+		syms[i] = complex(re, im)
+	}
+	y := ch.Transmit(syms)
+	sigma2 := ch.NoiseVar() / 2
+	llr := make([]float64, len(cw))
+	for i := range cw {
+		var v float64
+		if i%2 == 0 {
+			v = real(y[i/2])
+		} else {
+			v = imag(y[i/2])
+		}
+		llr[i] = 2 * a * v / sigma2
+	}
+	return llr
+}
+
+func TestDecodeCorrectsNoise(t *testing.T) {
+	// Rate-1/2 BPSK at 4 dB (Eb/N0 ≈ 7 dB effective) should decode nearly
+	// always; at -4 dB it should nearly always fail.
+	code := NewQC(Rate12, 27, 9)
+	rng := rand.New(rand.NewSource(10))
+	run := func(snrDB float64) int {
+		ok := 0
+		for trial := 0; trial < 10; trial++ {
+			info := make([]byte, code.K())
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			cw := code.Encode(info)
+			llr := bpskLLRs(cw, snrDB, int64(trial)+100)
+			got, conv := code.Decode(llr, 40)
+			if !conv {
+				continue
+			}
+			match := true
+			for i := 0; i < code.K(); i++ {
+				if got[i] != cw[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				ok++
+			}
+		}
+		return ok
+	}
+	if ok := run(4); ok < 9 {
+		t.Errorf("rate 1/2 BPSK at 4 dB: only %d/10 decoded", ok)
+	}
+	if ok := run(-4); ok > 2 {
+		t.Errorf("rate 1/2 BPSK at -4 dB: %d/10 decoded (too good to be true)", ok)
+	}
+}
+
+func TestDecodeWithQAMDemap(t *testing.T) {
+	// End-to-end: rate-2/3 over QAM-16 through the soft demapper at 14 dB.
+	code := NewQC(Rate23, 27, 11)
+	qam := modem.NewQAM(16)
+	rng := rand.New(rand.NewSource(12))
+	ok := 0
+	for trial := 0; trial < 5; trial++ {
+		info := make([]byte, code.K())
+		for i := range info {
+			info[i] = byte(rng.Intn(2))
+		}
+		cw := code.Encode(info)
+		syms := qam.Modulate(cw)
+		ch := channel.NewAWGN(14, int64(trial)+200)
+		llr := qam.DemapSoft(ch.Transmit(syms), ch.NoiseVar(), nil)
+		got, conv := code.Decode(llr, 40)
+		if !conv {
+			continue
+		}
+		match := true
+		for i := 0; i < code.K(); i++ {
+			if got[i] != cw[i] {
+				match = false
+			}
+		}
+		if match {
+			ok++
+		}
+	}
+	if ok < 4 {
+		t.Fatalf("QAM-16 rate-2/3 at 14 dB: only %d/5 decoded", ok)
+	}
+}
+
+func TestGraphDegrees(t *testing.T) {
+	code := NewQC(Rate12, 27, 13)
+	// Every check must have degree ≥ 2 for BP to be meaningful.
+	for ci, vars := range code.checkVars {
+		if len(vars) < 2 {
+			t.Fatalf("check %d has degree %d", ci, len(vars))
+		}
+	}
+	// Variable degrees: information bits ≥ 3 by construction.
+	varDeg := make([]int, code.N())
+	for _, vars := range code.checkVars {
+		for _, v := range vars {
+			varDeg[v]++
+		}
+	}
+	for v := 0; v < code.K(); v++ {
+		if varDeg[v] < 3 {
+			t.Fatalf("info variable %d has degree %d", v, varDeg[v])
+		}
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := NewQC(Rate12, 27, 42)
+	b := NewQC(Rate12, 27, 42)
+	for i := range a.shifts {
+		for j := range a.shifts[i] {
+			if a.shifts[i][j] != b.shifts[i][j] {
+				t.Fatal("same seed gave different codes")
+			}
+		}
+	}
+}
+
+func TestDecodeSoftInputMatters(t *testing.T) {
+	// Erasing half the LLRs (setting them to 0) must still decode at high
+	// SNR for rate 1/2 — the decoder genuinely uses soft information.
+	code := NewQC(Rate12, 27, 14)
+	rng := rand.New(rand.NewSource(15))
+	info := make([]byte, code.K())
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	cw := code.Encode(info)
+	llr := make([]float64, code.N())
+	for i, b := range cw {
+		v := 8.0
+		if b == 1 {
+			v = -8
+		}
+		if rng.Float64() < 0.25 {
+			v = 0 // erased
+		}
+		llr[i] = v
+	}
+	got, ok := code.Decode(llr, 40)
+	if !ok {
+		t.Fatal("decode with erasures did not converge")
+	}
+	for i := range cw {
+		if got[i] != cw[i] {
+			t.Fatalf("erasure decode wrong at %d", i)
+		}
+	}
+	_ = math.Pi
+}
+
+func BenchmarkBPDecode(b *testing.B) {
+	code := NewQC(Rate12, 27, 9)
+	rng := rand.New(rand.NewSource(50))
+	info := make([]byte, code.K())
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	cw := code.Encode(info)
+	llr := bpskLLRs(cw, 4, 51)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code.Decode(llr, 40)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	code := NewQC(Rate12, 27, 9)
+	info := make([]byte, code.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code.Encode(info)
+	}
+}

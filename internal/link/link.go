@@ -1,0 +1,274 @@
+// Package link implements the §6 rateless link protocol: a sender
+// segments a datagram into CRC-protected code blocks, spinal-encodes each
+// block independently, and streams frames of symbols; the receiver
+// decodes blocks as symbols accumulate, verifies CRCs, and returns ACKs
+// with one bit per code block. Sequence numbers let the receiver stay
+// synchronized across erased frames.
+//
+// The Sender and Receiver are transport-agnostic state machines: tests
+// drive them in-process through simulated channels, and the
+// examples/filetransfer program drives them over UDP.
+package link
+
+import (
+	"errors"
+	"fmt"
+
+	"spinal/internal/core"
+	"spinal/internal/framing"
+)
+
+// Batch carries one code block's symbols within a frame. The SymbolIDs
+// are derivable from the frame sequence number and the shared schedule
+// (§6); they are carried explicitly here for simulation clarity.
+type Batch struct {
+	Block   int
+	IDs     []core.SymbolID
+	Symbols []complex128
+}
+
+// Frame is one link-layer transmission: a sequence number plus one batch
+// per not-yet-acknowledged code block.
+type Frame struct {
+	Seq       uint32
+	BlockBits []int // layout of the datagram's code blocks, in bits
+	Batches   []Batch
+}
+
+// SymbolCount reports the number of channel symbols in the frame.
+func (f *Frame) SymbolCount() int {
+	n := 0
+	for _, b := range f.Batches {
+		n += len(b.Symbols)
+	}
+	return n
+}
+
+// Sender streams a datagram as rateless frames.
+type Sender struct {
+	params  core.Params
+	blocks  []framing.Block
+	encs    []*core.Encoder
+	scheds  []*core.Schedule
+	acked   []bool
+	seq     uint32
+	symbols int
+}
+
+// NewSender segments the datagram into code blocks of at most
+// maxBlockBits (0 ⇒ the §6 default of 1024) and prepares the encoders.
+func NewSender(datagram []byte, p core.Params, maxBlockBits int) *Sender {
+	blocks := framing.Segment(datagram, maxBlockBits)
+	s := &Sender{
+		params: p,
+		blocks: blocks,
+		encs:   make([]*core.Encoder, len(blocks)),
+		scheds: make([]*core.Schedule, len(blocks)),
+		acked:  make([]bool, len(blocks)),
+	}
+	for i, b := range blocks {
+		bits := b.Bits()
+		s.encs[i] = core.NewEncoder(bits, b.NumBits(), p)
+		s.scheds[i] = s.encs[i].NewSchedule()
+	}
+	return s
+}
+
+// Done reports whether every block has been acknowledged.
+func (s *Sender) Done() bool {
+	for _, a := range s.acked {
+		if !a {
+			return false
+		}
+	}
+	return true
+}
+
+// SymbolsSent reports the cumulative number of symbols transmitted.
+func (s *Sender) SymbolsSent() int { return s.symbols }
+
+// NextFrame emits the next frame: one subpass of fresh symbols for every
+// unacknowledged block. It returns nil when all blocks are acknowledged.
+func (s *Sender) NextFrame() *Frame {
+	if s.Done() {
+		return nil
+	}
+	f := &Frame{Seq: s.seq, BlockBits: make([]int, len(s.blocks))}
+	for i, b := range s.blocks {
+		f.BlockBits[i] = b.NumBits()
+	}
+	s.seq++
+	for i := range s.blocks {
+		if s.acked[i] {
+			continue
+		}
+		ids := s.scheds[i].NextSubpass()
+		f.Batches = append(f.Batches, Batch{
+			Block:   i,
+			IDs:     ids,
+			Symbols: s.encs[i].Symbols(ids),
+		})
+		s.symbols += len(ids)
+	}
+	return f
+}
+
+// HandleAck marks acknowledged blocks. Stale ACKs (older seq) are still
+// applied: a block once decoded stays decoded.
+func (s *Sender) HandleAck(a framing.Ack) {
+	for i, ok := range a.Decoded {
+		if i < len(s.acked) && ok {
+			s.acked[i] = true
+		}
+	}
+}
+
+// Receiver reassembles a datagram from rateless frames.
+type Receiver struct {
+	params   core.Params
+	decs     []*core.Decoder
+	payloads [][]byte
+	got      []bool
+	lastSeq  uint32
+}
+
+// NewReceiver creates a receiver with the same code parameters as the
+// sender.
+func NewReceiver(p core.Params) *Receiver {
+	return &Receiver{params: p}
+}
+
+// HandleFrame ingests a (possibly noisy) frame and returns the ACK to
+// send back. Frames may arrive with gaps in Seq; the per-batch SymbolIDs
+// keep the decoders synchronized, modeling §6's protected sequence
+// number.
+func (r *Receiver) HandleFrame(f *Frame) framing.Ack {
+	if r.decs == nil {
+		r.decs = make([]*core.Decoder, len(f.BlockBits))
+		r.payloads = make([][]byte, len(f.BlockBits))
+		r.got = make([]bool, len(f.BlockBits))
+		for i, nb := range f.BlockBits {
+			r.decs[i] = core.NewDecoder(nb, r.params)
+		}
+	}
+	r.lastSeq = f.Seq
+	for _, b := range f.Batches {
+		if b.Block >= len(r.decs) || r.got[b.Block] {
+			continue
+		}
+		dec := r.decs[b.Block]
+		dec.Add(b.IDs, b.Symbols)
+		decoded, _ := dec.Decode()
+		if payload, ok := framing.Verify(decoded); ok {
+			r.got[b.Block] = true
+			r.payloads[b.Block] = payload
+		}
+	}
+	return framing.Ack{Seq: f.Seq, Decoded: append([]bool(nil), r.got...)}
+}
+
+// Complete reports whether every block has been decoded.
+func (r *Receiver) Complete() bool {
+	if r.got == nil {
+		return false
+	}
+	for _, g := range r.got {
+		if !g {
+			return false
+		}
+	}
+	return true
+}
+
+// Datagram reassembles the received payload; it errors if blocks are
+// missing.
+func (r *Receiver) Datagram() ([]byte, error) {
+	if !r.Complete() {
+		return nil, errors.New("link: datagram incomplete")
+	}
+	return framing.Reassemble(r.payloads), nil
+}
+
+// Stats summarizes a completed transfer.
+type Stats struct {
+	Frames      int
+	SymbolsSent int
+	Blocks      int
+	// Rate is datagram bits per channel symbol, CRC overhead included in
+	// the denominator's favour (it counts only payload bits).
+	Rate float64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("frames=%d symbols=%d blocks=%d rate=%.3f b/sym",
+		s.Frames, s.SymbolsSent, s.Blocks, s.Rate)
+}
+
+// Channel perturbs a frame's symbols in place; implementations model the
+// medium between sender and receiver (noise, erasure of whole frames).
+type Channel interface {
+	// Apply transforms transmitted symbols into received symbols. A nil
+	// return means the whole frame was erased (receiver missed it).
+	Apply(sym []complex128) []complex128
+}
+
+// Transfer drives a complete sender→receiver exchange through ch,
+// returning the received datagram and statistics. maxFrames bounds the
+// exchange (0 means 10000).
+func Transfer(datagram []byte, p core.Params, maxBlockBits int, ch Channel, maxFrames int) ([]byte, Stats, error) {
+	if maxFrames == 0 {
+		maxFrames = 10000
+	}
+	snd := NewSender(datagram, p, maxBlockBits)
+	rcv := NewReceiver(p)
+	var st Stats
+	st.Blocks = len(snd.blocks)
+	for frame := 0; frame < maxFrames; frame++ {
+		f := snd.NextFrame()
+		if f == nil {
+			break
+		}
+		st.Frames++
+		rx := ch.Apply(f.Symbols())
+		if rx != nil {
+			f2 := *f
+			f2.Batches = rebatch(f.Batches, rx)
+			ack := rcv.HandleFrame(&f2)
+			snd.HandleAck(ack)
+		}
+		if snd.Done() {
+			break
+		}
+	}
+	st.SymbolsSent = snd.SymbolsSent()
+	got, err := rcv.Datagram()
+	if err != nil {
+		return nil, st, err
+	}
+	if st.SymbolsSent > 0 {
+		st.Rate = float64(len(datagram)*8) / float64(st.SymbolsSent)
+	}
+	return got, st, nil
+}
+
+// Symbols flattens the frame's symbols in batch order for channel
+// application.
+func (f *Frame) Symbols() []complex128 {
+	out := make([]complex128, 0, f.SymbolCount())
+	for _, b := range f.Batches {
+		out = append(out, b.Symbols...)
+	}
+	return out
+}
+
+// rebatch redistributes channel-output symbols back into per-block
+// batches.
+func rebatch(batches []Batch, rx []complex128) []Batch {
+	out := make([]Batch, len(batches))
+	off := 0
+	for i, b := range batches {
+		out[i] = Batch{Block: b.Block, IDs: b.IDs, Symbols: rx[off : off+len(b.Symbols)]}
+		off += len(b.Symbols)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/framing"
+)
+
+// awgnChannel adapts channel.AWGN to the link.Channel interface with
+// optional whole-frame erasure.
+type awgnChannel struct {
+	ch      *channel.AWGN
+	erasure float64
+	rng     *rand.Rand
+}
+
+func newAWGNChannel(snrDB, erasure float64, seed int64) *awgnChannel {
+	return &awgnChannel{
+		ch:      channel.NewAWGN(snrDB, seed),
+		erasure: erasure,
+		rng:     rand.New(rand.NewSource(seed + 1)),
+	}
+}
+
+func (a *awgnChannel) Apply(sym []complex128) []complex128 {
+	if a.rng.Float64() < a.erasure {
+		return nil
+	}
+	return a.ch.Transmit(sym)
+}
+
+func linkParams() core.Params {
+	return core.Params{K: 4, B: 32, D: 1, C: 6, Tail: 2, Ways: 8}
+}
+
+func TestTransferSmallDatagram(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	got, st, err := Transfer(data, linkParams(), 0, newAWGNChannel(15, 0, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted")
+	}
+	if st.Blocks != 1 {
+		t.Fatalf("blocks = %d, want 1", st.Blocks)
+	}
+	if st.Rate <= 0 {
+		t.Fatal("no rate recorded")
+	}
+}
+
+func TestTransferMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 600) // 5 blocks at 1024-bit framing
+	rng.Read(data)
+	got, st, err := Transfer(data, linkParams(), 0, newAWGNChannel(20, 0, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted")
+	}
+	if st.Blocks != 5 {
+		t.Fatalf("blocks = %d, want 5", st.Blocks)
+	}
+}
+
+func TestTransferSurvivesFrameErasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 200)
+	rng.Read(data)
+	// 30% of frames vanish entirely; sequence-number design must cope.
+	got, st, err := Transfer(data, linkParams(), 0, newAWGNChannel(15, 0.3, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted under frame erasure")
+	}
+	if st.Frames <= 1 {
+		t.Fatal("suspiciously few frames")
+	}
+}
+
+func TestTransferLowSNRUsesMoreSymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 120)
+	rng.Read(data)
+	_, stHigh, err := Transfer(data, linkParams(), 0, newAWGNChannel(25, 0, 7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stLow, err := Transfer(data, linkParams(), 0, newAWGNChannel(5, 0, 7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stLow.SymbolsSent <= stHigh.SymbolsSent {
+		t.Fatalf("low SNR used %d symbols, high SNR %d — rateless adaptation missing",
+			stLow.SymbolsSent, stHigh.SymbolsSent)
+	}
+}
+
+func TestSenderStopsAckedBlocks(t *testing.T) {
+	data := make([]byte, 300)
+	snd := NewSender(data, linkParams(), 0)
+	f := snd.NextFrame()
+	if len(f.Batches) != 3 {
+		t.Fatalf("first frame has %d batches, want 3", len(f.Batches))
+	}
+	snd.HandleAck(framing.Ack{Decoded: []bool{true, false, false}})
+	f = snd.NextFrame()
+	if len(f.Batches) != 2 {
+		t.Fatalf("post-ACK frame has %d batches, want 2", len(f.Batches))
+	}
+	for _, b := range f.Batches {
+		if b.Block == 0 {
+			t.Fatal("acked block still transmitted")
+		}
+	}
+}
+
+func TestReceiverIncremental(t *testing.T) {
+	data := []byte("incremental decode across frames!")
+	p := linkParams()
+	snd := NewSender(data, p, 0)
+	rcv := NewReceiver(p)
+	ch := channel.NewAWGN(8, 9)
+	var done bool
+	for i := 0; i < 200 && !done; i++ {
+		f := snd.NextFrame()
+		if f == nil {
+			done = true
+			break
+		}
+		rx := ch.Transmit(f.Symbols())
+		f.Batches = rebatch(f.Batches, rx)
+		ack := rcv.HandleFrame(f)
+		snd.HandleAck(ack)
+		done = snd.Done()
+	}
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	got, err := rcv.Datagram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted")
+	}
+}
+
+func TestDatagramIncompleteError(t *testing.T) {
+	r := NewReceiver(linkParams())
+	if _, err := r.Datagram(); err == nil {
+		t.Fatal("expected error for incomplete datagram")
+	}
+	if r.Complete() {
+		t.Fatal("fresh receiver claims completeness")
+	}
+}
+
+func TestTransferEmptyDatagram(t *testing.T) {
+	got, _, err := Transfer(nil, linkParams(), 0, newAWGNChannel(20, 0, 11), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty datagram round trip produced data")
+	}
+}
+
+func TestTransferGivesUpAtBudget(t *testing.T) {
+	// At -20 dB with a tiny frame budget, Transfer must return an error
+	// rather than spin forever.
+	data := make([]byte, 50)
+	_, _, err := Transfer(data, linkParams(), 0, newAWGNChannel(-20, 0, 13), 5)
+	if err == nil {
+		t.Fatal("expected incomplete transfer at -20 dB with 5 frames")
+	}
+}

@@ -1,0 +1,148 @@
+package link
+
+import (
+	"math"
+
+	"spinal/internal/capacity"
+	"spinal/internal/core"
+)
+
+// PausePolicy decides how many frames the sender transmits before pausing
+// for receiver feedback — the §6 problem of rateless operation over
+// half-duplex radios (a receiver cannot ACK while the sender holds the
+// medium, so pausing too often wastes turnaround time and pausing too
+// rarely wastes symbols past the decodable point).
+type PausePolicy interface {
+	// BurstFrames returns how many frames to send before the next pause,
+	// given the block size in bits, the per-frame symbol count for the
+	// block, and how many symbols have been sent so far.
+	BurstFrames(blockBits, symbolsPerFrame, symbolsSent int) int
+}
+
+// CapacityPolicy sizes the first burst so the receiver is likely to be
+// just past its decoding point — blockBits/(margin·C(est)) symbols — and
+// then polls with geometrically growing increments. This is the natural
+// heuristic the paper's §6 discussion implies (their refined solution is
+// follow-on work).
+type CapacityPolicy struct {
+	// SNREstimateDB is the sender's (possibly stale) channel estimate.
+	SNREstimateDB float64
+	// Margin derates capacity for the code's gap; 0 means 0.8.
+	Margin float64
+	// Growth is the post-first-burst increment as a fraction of the
+	// initial estimate; 0 means 0.25.
+	Growth float64
+}
+
+// BurstFrames implements PausePolicy.
+func (p CapacityPolicy) BurstFrames(blockBits, symbolsPerFrame, symbolsSent int) int {
+	margin := p.Margin
+	if margin == 0 {
+		margin = 0.8
+	}
+	growth := p.Growth
+	if growth == 0 {
+		growth = 0.25
+	}
+	c := capacity.AWGNdB(p.SNREstimateDB) * margin
+	if c < 0.05 {
+		c = 0.05
+	}
+	target := float64(blockBits) / c
+	var want float64
+	if float64(symbolsSent) < target {
+		want = target - float64(symbolsSent)
+	} else {
+		want = target * growth
+	}
+	frames := int(math.Ceil(want / float64(symbolsPerFrame)))
+	if frames < 1 {
+		frames = 1
+	}
+	return frames
+}
+
+// EveryFrame pauses after every frame (the conservative default used by
+// Transfer when no policy is given).
+type EveryFrame struct{}
+
+// BurstFrames implements PausePolicy.
+func (EveryFrame) BurstFrames(int, int, int) int { return 1 }
+
+// TransferWithPolicy is Transfer with an explicit pause policy: the
+// sender transmits policy-sized bursts of frames and processes one ACK
+// per burst. It returns the received datagram, statistics, and the
+// number of pauses (feedback turnarounds) used.
+func TransferWithPolicy(datagram []byte, p core.Params, maxBlockBits int, ch Channel, policy PausePolicy, maxFrames int) ([]byte, Stats, int, error) {
+	if maxFrames == 0 {
+		maxFrames = 10000
+	}
+	if policy == nil {
+		policy = EveryFrame{}
+	}
+	snd := NewSender(datagram, p, maxBlockBits)
+	rcv := NewReceiver(p)
+	var st Stats
+	st.Blocks = len(snd.blocks)
+	pauses := 0
+	frames := 0
+
+	blockBits := snd.blocks[0].NumBits()
+	for frames < maxFrames && !snd.Done() {
+		burst := policy.BurstFrames(blockBits, maxInt(perFrameSymbols(snd), 1), snd.SymbolsSent())
+		for b := 0; b < burst && frames < maxFrames; b++ {
+			f := snd.NextFrame()
+			if f == nil {
+				break
+			}
+			frames++
+			rx := ch.Apply(f.Symbols())
+			if rx == nil {
+				continue // frame erased on the air
+			}
+			f2 := *f
+			f2.Batches = rebatch(f.Batches, rx)
+			// The receiver processes every frame it hears, but the
+			// half-duplex sender only learns the ACK at the pause (or
+			// immediately if everything just decoded — the receiver can
+			// preempt, cf. the ACK timing discussion in §6).
+			ack := rcv.HandleFrame(&f2)
+			if b == burst-1 || ack.AllDecoded() {
+				snd.HandleAck(ack)
+				if snd.Done() {
+					break
+				}
+			}
+		}
+		pauses++
+	}
+	st.Frames = frames
+	st.SymbolsSent = snd.SymbolsSent()
+	got, err := rcv.Datagram()
+	if err != nil {
+		return nil, st, pauses, err
+	}
+	if st.SymbolsSent > 0 {
+		st.Rate = float64(len(datagram)*8) / float64(st.SymbolsSent)
+	}
+	return got, st, pauses, nil
+}
+
+// perFrameSymbols estimates the symbols the next frame will carry (one
+// subpass per unacknowledged block).
+func perFrameSymbols(s *Sender) int {
+	n := 0
+	for i := range s.blocks {
+		if !s.acked[i] {
+			n += s.scheds[i].SymbolsPerPass() / s.scheds[i].Subpasses()
+		}
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

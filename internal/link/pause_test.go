@@ -1,0 +1,103 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCapacityPolicyFirstBurst(t *testing.T) {
+	p := CapacityPolicy{SNREstimateDB: 10}
+	// 1024-bit block, 9 symbols/frame, nothing sent: the first burst
+	// should cover ≈ 1024/(0.8·3.46) ≈ 370 symbols ≈ 42 frames.
+	got := p.BurstFrames(1024, 9, 0)
+	if got < 30 || got > 55 {
+		t.Fatalf("first burst %d frames, want ≈42", got)
+	}
+	// Past the target, bursts shrink to the growth increment.
+	inc := p.BurstFrames(1024, 9, 400)
+	if inc >= got || inc < 1 {
+		t.Fatalf("increment burst %d not smaller than first %d", inc, got)
+	}
+}
+
+func TestCapacityPolicyLowSNRClamp(t *testing.T) {
+	p := CapacityPolicy{SNREstimateDB: -30}
+	if got := p.BurstFrames(100, 10, 0); got < 1 {
+		t.Fatalf("burst %d at very low SNR", got)
+	}
+}
+
+func TestTransferWithPolicyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	data := make([]byte, 300)
+	rng.Read(data)
+	got, st, pauses, err := TransferWithPolicy(data, linkParams(), 0,
+		newAWGNChannel(12, 0, 21), CapacityPolicy{SNREstimateDB: 12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted")
+	}
+	if pauses < 1 {
+		t.Fatal("no pauses recorded")
+	}
+	if st.Rate <= 0 {
+		t.Fatal("no rate")
+	}
+}
+
+func TestPolicyPausesFarLessThanEveryFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	data := make([]byte, 250)
+	rng.Read(data)
+
+	_, stEvery, pausesEvery, err := TransferWithPolicy(data, linkParams(), 0,
+		newAWGNChannel(10, 0, 23), EveryFrame{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stPolicy, pausesPolicy, err := TransferWithPolicy(data, linkParams(), 0,
+		newAWGNChannel(10, 0, 23), CapacityPolicy{SNREstimateDB: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pausesPolicy >= pausesEvery {
+		t.Fatalf("capacity policy paused %d times vs %d for every-frame",
+			pausesPolicy, pausesEvery)
+	}
+	// The price of fewer pauses is bounded symbol overshoot.
+	if float64(stPolicy.SymbolsSent) > 1.6*float64(stEvery.SymbolsSent) {
+		t.Fatalf("policy overshoot too large: %d vs %d symbols",
+			stPolicy.SymbolsSent, stEvery.SymbolsSent)
+	}
+}
+
+func TestPolicyWithStaleEstimate(t *testing.T) {
+	// A 10 dB-optimistic estimate must still complete (more pauses, same
+	// data).
+	rng := rand.New(rand.NewSource(24))
+	data := make([]byte, 200)
+	rng.Read(data)
+	got, _, _, err := TransferWithPolicy(data, linkParams(), 0,
+		newAWGNChannel(5, 0, 25), CapacityPolicy{SNREstimateDB: 15}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted under stale estimate")
+	}
+}
+
+func TestTransferWithPolicyNilPolicy(t *testing.T) {
+	data := []byte("nil policy defaults to every-frame")
+	got, _, _, err := TransferWithPolicy(data, linkParams(), 0,
+		newAWGNChannel(15, 0, 26), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted")
+	}
+}

@@ -1,0 +1,121 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spinal/internal/core"
+	"spinal/internal/framing"
+)
+
+// TestReceiverIgnoresBogusBlockIndex: a corrupted frame naming a block
+// beyond the datagram layout must not panic or corrupt state.
+func TestReceiverIgnoresBogusBlockIndex(t *testing.T) {
+	p := linkParams()
+	data := []byte("robustness")
+	snd := NewSender(data, p, 0)
+	rcv := NewReceiver(p)
+	f := snd.NextFrame()
+	f.Batches = append(f.Batches, Batch{
+		Block:   99,
+		IDs:     []core.SymbolID{{Chunk: 0, RNGIndex: 0}},
+		Symbols: []complex128{1},
+	})
+	ack := rcv.HandleFrame(f)
+	if len(ack.Decoded) != 1 {
+		t.Fatalf("ack covers %d blocks, want 1", len(ack.Decoded))
+	}
+}
+
+// TestSenderIgnoresOversizedAck: an ACK with more bits than blocks must
+// not panic.
+func TestSenderIgnoresOversizedAck(t *testing.T) {
+	snd := NewSender([]byte("x"), linkParams(), 0)
+	snd.HandleAck(framing.Ack{Decoded: []bool{true, true, true, true}})
+	if !snd.Done() {
+		t.Fatal("single block should be acked")
+	}
+	if snd.NextFrame() != nil {
+		t.Fatal("done sender emitted a frame")
+	}
+}
+
+// TestReceiverDuplicateFrames: replaying the same frame (retransmission
+// or duplicate delivery) must be harmless.
+func TestReceiverDuplicateFrames(t *testing.T) {
+	p := linkParams()
+	data := []byte("duplicate delivery is fine")
+	snd := NewSender(data, p, 0)
+	rcv := NewReceiver(p)
+	f := snd.NextFrame()
+	// Noiseless symbols: deliver the same frame three times, then
+	// continue normally.
+	for i := 0; i < 3; i++ {
+		dup := *f
+		dup.Batches = rebatch(f.Batches, f.Symbols())
+		rcv.HandleFrame(&dup)
+	}
+	for i := 0; i < 50 && !rcv.Complete(); i++ {
+		f = snd.NextFrame()
+		ack := rcv.HandleFrame(f)
+		snd.HandleAck(ack)
+	}
+	got, err := rcv.Datagram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datagram corrupted by duplicates")
+	}
+}
+
+// TestFrameSymbolsRoundTrip: Symbols/rebatch are inverses.
+func TestFrameSymbolsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	data := make([]byte, 300)
+	rng.Read(data)
+	snd := NewSender(data, linkParams(), 0)
+	f := snd.NextFrame()
+	flat := f.Symbols()
+	if len(flat) != f.SymbolCount() {
+		t.Fatal("SymbolCount mismatch")
+	}
+	back := rebatch(f.Batches, flat)
+	for i, b := range back {
+		if b.Block != f.Batches[i].Block || len(b.Symbols) != len(f.Batches[i].Symbols) {
+			t.Fatal("rebatch structure mismatch")
+		}
+		for j := range b.Symbols {
+			if b.Symbols[j] != f.Batches[i].Symbols[j] {
+				t.Fatal("rebatch symbol mismatch")
+			}
+		}
+	}
+}
+
+// TestDuplicateSymbolIDsHarmless: a decoder receiving the same SymbolID
+// twice (replayed frame content) still decodes — the duplicate is just
+// another observation of the same value.
+func TestDuplicateSymbolIDsHarmless(t *testing.T) {
+	p := linkParams()
+	data := []byte("dup ids")
+	blocks := framing.Segment(data, 0)
+	bits := blocks[0].Bits()
+	enc := core.NewEncoder(bits, blocks[0].NumBits(), p)
+	dec := core.NewDecoder(blocks[0].NumBits(), p)
+	sched := enc.NewSchedule()
+	ids := sched.NextSubpass()
+	sym := enc.Symbols(ids)
+	dec.Add(ids, sym)
+	dec.Add(ids, sym) // replay
+	for sub := 1; sub < 2*p.Ways; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Symbols(ids))
+	}
+	decoded, _ := dec.Decode()
+	payload, ok := framing.Verify(decoded)
+	if !ok || !bytes.Equal(payload, data) {
+		t.Fatal("decode failed with duplicated symbols")
+	}
+}

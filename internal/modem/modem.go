@@ -1,0 +1,310 @@
+// Package modem implements the constellation machinery shared by all
+// codes in the repository.
+//
+// For spinal codes it provides the two §3.3 constellation mapping
+// functions — uniform and truncated Gaussian — which map a c-bit RNG
+// output to one real dimension (I or Q are generated independently). For
+// the baseline codes it provides Gray-coded square QAM modulation and the
+// soft demapper (per-bit log-likelihood ratios) that the LDPC and Raptor
+// decoders consume, plus QPSK for Strider's layers.
+//
+// The average transmit power of every constellation here is normalized to
+// 1 per complex symbol (0.5 per real dimension) so that linear SNR equals
+// signal power over total complex noise power everywhere.
+package modem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mapper converts a c-bit integer to one real constellation dimension.
+// Implementations precompute a lookup table; Map must be safe for
+// concurrent use.
+type Mapper interface {
+	// Map returns the real-dimension amplitude for the c-bit value b.
+	Map(b uint32) float64
+	// Bits reports c, the number of input bits consumed per dimension.
+	Bits() int
+	// Name identifies the mapper in experiment output.
+	Name() string
+}
+
+// Uniform is the §3.3 uniform mapping: b → (u − 1/2)·√(6P) with
+// u = (b + 1/2)/2^c and per-dimension power P = 1/2, giving unit power per
+// complex symbol.
+type Uniform struct {
+	c     int
+	table []float64
+}
+
+// NewUniform builds the uniform mapper for c-bit inputs (1 ≤ c ≤ 16).
+func NewUniform(c int) *Uniform {
+	checkC(c)
+	m := &Uniform{c: c, table: make([]float64, 1<<uint(c))}
+	// §3.3: b → (u − 1/2)·√(6P) with P the total symbol power (1 here);
+	// the per-dimension variance is then 6P/12 = P/2 = perDimPower.
+	scale := math.Sqrt(6 * 2 * perDimPower)
+	n := float64(int(1) << uint(c))
+	for b := range m.table {
+		u := (float64(b) + 0.5) / n
+		m.table[b] = (u - 0.5) * scale
+	}
+	return m
+}
+
+// Map implements Mapper.
+func (m *Uniform) Map(b uint32) float64 { return m.table[b&uint32(len(m.table)-1)] }
+
+// Bits implements Mapper.
+func (m *Uniform) Bits() int { return m.c }
+
+// Name implements Mapper.
+func (m *Uniform) Name() string { return fmt.Sprintf("uniform(c=%d)", m.c) }
+
+// perDimPower is the average power per real dimension (total complex
+// symbol power 1).
+const perDimPower = 0.5
+
+// TruncGaussian is the §3.3 truncated Gaussian mapping:
+// b → Φ⁻¹(γ + (1−2γ)u)·√P with γ = Φ(−β). β controls the truncation
+// width; the paper uses β = 2.
+type TruncGaussian struct {
+	c     int
+	beta  float64
+	table []float64
+}
+
+// NewTruncGaussian builds the truncated Gaussian mapper for c-bit inputs.
+func NewTruncGaussian(c int, beta float64) *TruncGaussian {
+	checkC(c)
+	if beta <= 0 {
+		panic("modem: beta must be positive")
+	}
+	m := &TruncGaussian{c: c, beta: beta, table: make([]float64, 1<<uint(c))}
+	gamma := stdNormalCDF(-beta)
+	n := float64(int(1) << uint(c))
+	// Scale so the realized table has exactly perDimPower average power
+	// (the paper notes "very small corrections to P are omitted"; we apply
+	// them so all constellations compare at equal transmit power).
+	var sumSq float64
+	for b := range m.table {
+		u := (float64(b) + 0.5) / n
+		x := stdNormalInvCDF(gamma + (1-2*gamma)*u)
+		m.table[b] = x
+		sumSq += x * x
+	}
+	rms := math.Sqrt(sumSq / n)
+	for b := range m.table {
+		m.table[b] *= math.Sqrt(perDimPower) / rms
+	}
+	return m
+}
+
+// Map implements Mapper.
+func (m *TruncGaussian) Map(b uint32) float64 { return m.table[b&uint32(len(m.table)-1)] }
+
+// Bits implements Mapper.
+func (m *TruncGaussian) Bits() int { return m.c }
+
+// Name implements Mapper.
+func (m *TruncGaussian) Name() string {
+	return fmt.Sprintf("truncGaussian(c=%d,β=%g)", m.c, m.beta)
+}
+
+func checkC(c int) {
+	if c < 1 || c > 16 {
+		panic(fmt.Sprintf("modem: c = %d out of range [1,16]", c))
+	}
+}
+
+// stdNormalCDF is Φ, the standard normal CDF.
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// stdNormalInvCDF is Φ⁻¹.
+func stdNormalInvCDF(p float64) float64 {
+	return -math.Sqrt2 * math.Erfinv(1-2*p)
+}
+
+// PAM returns the Gray-coded 2^bits-level per-dimension amplitude table of
+// a square QAM constellation with unit per-symbol (complex) power. Index
+// the table with the bit group to modulate; gray[i] gives the level for
+// bit pattern i.
+func PAM(bits int) []float64 {
+	if bits < 1 || bits > 10 {
+		panic("modem: PAM bits out of range")
+	}
+	m := 1 << uint(bits)
+	// Levels ±1, ±3, ..., ±(m−1), scaled to per-dimension power 1/2.
+	// Average power of uniform PAM levels is (m²−1)/3.
+	scale := math.Sqrt(perDimPower * 3 / float64(m*m-1))
+	table := make([]float64, m)
+	for i := 0; i < m; i++ {
+		g := grayToBinary(uint32(i), bits)
+		level := float64(2*int(g)-m+1) * scale
+		table[i] = level
+	}
+	return table
+}
+
+// grayToBinary converts a Gray-coded index to its binary position so that
+// adjacent PAM levels differ in exactly one input bit.
+func grayToBinary(g uint32, bits int) uint32 {
+	b := g
+	for shift := 1; shift < bits; shift <<= 1 {
+		b ^= b >> uint(shift)
+	}
+	return b & ((1 << uint(bits)) - 1)
+}
+
+// QAM is a Gray-coded square 2^(2·bitsPerDim)-point constellation with
+// unit average power, with soft demapping.
+type QAM struct {
+	bitsPerDim int
+	pam        []float64
+}
+
+// NewQAM builds a square QAM with the given points (must be an even power
+// of two, e.g. 4, 16, 64, 256).
+func NewQAM(points int) *QAM {
+	bits := 0
+	for p := points; p > 1; p >>= 1 {
+		if p&1 != 0 {
+			panic("modem: QAM points must be a power of two")
+		}
+		bits++
+	}
+	if bits%2 != 0 || bits == 0 {
+		panic("modem: QAM points must be an even power of two (square)")
+	}
+	return &QAM{bitsPerDim: bits / 2, pam: PAM(bits / 2)}
+}
+
+// BitsPerSymbol reports the number of bits carried by one complex symbol.
+func (q *QAM) BitsPerSymbol() int { return 2 * q.bitsPerDim }
+
+// Points reports the constellation size.
+func (q *QAM) Points() int { return 1 << uint(2*q.bitsPerDim) }
+
+// Name identifies the constellation.
+func (q *QAM) Name() string { return fmt.Sprintf("QAM-%d", q.Points()) }
+
+// Modulate maps bits (len must be a multiple of BitsPerSymbol) to complex
+// symbols. The first bitsPerDim bits select I, the next select Q; within a
+// dimension, bit 0 is the most significant.
+func (q *QAM) Modulate(bitsIn []byte) []complex128 {
+	bps := q.BitsPerSymbol()
+	if len(bitsIn)%bps != 0 {
+		panic("modem: bit count not a multiple of bits per symbol")
+	}
+	out := make([]complex128, len(bitsIn)/bps)
+	for s := range out {
+		var iIdx, qIdx uint32
+		for b := 0; b < q.bitsPerDim; b++ {
+			iIdx = iIdx<<1 | uint32(bitsIn[s*bps+b]&1)
+		}
+		for b := 0; b < q.bitsPerDim; b++ {
+			qIdx = qIdx<<1 | uint32(bitsIn[s*bps+q.bitsPerDim+b]&1)
+		}
+		out[s] = complex(q.pam[iIdx], q.pam[qIdx])
+	}
+	return out
+}
+
+// DemapSoft computes per-bit LLRs log(P(bit=0)/P(bit=1)) for each received
+// symbol, given total complex noise variance noiseVar (σ² split evenly
+// between dimensions) and an optional per-symbol fading coefficient
+// (nil ⇒ h = 1). The demapper is exact (log-sum-exp over the PAM levels
+// per dimension), which is the "careful demapping scheme that preserves
+// soft information" credited in §8.2 for Raptor's strong showing.
+func (q *QAM) DemapSoft(received []complex128, noiseVar float64, fading []complex128) []float64 {
+	bps := q.BitsPerSymbol()
+	llrs := make([]float64, len(received)*bps)
+	sigma2 := noiseVar / 2 // per dimension
+	for s, y := range received {
+		h := complex(1, 0)
+		if fading != nil {
+			h = fading[s]
+		}
+		// Equalize: z = y·conj(h)/|h|²; effective per-dim noise var scales
+		// by 1/|h|².
+		habs2 := real(h)*real(h) + imag(h)*imag(h)
+		if habs2 < 1e-12 {
+			// Deep fade: no information.
+			continue
+		}
+		z := y * complex(real(h)/habs2, -imag(h)/habs2)
+		effSigma2 := sigma2 / habs2
+		q.demapDim(real(z), effSigma2, llrs[s*bps:s*bps+q.bitsPerDim])
+		q.demapDim(imag(z), effSigma2, llrs[s*bps+q.bitsPerDim:s*bps+bps])
+	}
+	return llrs
+}
+
+// demapDim writes bitsPerDim LLRs for one received dimension value.
+func (q *QAM) demapDim(y float64, sigma2 float64, out []float64) {
+	n := len(q.pam)
+	// Metric per level: −(y−a)²/(2σ²). Use log-sum-exp over levels whose
+	// bit is 0 vs 1.
+	var metrics [1 << 10]float64
+	for idx := 0; idx < n; idx++ {
+		d := y - q.pam[idx]
+		metrics[idx] = -d * d / (2 * sigma2)
+	}
+	for b := 0; b < q.bitsPerDim; b++ {
+		bitMask := uint32(1) << uint(q.bitsPerDim-1-b)
+		num := math.Inf(-1) // logsumexp over bit=0
+		den := math.Inf(-1) // logsumexp over bit=1
+		for idx := 0; idx < n; idx++ {
+			if uint32(idx)&bitMask == 0 {
+				num = logAdd(num, metrics[idx])
+			} else {
+				den = logAdd(den, metrics[idx])
+			}
+		}
+		out[b] = num - den
+	}
+}
+
+// logAdd returns log(exp(a)+exp(b)) stably.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// QPSK modulates bit pairs onto the four-point constellation with unit
+// power; used by Strider's layers.
+type QPSK struct{}
+
+// Modulate maps pairs of bits to complex symbols (±1/√2 per dimension).
+func (QPSK) Modulate(bitsIn []byte) []complex128 {
+	if len(bitsIn)%2 != 0 {
+		panic("modem: QPSK needs an even number of bits")
+	}
+	const a = 0.7071067811865476 // 1/√2
+	out := make([]complex128, len(bitsIn)/2)
+	for s := range out {
+		i, qd := a, a
+		if bitsIn[2*s]&1 == 1 {
+			i = -a
+		}
+		if bitsIn[2*s+1]&1 == 1 {
+			qd = -a
+		}
+		out[s] = complex(i, qd)
+	}
+	return out
+}
+
+// BitsPerSymbol reports 2 for QPSK.
+func (QPSK) BitsPerSymbol() int { return 2 }

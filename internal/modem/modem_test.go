@@ -1,0 +1,293 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformPower(t *testing.T) {
+	for _, c := range []int{1, 2, 4, 6, 8} {
+		m := NewUniform(c)
+		var sumSq float64
+		n := 1 << uint(c)
+		for b := 0; b < n; b++ {
+			sumSq += m.Map(uint32(b)) * m.Map(uint32(b))
+		}
+		avg := sumSq / float64(n)
+		// Per-dimension power is slightly under 1/2 for finite c (the paper
+		// notes the difference vanishes as c→∞); at c=1 it is exactly
+		// (1/4)·6P/... check it is within 25% and below.
+		if avg > perDimPower+1e-12 {
+			t.Errorf("c=%d: uniform power %g exceeds %g", c, avg, perDimPower)
+		}
+		if avg < perDimPower*0.7 {
+			t.Errorf("c=%d: uniform power %g unexpectedly low", c, avg)
+		}
+	}
+}
+
+func TestUniformSymmetric(t *testing.T) {
+	m := NewUniform(6)
+	n := 1 << 6
+	for b := 0; b < n; b++ {
+		if got, want := m.Map(uint32(b)), -m.Map(uint32(n-1-b)); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("uniform not symmetric: b=%d %g vs %g", b, got, want)
+		}
+	}
+}
+
+func TestUniformMonotone(t *testing.T) {
+	m := NewUniform(6)
+	for b := 1; b < 64; b++ {
+		if m.Map(uint32(b)) <= m.Map(uint32(b-1)) {
+			t.Fatal("uniform map not strictly increasing")
+		}
+	}
+}
+
+func TestTruncGaussianPowerAndRange(t *testing.T) {
+	m := NewTruncGaussian(6, 2)
+	var sumSq, maxAbs float64
+	for b := 0; b < 64; b++ {
+		v := m.Map(uint32(b))
+		sumSq += v * v
+		if math.Abs(v) > maxAbs {
+			maxAbs = math.Abs(v)
+		}
+	}
+	avg := sumSq / 64
+	if math.Abs(avg-perDimPower) > 1e-9 {
+		t.Errorf("gaussian power %g, want %g", avg, perDimPower)
+	}
+	// β=2 truncates at ±2σ before renormalization; after renormalization
+	// the peak should still be bounded by roughly β·√P'·(1+slack).
+	if maxAbs > 2.5*math.Sqrt(perDimPower) {
+		t.Errorf("gaussian peak %g too large", maxAbs)
+	}
+}
+
+func TestTruncGaussianDenserAtCenter(t *testing.T) {
+	m := NewTruncGaussian(8, 2)
+	// Gaps between adjacent levels should be smaller near the center than
+	// at the edges.
+	centerGap := m.Map(129) - m.Map(128)
+	edgeGap := m.Map(255) - m.Map(254)
+	if centerGap >= edgeGap {
+		t.Errorf("gaussian spacing center %g ≥ edge %g", centerGap, edgeGap)
+	}
+}
+
+func TestNormalCDFInverse(t *testing.T) {
+	err := quick.Check(func(x float64) bool {
+		x = math.Mod(x, 3)
+		p := stdNormalCDF(x)
+		return math.Abs(stdNormalInvCDF(p)-x) < 1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stdNormalCDF(0)-0.5) > 1e-15 {
+		t.Error("Φ(0) ≠ 0.5")
+	}
+}
+
+func TestPAMGrayAdjacent(t *testing.T) {
+	for _, bits := range []int{1, 2, 3, 4} {
+		table := PAM(bits)
+		// Sort levels and verify adjacent levels' indices differ in one bit.
+		n := len(table)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if table[order[j]] < table[order[i]] {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		for i := 1; i < n; i++ {
+			x := uint(order[i] ^ order[i-1])
+			ones := 0
+			for ; x != 0; x &= x - 1 {
+				ones++
+			}
+			if ones != 1 {
+				t.Errorf("bits=%d: adjacent PAM levels differ in %d bits", bits, ones)
+			}
+		}
+	}
+}
+
+func TestPAMPower(t *testing.T) {
+	for _, bits := range []int{1, 2, 3, 4, 5} {
+		table := PAM(bits)
+		var sumSq float64
+		for _, v := range table {
+			sumSq += v * v
+		}
+		if got := sumSq / float64(len(table)); math.Abs(got-perDimPower) > 1e-12 {
+			t.Errorf("bits=%d: PAM power %g, want %g", bits, got, perDimPower)
+		}
+	}
+}
+
+func TestQAMUnitPower(t *testing.T) {
+	for _, pts := range []int{4, 16, 64, 256} {
+		q := NewQAM(pts)
+		rng := rand.New(rand.NewSource(1))
+		bits := make([]byte, q.BitsPerSymbol()*1000)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		syms := q.Modulate(bits)
+		var p float64
+		for _, s := range syms {
+			p += real(s)*real(s) + imag(s)*imag(s)
+		}
+		p /= float64(len(syms))
+		if math.Abs(p-1) > 0.05 {
+			t.Errorf("QAM-%d: average power %g, want 1", pts, p)
+		}
+	}
+}
+
+func TestQAMModulateDistinct(t *testing.T) {
+	q := NewQAM(16)
+	seen := make(map[complex128]bool)
+	for v := 0; v < 16; v++ {
+		bits := []byte{byte(v >> 3 & 1), byte(v >> 2 & 1), byte(v >> 1 & 1), byte(v & 1)}
+		seen[q.Modulate(bits)[0]] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("QAM-16 maps 16 patterns to %d points", len(seen))
+	}
+}
+
+func TestQAMDemapHardDecision(t *testing.T) {
+	// At very high SNR, the sign of each LLR must recover the bits.
+	for _, pts := range []int{4, 16, 64, 256} {
+		q := NewQAM(pts)
+		rng := rand.New(rand.NewSource(7))
+		bits := make([]byte, q.BitsPerSymbol()*200)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		syms := q.Modulate(bits)
+		llrs := q.DemapSoft(syms, 1e-6, nil)
+		for i, llr := range llrs {
+			got := byte(0)
+			if llr < 0 {
+				got = 1
+			}
+			if got != bits[i] {
+				t.Fatalf("QAM-%d: bit %d wrong under noiseless demap", pts, i)
+			}
+		}
+	}
+}
+
+func TestQAMDemapSoftens(t *testing.T) {
+	// Higher noise must shrink LLR magnitudes on average.
+	q := NewQAM(64)
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]byte, q.BitsPerSymbol()*500)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	syms := q.Modulate(bits)
+	mag := func(noiseVar float64) float64 {
+		llrs := q.DemapSoft(syms, noiseVar, nil)
+		var s float64
+		for _, l := range llrs {
+			s += math.Abs(l)
+		}
+		return s / float64(len(llrs))
+	}
+	if mag(0.5) >= mag(0.01) {
+		t.Fatal("LLR magnitude did not shrink with noise")
+	}
+}
+
+func TestQAMDemapFading(t *testing.T) {
+	// With a known fading coefficient the demapper must equalize: a rotated
+	// and scaled constellation still demaps correctly at high SNR.
+	q := NewQAM(16)
+	rng := rand.New(rand.NewSource(9))
+	bits := make([]byte, q.BitsPerSymbol()*100)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	syms := q.Modulate(bits)
+	h := complex(0.6, -0.8) // |h| = 1, rotation
+	faded := make([]complex128, len(syms))
+	fading := make([]complex128, len(syms))
+	for i := range syms {
+		faded[i] = syms[i] * h
+		fading[i] = h
+	}
+	llrs := q.DemapSoft(faded, 1e-6, fading)
+	for i, llr := range llrs {
+		got := byte(0)
+		if llr < 0 {
+			got = 1
+		}
+		if got != bits[i] {
+			t.Fatalf("bit %d wrong under fading demap", i)
+		}
+	}
+}
+
+func TestQAMDeepFadeNoInfo(t *testing.T) {
+	q := NewQAM(4)
+	llrs := q.DemapSoft([]complex128{1 + 1i}, 0.1, []complex128{0})
+	for _, l := range llrs {
+		if l != 0 {
+			t.Fatal("deep fade should give zero LLRs")
+		}
+	}
+}
+
+func TestQPSK(t *testing.T) {
+	var q QPSK
+	syms := q.Modulate([]byte{0, 0, 0, 1, 1, 0, 1, 1})
+	if len(syms) != 4 {
+		t.Fatalf("got %d symbols", len(syms))
+	}
+	seen := make(map[complex128]bool)
+	for _, s := range syms {
+		seen[s] = true
+		if p := real(s)*real(s) + imag(s)*imag(s); math.Abs(p-1) > 1e-12 {
+			t.Errorf("QPSK symbol power %g", p)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("QPSK produced %d distinct points, want 4", len(seen))
+	}
+}
+
+func TestNewQAMPanics(t *testing.T) {
+	for _, pts := range []int{3, 8, 32, 0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQAM(%d) did not panic", pts)
+				}
+			}()
+			NewQAM(pts)
+		}()
+	}
+}
+
+func TestLogAdd(t *testing.T) {
+	got := logAdd(math.Log(2), math.Log(3))
+	if math.Abs(got-math.Log(5)) > 1e-12 {
+		t.Fatalf("logAdd = %g, want log 5", got)
+	}
+	if logAdd(math.Inf(-1), 1) != 1 || logAdd(1, math.Inf(-1)) != 1 {
+		t.Fatal("logAdd -Inf identity broken")
+	}
+}

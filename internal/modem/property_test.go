@@ -1,0 +1,110 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyQAMRoundTrip: modulate→hard demap is the identity for any
+// bit pattern on any square QAM.
+func TestPropertyQAMRoundTrip(t *testing.T) {
+	qams := []*QAM{NewQAM(4), NewQAM(16), NewQAM(64), NewQAM(256)}
+	err := quick.Check(func(seed int64, which uint8) bool {
+		q := qams[which%4]
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]byte, q.BitsPerSymbol()*8)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		llrs := q.DemapSoft(q.Modulate(bits), 1e-5, nil)
+		for i, l := range llrs {
+			got := byte(0)
+			if l < 0 {
+				got = 1
+			}
+			if got != bits[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLLRSignConsistency: the demapper's LLR for a bit flips sign
+// when the transmitted bit flips, all else equal (single-symbol check).
+func TestPropertyLLRSignConsistency(t *testing.T) {
+	q := NewQAM(16)
+	err := quick.Check(func(v uint8, bit uint8) bool {
+		b := int(bit) % q.BitsPerSymbol()
+		bits := make([]byte, q.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = byte(v >> uint(i) & 1)
+		}
+		flipped := append([]byte(nil), bits...)
+		flipped[b] ^= 1
+		l0 := q.DemapSoft(q.Modulate(bits), 0.05, nil)[b]
+		l1 := q.DemapSoft(q.Modulate(flipped), 0.05, nil)[b]
+		return (l0 > 0) != (l1 > 0)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapperTableBounds: every mapper output is finite and within the
+// stated peak bounds.
+func TestMapperTableBounds(t *testing.T) {
+	for _, m := range []Mapper{
+		NewUniform(1), NewUniform(6), NewUniform(16),
+		NewTruncGaussian(6, 2), NewTruncGaussian(10, 3),
+	} {
+		n := 1 << uint(m.Bits())
+		for b := 0; b < n; b++ {
+			v := m.Map(uint32(b))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite output at %d", m.Name(), b)
+			}
+			if math.Abs(v) > 4 {
+				t.Fatalf("%s: implausible amplitude %g", m.Name(), v)
+			}
+		}
+		if m.Name() == "" {
+			t.Fatal("empty mapper name")
+		}
+	}
+}
+
+// TestMapperInputMasking: inputs beyond c bits wrap (mask) rather than
+// panic — the encoder hands raw RNG words to the table.
+func TestMapperInputMasking(t *testing.T) {
+	m := NewUniform(6)
+	if m.Map(64) != m.Map(0) || m.Map(0xFFFFFFFF) != m.Map(63) {
+		t.Fatal("uniform mapper does not mask high bits")
+	}
+	g := NewTruncGaussian(6, 2)
+	if g.Map(64) != g.Map(0) {
+		t.Fatal("gaussian mapper does not mask high bits")
+	}
+}
+
+func TestModemPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewUniform(0)", func() { NewUniform(0) })
+	mustPanic("NewUniform(17)", func() { NewUniform(17) })
+	mustPanic("NewTruncGaussian beta", func() { NewTruncGaussian(6, 0) })
+	mustPanic("QAM modulate odd bits", func() { NewQAM(4).Modulate(make([]byte, 3)) })
+	mustPanic("QPSK odd bits", func() { QPSK{}.Modulate(make([]byte, 3)) })
+	mustPanic("PAM bits", func() { PAM(0) })
+}

@@ -1,0 +1,261 @@
+// Package ofdm implements the 802.11a/g OFDM machinery needed for the
+// peak-to-average power ratio study of §8.4 (Table 8.1): a radix-2
+// FFT/IFFT, the 64-subcarrier symbol layout (48 data subcarriers, 4 BPSK
+// pilots, 12 nulls), the 802.11 scrambler, and PAPR measurement with
+// oversampling.
+//
+// The §8.4 result this reproduces: once symbols ride on OFDM, the PAPR of
+// dense constellations (QAM-2^20, truncated Gaussian) is indistinguishable
+// from QAM-4's, so spinal codes' dense constellations cost nothing in
+// radio linearity.
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x, whose
+// length must be a power of two.
+func FFT(x []complex128) {
+	fftInternal(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x (normalized by 1/N).
+func IFFT(x []complex128) {
+	fftInternal(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftInternal(x []complex128, inverse bool) {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic("ofdm: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// Scrambler is the 802.11 frame-synchronous scrambler: a 7-bit LFSR with
+// polynomial x^7 + x^4 + 1.
+type Scrambler struct {
+	state uint8
+}
+
+// NewScrambler creates a scrambler with the given nonzero 7-bit initial
+// state.
+func NewScrambler(state uint8) *Scrambler {
+	if state&0x7F == 0 {
+		panic("ofdm: scrambler state must be nonzero")
+	}
+	return &Scrambler{state: state & 0x7F}
+}
+
+// NextBit returns the next scrambler sequence bit.
+func (s *Scrambler) NextBit() byte {
+	b := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = (s.state<<1 | b) & 0x7F
+	return b
+}
+
+// Scramble XORs data bits (one per byte) with the scrambler sequence.
+func (s *Scrambler) Scramble(bits []byte) []byte {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		out[i] = (b & 1) ^ s.NextBit()
+	}
+	return out
+}
+
+// Subcarrier layout per 802.11a/g: indices −26..−1, 1..26 are used; ±7 and
+// ±21 carry BPSK pilots; DC and |k|>26 are null.
+const (
+	NumSubcarriers  = 64
+	DataSubcarriers = 48
+)
+
+var pilotIdx = [4]int{-21, -7, 7, 21}
+
+// isPilot reports whether logical subcarrier k carries a pilot.
+func isPilot(k int) bool {
+	return k == -21 || k == -7 || k == 7 || k == 21
+}
+
+// Modulator assembles 802.11a/g OFDM symbols and measures their PAPR.
+type Modulator struct {
+	// Oversample is the IFFT oversampling factor used to approximate the
+	// continuous-time peak (4 is standard for PAPR studies).
+	Oversample int
+	pilotSign  float64
+}
+
+// NewModulator creates a modulator with the given oversampling factor.
+func NewModulator(oversample int) *Modulator {
+	if oversample < 1 {
+		panic("ofdm: oversampling factor must be ≥ 1")
+	}
+	return &Modulator{Oversample: oversample, pilotSign: 1}
+}
+
+// Assemble maps 48 data constellation points onto one oversampled OFDM
+// time-domain symbol. Pilots are BPSK at the standard positions.
+func (m *Modulator) Assemble(data []complex128) []complex128 {
+	if len(data) != DataSubcarriers {
+		panic("ofdm: need exactly 48 data symbols")
+	}
+	n := NumSubcarriers * m.Oversample
+	freq := make([]complex128, n)
+	di := 0
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		var v complex128
+		if isPilot(k) {
+			v = complex(m.pilotSign, 0)
+		} else {
+			v = data[di]
+			di++
+		}
+		// Map logical subcarrier k to FFT bin (negative frequencies wrap).
+		bin := k
+		if bin < 0 {
+			bin += n
+		}
+		freq[bin] = v
+	}
+	IFFT(freq)
+	return freq
+}
+
+// PAPR returns the linear peak-to-average power ratio of a time-domain
+// symbol.
+func PAPR(t []complex128) float64 {
+	var peak, sum float64
+	for _, s := range t {
+		p := real(s)*real(s) + imag(s)*imag(s)
+		sum += p
+		if p > peak {
+			peak = p
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return peak / (sum / float64(len(t)))
+}
+
+// PAPRdB converts a linear PAPR to decibels.
+func PAPRdB(linear float64) float64 { return 10 * math.Log10(linear) }
+
+// ConstellationSource yields one random data subcarrier value per call;
+// Table 8.1 compares several of these at equal average power.
+type ConstellationSource func(rng *rand.Rand) complex128
+
+// QAMSource returns a source drawing uniformly from a Gray-agnostic
+// square QAM with the given number of points and unit average power.
+func QAMSource(points int) ConstellationSource {
+	bitsPerDim := 0
+	for p := points; p > 1; p >>= 2 {
+		bitsPerDim++
+	}
+	m := 1 << uint(bitsPerDim)
+	scale := math.Sqrt(0.5 * 3 / float64(m*m-1))
+	return func(rng *rand.Rand) complex128 {
+		i := float64(2*rng.Intn(m)-m+1) * scale
+		q := float64(2*rng.Intn(m)-m+1) * scale
+		return complex(i, q)
+	}
+}
+
+// TruncGaussianSource returns a source with per-dimension truncated
+// Gaussian values (β-truncation, unit average symbol power), matching the
+// spinal c→∞ constellation.
+func TruncGaussianSource(beta float64) ConstellationSource {
+	// Rejection sample N(0, 1/2) per dimension truncated at ±β/√2·√...:
+	// target per-dim variance 1/2 before renormalization; compute the
+	// truncated variance to renormalize exactly.
+	sd := 1.0
+	// variance of standard normal truncated at ±β.
+	phi := math.Exp(-beta*beta/2) / math.Sqrt(2*math.Pi)
+	z := math.Erf(beta / math.Sqrt2)
+	trVar := 1 - 2*beta*phi/z
+	scale := math.Sqrt(0.5 / trVar)
+	return func(rng *rand.Rand) complex128 {
+		draw := func() float64 {
+			for {
+				v := rng.NormFloat64() * sd
+				if math.Abs(v) <= beta {
+					return v * scale
+				}
+			}
+		}
+		return complex(draw(), draw())
+	}
+}
+
+// PAPRStats summarizes a PAPR measurement campaign.
+type PAPRStats struct {
+	MeanDB  float64
+	P9999DB float64 // 99.99th percentile ("99.99% below" in Table 8.1)
+	Trials  int
+}
+
+// MeasurePAPR runs trials OFDM symbols of random data from src and
+// reports mean and 99.99th-percentile PAPR in dB.
+func MeasurePAPR(src ConstellationSource, trials int, oversample int, seed int64) PAPRStats {
+	rng := rand.New(rand.NewSource(seed))
+	mod := NewModulator(oversample)
+	data := make([]complex128, DataSubcarriers)
+	vals := make([]float64, trials)
+	var sum float64
+	for t := 0; t < trials; t++ {
+		for i := range data {
+			data[i] = src(rng)
+		}
+		db := PAPRdB(PAPR(mod.Assemble(data)))
+		vals[t] = db
+		sum += db
+	}
+	// 99.99th percentile by nearest rank.
+	sort.Float64s(vals)
+	rank := int(math.Ceil(0.9999*float64(trials))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= trials {
+		rank = trials - 1
+	}
+	return PAPRStats{MeanDB: sum / float64(trials), P9999DB: vals[rank], Trials: trials}
+}

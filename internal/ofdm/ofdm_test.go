@@ -1,0 +1,267 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+	// FFT of a constant is an impulse at DC.
+	for i := range x {
+		x[i] = 1
+	}
+	FFT(x)
+	if cmplx.Abs(x[0]-8) > 1e-12 {
+		t.Fatalf("DC bin = %v, want 8", x[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin 3 transforms to an impulse at bin 3.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/float64(n)))
+	}
+	FFT(x)
+	for i := range x {
+		want := 0.0
+		if i == 3 {
+			want = float64(n)
+		}
+		if cmplx.Abs(x[i]-complex(want, 0)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(5))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	FFT(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Fatalf("Parseval violated: time %g vs freq/N %g", timeE, freqE/float64(n))
+	}
+}
+
+func TestFFTPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestScramblerPeriod(t *testing.T) {
+	// A 7-bit maximal LFSR has period 127.
+	s := NewScrambler(0x7F)
+	var first [127]byte
+	for i := range first {
+		first[i] = s.NextBit()
+	}
+	for i := 0; i < 127; i++ {
+		if s.NextBit() != first[i] {
+			t.Fatalf("sequence not periodic with period 127 at %d", i)
+		}
+	}
+	ones := 0
+	for _, b := range first {
+		ones += int(b)
+	}
+	if ones != 64 {
+		t.Fatalf("maximal LFSR should emit 64 ones per period, got %d", ones)
+	}
+}
+
+func TestScrambleInvolution(t *testing.T) {
+	bits := make([]byte, 200)
+	rng := rand.New(rand.NewSource(3))
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	a := NewScrambler(0x5D).Scramble(bits)
+	b := NewScrambler(0x5D).Scramble(a)
+	for i := range bits {
+		if b[i] != bits[i] {
+			t.Fatal("descrambling failed")
+		}
+	}
+}
+
+func TestAssembleLayout(t *testing.T) {
+	mod := NewModulator(1)
+	data := make([]complex128, DataSubcarriers)
+	for i := range data {
+		data[i] = complex(1, 0)
+	}
+	td := mod.Assemble(data)
+	if len(td) != 64 {
+		t.Fatalf("time-domain length %d, want 64", len(td))
+	}
+	// Transform back and verify nulls and pilots.
+	freq := append([]complex128(nil), td...)
+	FFT(freq)
+	if cmplx.Abs(freq[0]) > 1e-9 {
+		t.Fatal("DC subcarrier not null")
+	}
+	for k := 27; k <= 37; k++ {
+		if cmplx.Abs(freq[k]) > 1e-9 {
+			t.Fatalf("guard subcarrier %d not null", k)
+		}
+	}
+	for _, k := range []int{7, 21} {
+		if cmplx.Abs(freq[k]-1) > 1e-9 {
+			t.Fatalf("pilot at +%d missing", k)
+		}
+		if cmplx.Abs(freq[64-k]-1) > 1e-9 {
+			t.Fatalf("pilot at -%d missing", k)
+		}
+	}
+}
+
+func TestPAPRBounds(t *testing.T) {
+	// Constant-envelope signal has PAPR 1 (0 dB).
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, float64(i)))
+	}
+	if p := PAPR(x); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("constant envelope PAPR %g, want 1", p)
+	}
+	// An impulse has PAPR N.
+	y := make([]complex128, 64)
+	y[0] = 1
+	if p := PAPR(y); math.Abs(p-64) > 1e-9 {
+		t.Fatalf("impulse PAPR %g, want 64", p)
+	}
+}
+
+func TestTable81Shape(t *testing.T) {
+	// The Table 8.1 claim: means within ~0.3 dB of each other across
+	// constellations; dense constellations do not raise OFDM PAPR.
+	const trials = 3000
+	qam4 := MeasurePAPR(QAMSource(4), trials, 4, 1)
+	qam64 := MeasurePAPR(QAMSource(64), trials, 4, 2)
+	dense := MeasurePAPR(QAMSource(1<<20), trials, 4, 3)
+	gauss := MeasurePAPR(TruncGaussianSource(2), trials, 4, 4)
+
+	means := []float64{qam4.MeanDB, qam64.MeanDB, dense.MeanDB, gauss.MeanDB}
+	lo, hi := means[0], means[0]
+	for _, m := range means {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi-lo > 0.35 {
+		t.Fatalf("constellation PAPR means spread %.2f dB: %v", hi-lo, means)
+	}
+	// Sanity: OFDM PAPR means land in the 6–9 dB region.
+	if qam4.MeanDB < 6 || qam4.MeanDB > 9 {
+		t.Fatalf("QAM-4 mean PAPR %.2f dB outside plausible range", qam4.MeanDB)
+	}
+	// Tails exceed means.
+	if qam4.P9999DB <= qam4.MeanDB {
+		t.Fatal("99.99th percentile not above mean")
+	}
+}
+
+func TestConstellationSourcesUnitPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, src := range map[string]ConstellationSource{
+		"QAM-4":    QAMSource(4),
+		"QAM-64":   QAMSource(64),
+		"QAM-2^20": QAMSource(1 << 20),
+		"gauss":    TruncGaussianSource(2),
+	} {
+		var p float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			v := src(rng)
+			p += real(v)*real(v) + imag(v)*imag(v)
+		}
+		p /= n
+		if math.Abs(p-1) > 0.03 {
+			t.Errorf("%s: average power %.3f, want 1", name, p)
+		}
+	}
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i), -float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkPAPRSymbol(b *testing.B) {
+	src := QAMSource(64)
+	rng := rand.New(rand.NewSource(70))
+	mod := NewModulator(4)
+	data := make([]complex128, DataSubcarriers)
+	for i := range data {
+		data[i] = src(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PAPR(mod.Assemble(data))
+	}
+}

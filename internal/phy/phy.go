@@ -1,0 +1,202 @@
+// Package phy is the 802.11a/g-like OFDM physical layer of the Appendix B
+// prototype: spinal constellation symbols ride on 48 data subcarriers per
+// OFDM symbol, with BPSK pilots, a 16-sample cyclic prefix, and a known
+// two-symbol preamble from which the receiver least-squares-estimates the
+// per-subcarrier channel. Over a frequency-selective (multipath) channel
+// the estimate hands the spinal decoder exactly the per-symbol fading
+// coefficients its §8.3 metric wants.
+//
+// Frame timing is assumed perfect (the paper's USRP experiments handle
+// synchronization in the Airblue stack; it is orthogonal to coding).
+package phy
+
+import (
+	"math"
+
+	"spinal/internal/ofdm"
+)
+
+const (
+	// N is the FFT size (64 subcarriers).
+	N = ofdm.NumSubcarriers
+	// CP is the cyclic prefix length in samples.
+	CP = 16
+	// DataPerSymbol is the number of data subcarriers per OFDM symbol.
+	DataPerSymbol = ofdm.DataSubcarriers
+	// preambleSymbols is the number of known training OFDM symbols.
+	preambleSymbols = 2
+)
+
+// usedSubcarriers lists the logical indices −26..−1, 1..26 in data-fill
+// order, distinguishing pilots.
+func usedSubcarriers() (data []int, pilots []int) {
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		switch k {
+		case -21, -7, 7, 21:
+			pilots = append(pilots, k)
+		default:
+			data = append(data, k)
+		}
+	}
+	return data, pilots
+}
+
+// bin maps a logical subcarrier index to an FFT bin.
+func bin(k int) int {
+	if k < 0 {
+		return k + N
+	}
+	return k
+}
+
+// ampScale normalizes time-domain frames to unit average sample power:
+// 52 unit-power subcarriers through a 1/N-scaled IFFT give per-sample
+// power 52/N², so samples are scaled by N/√52 on transmit and divided
+// back on receive. This keeps channel SNR semantics identical to the
+// single-carrier paths elsewhere in the repository.
+var ampScale = complex(float64(N)/math.Sqrt(52), 0)
+
+// trainingValue is the known preamble value on subcarrier k: BPSK from
+// the 802.11 scrambler sequence, giving a flat-magnitude training symbol.
+func trainingValue(k int) complex128 {
+	// Deterministic ±1 pattern from the scrambler, identical at TX and RX.
+	s := ofdm.NewScrambler(0x5D)
+	v := complex(1, 0)
+	for i := -26; i <= k; i++ {
+		if s.NextBit() == 1 {
+			v = complex(1, 0)
+		} else {
+			v = complex(-1, 0)
+		}
+	}
+	return v
+}
+
+// Modulate builds the time-domain frame for a batch of data symbols:
+// preamble (2 training symbols) followed by ⌈len/48⌉ OFDM data symbols,
+// each with cyclic prefix. Unused data slots in the final symbol are
+// zero.
+func Modulate(data []complex128) []complex128 {
+	dataIdx, pilotIdx := usedSubcarriers()
+	nSyms := (len(data) + DataPerSymbol - 1) / DataPerSymbol
+	out := make([]complex128, 0, (preambleSymbols+nSyms)*(N+CP))
+
+	emit := func(freq []complex128) {
+		td := append([]complex128(nil), freq...)
+		ofdm.IFFT(td)
+		for i := range td {
+			td[i] *= ampScale
+		}
+		// Cyclic prefix: last CP samples first.
+		out = append(out, td[N-CP:]...)
+		out = append(out, td...)
+	}
+
+	// Preamble.
+	train := make([]complex128, N)
+	for _, k := range append(append([]int(nil), dataIdx...), pilotIdx...) {
+		train[bin(k)] = trainingValue(k)
+	}
+	for s := 0; s < preambleSymbols; s++ {
+		emit(train)
+	}
+
+	// Data symbols.
+	for s := 0; s < nSyms; s++ {
+		freq := make([]complex128, N)
+		for i, k := range dataIdx {
+			di := s*DataPerSymbol + i
+			if di < len(data) {
+				freq[bin(k)] = data[di]
+			}
+		}
+		for _, k := range pilotIdx {
+			freq[bin(k)] = complex(1, 0)
+		}
+		emit(freq)
+	}
+	return out
+}
+
+// FrameSamples reports the time-domain frame length for nData data
+// symbols.
+func FrameSamples(nData int) int {
+	nSyms := (nData + DataPerSymbol - 1) / DataPerSymbol
+	return (preambleSymbols + nSyms) * (N + CP)
+}
+
+// Demodulate recovers the data-subcarrier observations from a received
+// frame. It estimates the channel from the preamble (least squares,
+// averaged over the two training symbols) and returns, for each of the
+// nData transmitted data symbols, the raw subcarrier observation y and
+// the channel estimate ĥ that produced it — ready for the spinal
+// decoder's AddFaded.
+func Demodulate(rx []complex128, nData int) (y, h []complex128) {
+	dataIdx, _ := usedSubcarriers()
+	nSyms := (nData + DataPerSymbol - 1) / DataPerSymbol
+	if len(rx) < FrameSamples(nData) {
+		panic("phy: received frame too short")
+	}
+
+	fft := func(sym int) []complex128 {
+		start := sym*(N+CP) + CP
+		freq := append([]complex128(nil), rx[start:start+N]...)
+		ofdm.FFT(freq)
+		// FFT∘IFFT is the identity here (IFFT carries the 1/N); undo only
+		// the transmit power scaling.
+		for i := range freq {
+			freq[i] /= ampScale
+		}
+		return freq
+	}
+
+	// Channel estimate per used subcarrier from the training symbols.
+	est := make(map[int]complex128)
+	t0 := fft(0)
+	t1 := fft(1)
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		tv := trainingValue(k)
+		est[k] = (t0[bin(k)] + t1[bin(k)]) / (2 * tv)
+	}
+
+	y = make([]complex128, nData)
+	h = make([]complex128, nData)
+	for s := 0; s < nSyms; s++ {
+		freq := fft(preambleSymbols + s)
+		for i, k := range dataIdx {
+			di := s*DataPerSymbol + i
+			if di >= nData {
+				break
+			}
+			y[di] = freq[bin(k)]
+			h[di] = est[k]
+		}
+	}
+	return y, h
+}
+
+// SubcarrierSNRSpread reports the ratio (in dB) between the strongest and
+// weakest estimated subcarrier gains of a demodulated frame — a quick
+// frequency-selectivity diagnostic used by tests and examples.
+func SubcarrierSNRSpread(h []complex128) float64 {
+	lo, hi := math.Inf(1), 0.0
+	for _, v := range h {
+		g := real(v)*real(v) + imag(v)*imag(v)
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if lo <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(hi/lo)
+}

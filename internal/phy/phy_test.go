@@ -1,0 +1,142 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"spinal/internal/channel"
+	"spinal/internal/core"
+)
+
+func randSyms(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * complex(math.Sqrt(0.5), 0)
+	}
+	return out
+}
+
+func TestModulateLength(t *testing.T) {
+	for _, n := range []int{1, 48, 49, 96, 100} {
+		td := Modulate(make([]complex128, n))
+		if len(td) != FrameSamples(n) {
+			t.Fatalf("n=%d: frame %d samples, want %d", n, len(td), FrameSamples(n))
+		}
+	}
+}
+
+func TestPerfectChannelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randSyms(rng, 100)
+	td := Modulate(data)
+	y, h := Demodulate(td, len(data))
+	for i := range data {
+		if cmplx.Abs(h[i]-1) > 1e-9 {
+			t.Fatalf("flat channel estimate wrong at %d: %v", i, h[i])
+		}
+		if cmplx.Abs(y[i]-data[i]) > 1e-9 {
+			t.Fatalf("symbol %d mangled: %v vs %v", i, y[i], data[i])
+		}
+	}
+}
+
+func TestMultipathEqualization(t *testing.T) {
+	// Over a 3-tap channel with no noise, equalized symbols y/ĥ must
+	// match the transmitted data (the CP absorbs ISI; per-subcarrier
+	// fading is flat).
+	rng := rand.New(rand.NewSource(2))
+	data := randSyms(rng, 96)
+	td := Modulate(data)
+	ch := channel.NewMultipath([]complex128{1, 0.4i, -0.2}, 80, 3) // ≈noiseless
+	y, h := Demodulate(ch.Transmit(td), len(data))
+	for i := range data {
+		eq := y[i] / h[i]
+		if cmplx.Abs(eq-data[i]) > 0.05 {
+			t.Fatalf("symbol %d not equalized: %v vs %v", i, eq, data[i])
+		}
+	}
+	if SubcarrierSNRSpread(h) < 1 {
+		t.Fatal("3-tap channel should be frequency selective")
+	}
+}
+
+func TestChannelEstimateAccuracy(t *testing.T) {
+	// The LS estimate from the preamble should match the true channel
+	// frequency response within noise.
+	taps := []complex128{0.9, 0.3 - 0.2i, 0.1i}
+	ch := channel.NewMultipath(taps, 30, 5)
+	data := randSyms(rand.New(rand.NewSource(4)), 48)
+	y, h := Demodulate(ch.Transmit(Modulate(data)), len(data))
+	_ = y
+	// True response at subcarrier k: H(k) = Σ taps[j]·e^{-j2πkj/64} with
+	// normalized taps.
+	norm := ch.Taps()
+	for i, k := range dataIdxForTest() {
+		var truth complex128
+		for j, tap := range norm {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(N)
+			truth += tap * cmplx.Exp(complex(0, ang))
+		}
+		if cmplx.Abs(h[i]-truth) > 0.15 {
+			t.Fatalf("subcarrier %d: ĥ=%v truth=%v", k, h[i], truth)
+		}
+	}
+}
+
+// dataIdxForTest exposes the first OFDM symbol's data subcarrier indices.
+func dataIdxForTest() []int {
+	idx, _ := usedSubcarriers()
+	return idx
+}
+
+func TestSpinalOverMultipathOFDM(t *testing.T) {
+	// End-to-end Appendix B stack: spinal symbols → OFDM → multipath →
+	// OFDM receiver → fading-aware spinal decoder.
+	rng := rand.New(rand.NewSource(6))
+	p := core.Params{K: 4, B: 64, D: 1, C: 6, Tail: 2, Ways: 8}
+	nBits := 192 // the hardware prototype's block size
+	msg := make([]byte, nBits/8)
+	rng.Read(msg)
+	enc := core.NewEncoder(msg, nBits, p)
+	dec := core.NewDecoder(nBits, p)
+	sched := enc.NewSchedule()
+	ch := channel.NewMultipath([]complex128{1, 0.5, 0.25i, -0.1}, 18, 7)
+
+	decoded := false
+	for pass := 0; pass < 20 && !decoded; pass++ {
+		// One full pass per PHY frame.
+		var ids []core.SymbolID
+		for sub := 0; sub < sched.Subpasses(); sub++ {
+			ids = append(ids, sched.NextSubpass()...)
+		}
+		x := enc.Symbols(ids)
+		rx := ch.Transmit(Modulate(x))
+		y, h := Demodulate(rx, len(x))
+		dec.AddFaded(ids, y, h)
+		if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+			decoded = true
+		}
+	}
+	if !decoded {
+		t.Fatal("spinal-over-OFDM did not decode over multipath at 18 dB")
+	}
+}
+
+func TestDemodulatePanicsOnShortFrame(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short frame")
+		}
+	}()
+	Demodulate(make([]complex128, 10), 48)
+}
+
+func TestSNRSpreadFlat(t *testing.T) {
+	h := []complex128{1, 1, 1}
+	if s := SubcarrierSNRSpread(h); math.Abs(s) > 1e-9 {
+		t.Fatalf("flat spread = %g, want 0", s)
+	}
+}

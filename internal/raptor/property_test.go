@@ -1,0 +1,128 @@
+package raptor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyPrecodeLinear: the precode is linear — intermediate blocks
+// of m1, m2 and m1⊕m2 satisfy i1⊕i2 = i3.
+func TestPropertyPrecodeLinear(t *testing.T) {
+	c := New(128, 70)
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1 := randMsg(rng, 128)
+		m2 := randMsg(rng, 128)
+		m3 := make([]byte, 128)
+		for i := range m3 {
+			m3[i] = m1[i] ^ m2[i]
+		}
+		i1 := c.encodePrecode(m1)
+		i2 := c.encodePrecode(m2)
+		i3 := c.encodePrecode(m3)
+		for i := range i3 {
+			if i1[i]^i2[i] != i3[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOutputLinearity: LT output bits are linear in the message.
+func TestPropertyOutputLinearity(t *testing.T) {
+	c := New(96, 71)
+	rng := rand.New(rand.NewSource(5))
+	m1 := randMsg(rng, 96)
+	m2 := randMsg(rng, 96)
+	m3 := make([]byte, 96)
+	for i := range m3 {
+		m3[i] = m1[i] ^ m2[i]
+	}
+	o1 := c.OutputBits(m1, 0, 200)
+	o2 := c.OutputBits(m2, 0, 200)
+	o3 := c.OutputBits(m3, 0, 200)
+	for i := range o3 {
+		if o1[i]^o2[i] != o3[i] {
+			t.Fatalf("output bit %d not linear", i)
+		}
+	}
+}
+
+// TestDecoderIncrementalAdd: adding LLRs in several batches equals adding
+// them at once.
+func TestDecoderIncrementalAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := New(256, 72)
+	msg := randMsg(rng, 256)
+	// Short-block LT codes need generous overhead (see
+	// TestDecodeNearNoiseless); 2× is comfortably past the k=256 cliff.
+	n := c.Intermediate() * 2
+	bits := c.OutputBits(msg, 0, n)
+	llrs := make([]float64, n)
+	for i, b := range bits {
+		if b == 0 {
+			llrs[i] = 9
+		} else {
+			llrs[i] = -9
+		}
+	}
+
+	one := NewDecoder(c)
+	one.Add(0, llrs)
+	batched := NewDecoder(c)
+	for off := 0; off < n; off += 37 {
+		end := off + 37
+		if end > n {
+			end = n
+		}
+		batched.Add(off, llrs[off:end])
+	}
+	if one.Received() != batched.Received() {
+		t.Fatal("received counts differ")
+	}
+	g1, ok1 := one.Decode(40)
+	g2, ok2 := batched.Decode(40)
+	if ok1 != ok2 || !bytes.Equal(g1, g2) {
+		t.Fatal("batched add changed the decode result")
+	}
+	if !ok1 || !bytes.Equal(g1, msg) {
+		t.Fatal("decode failed")
+	}
+}
+
+func TestNewPanicsOnShortMessage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for tiny k")
+		}
+	}()
+	New(8, 0)
+}
+
+func BenchmarkBPDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(80))
+	c := New(512, 81)
+	msg := randMsg(rng, 512)
+	n := int(float64(c.Intermediate()) * 1.6)
+	bits := c.OutputBits(msg, 0, n)
+	llrs := make([]float64, n)
+	for i, bit := range bits {
+		if bit == 0 {
+			llrs[i] = 4
+		} else {
+			llrs[i] = -4
+		}
+	}
+	dec := NewDecoder(c)
+	dec.Add(0, llrs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(40)
+	}
+}

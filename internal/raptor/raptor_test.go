@@ -1,0 +1,227 @@
+package raptor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spinal/internal/channel"
+	"spinal/internal/modem"
+)
+
+func randMsg(rng *rand.Rand, k int) []byte {
+	m := make([]byte, k)
+	for i := range m {
+		m[i] = byte(rng.Intn(2))
+	}
+	return m
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[degree(rng)]++
+	}
+	// Spot-check the two largest masses from RFC 5053: d=2 ≈ 0.459,
+	// d=3 ≈ 0.211.
+	f2 := float64(counts[2]) / n
+	f3 := float64(counts[3]) / n
+	if f2 < 0.44 || f2 > 0.48 {
+		t.Errorf("P(d=2) = %.3f, want ≈0.459", f2)
+	}
+	if f3 < 0.19 || f3 > 0.23 {
+		t.Errorf("P(d=3) = %.3f, want ≈0.211", f3)
+	}
+	for d := range counts {
+		switch d {
+		case 1, 2, 3, 4, 10, 11, 40:
+		default:
+			t.Fatalf("unexpected degree %d", d)
+		}
+	}
+}
+
+func TestPrecodeSatisfiesChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := New(512, 3)
+	for trial := 0; trial < 10; trial++ {
+		inter := c.encodePrecode(randMsg(rng, 512))
+		var prev byte
+		for i := 0; i < c.m; i++ {
+			var x byte
+			for _, v := range c.precode[i] {
+				x ^= inter[v]
+			}
+			if x^prev^inter[c.k+i] != 0 {
+				t.Fatalf("precode check %d unsatisfied", i)
+			}
+			prev = inter[c.k+i]
+		}
+	}
+}
+
+func TestPrecodeRate(t *testing.T) {
+	c := New(950, 4)
+	got := float64(c.K()) / float64(c.Intermediate())
+	if got < 0.94 || got > 0.96 {
+		t.Fatalf("precode rate %.3f, want ≈0.95", got)
+	}
+}
+
+func TestLTNeighborsDeterministic(t *testing.T) {
+	c := New(256, 5)
+	for tdx := 0; tdx < 50; tdx++ {
+		a := c.ltNeighbors(tdx)
+		b := c.ltNeighbors(tdx)
+		if len(a) != len(b) {
+			t.Fatal("nondeterministic degree")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("nondeterministic neighbors")
+			}
+		}
+		seen := map[int32]bool{}
+		for _, v := range a {
+			if seen[v] {
+				t.Fatal("duplicate neighbor")
+			}
+			seen[v] = true
+			if v < 0 || int(v) >= c.Intermediate() {
+				t.Fatal("neighbor out of range")
+			}
+		}
+	}
+}
+
+func TestOutputBitsPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := New(128, 7)
+	msg := randMsg(rng, 128)
+	a := c.OutputBits(msg, 0, 100)
+	b := c.OutputBits(msg, 0, 300)
+	if !bytes.Equal(a, b[:100]) {
+		t.Fatal("rateless prefix property violated")
+	}
+	// Out-of-order generation.
+	c50 := c.OutputBits(msg, 50, 10)
+	if !bytes.Equal(c50, b[50:60]) {
+		t.Fatal("offset generation mismatch")
+	}
+}
+
+func TestDecodeNearNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := New(256, 9)
+	msg := randMsg(rng, 256)
+	// 1.6× overhead of essentially noiseless bits (short-block LT codes
+	// need substantially more than the asymptotic ~1.02× overhead; the
+	// BP cliff for k=256 sits near 1.4×).
+	n := int(float64(c.Intermediate()) * 1.6)
+	bits := c.OutputBits(msg, 0, n)
+	dec := NewDecoder(c)
+	llrs := make([]float64, n)
+	for i, b := range bits {
+		if b == 0 {
+			llrs[i] = 12
+		} else {
+			llrs[i] = -12
+		}
+	}
+	dec.Add(0, llrs)
+	got, ok := dec.Decode(40)
+	if !ok {
+		t.Fatal("BP did not converge on near-noiseless input")
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("decoded message wrong")
+	}
+}
+
+func TestDecodeOverQAMAWGN(t *testing.T) {
+	// End-to-end over QAM-256 at 22 dB: accumulate symbols until decoded;
+	// effective rate should be positive and below capacity (≈7.3 b/s).
+	rng := rand.New(rand.NewSource(10))
+	c := New(512, 11)
+	msg := randMsg(rng, 512)
+	qam := modem.NewQAM(256)
+	ch := channel.NewAWGN(22, 12)
+	dec := NewDecoder(c)
+	bitsPerBatch := qam.BitsPerSymbol() * 16
+	decoded := false
+	var symbolsUsed int
+	for batch := 0; batch < 60 && !decoded; batch++ {
+		t0 := batch * bitsPerBatch
+		outBits := c.OutputBits(msg, t0, bitsPerBatch)
+		syms := qam.Modulate(outBits)
+		y := ch.Transmit(syms)
+		llrs := qam.DemapSoft(y, ch.NoiseVar(), nil)
+		dec.Add(t0, llrs)
+		symbolsUsed += len(syms)
+		if got, ok := dec.Decode(40); ok && bytes.Equal(got, msg) {
+			decoded = true
+		}
+	}
+	if !decoded {
+		t.Fatal("Raptor/QAM-256 did not decode at 22 dB")
+	}
+	rate := 512.0 / float64(symbolsUsed)
+	if rate <= 0.5 {
+		t.Fatalf("rate %.2f implausibly low at 22 dB", rate)
+	}
+	if rate > 7.31 {
+		t.Fatalf("rate %.2f above capacity", rate)
+	}
+}
+
+func TestDecodeFailsWithTooFewSymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := New(256, 14)
+	msg := randMsg(rng, 256)
+	// Fewer output bits than message bits can never decode.
+	bits := c.OutputBits(msg, 0, 128)
+	llrs := make([]float64, len(bits))
+	for i, b := range bits {
+		if b == 0 {
+			llrs[i] = 10
+		} else {
+			llrs[i] = -10
+		}
+	}
+	dec := NewDecoder(c)
+	dec.Add(0, llrs)
+	got, ok := dec.Decode(40)
+	if ok && bytes.Equal(got, msg) {
+		t.Fatal("decoded below the information-theoretic minimum")
+	}
+}
+
+func TestSoftVsHardLLRs(t *testing.T) {
+	// With noisy LLRs of the right sign but mixed confidence, BP should
+	// still decode given moderate overhead — i.e. the decoder genuinely
+	// uses soft values.
+	rng := rand.New(rand.NewSource(15))
+	c := New(256, 16)
+	msg := randMsg(rng, 256)
+	n := int(float64(c.Intermediate()) * 1.8)
+	bits := c.OutputBits(msg, 0, n)
+	llrs := make([]float64, n)
+	for i, b := range bits {
+		mag := 0.5 + 5*rng.Float64()
+		if rng.Float64() < 0.05 {
+			mag = -mag // 5% wrong-sign observations
+		}
+		if b == 1 {
+			mag = -mag
+		}
+		llrs[i] = mag
+	}
+	dec := NewDecoder(c)
+	dec.Add(0, llrs)
+	got, ok := dec.Decode(40)
+	if !ok || !bytes.Equal(got, msg) {
+		t.Fatal("soft decode with 5% bad signs failed at 1.8× overhead")
+	}
+}

@@ -1,0 +1,330 @@
+// Package sim is the rateless execution engine of §8.1: it streams symbols
+// from an encoder through a channel model to a decoder, schedules decode
+// attempts, and collects rate and gap-to-capacity statistics. All codes in
+// the repository run through this engine under identical conditions, with
+// no information shared between transmitter and receiver beyond the code
+// parameters.
+//
+// Trials are deterministic (seeded) and run in parallel across messages.
+package sim
+
+import (
+	"bytes"
+	"math/cmplx"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"spinal/internal/capacity"
+	"spinal/internal/channel"
+	"spinal/internal/core"
+)
+
+// Outcome records one message's fate: how many channel symbols were spent
+// before the decoder produced the correct message, or failure after the
+// give-up budget.
+type Outcome struct {
+	Symbols int  // symbols transmitted (including a failed message's)
+	Bits    int  // message bits delivered (0 on failure)
+	OK      bool // whether the message decoded before give-up
+}
+
+// Result aggregates outcomes at one operating point.
+type Result struct {
+	SNRdB    float64
+	Rate     float64 // Σbits / Σsymbols, the §8.1 rate metric
+	Messages int
+	Failures int
+	// SymbolCounts holds per-message symbol counts for successful decodes
+	// (Figure 8-11's CDF).
+	SymbolCounts []int
+}
+
+// Aggregate folds outcomes into a Result.
+func Aggregate(snrDB float64, outs []Outcome) Result {
+	r := Result{SNRdB: snrDB, Messages: len(outs)}
+	var bits, syms int
+	for _, o := range outs {
+		bits += o.Bits
+		syms += o.Symbols
+		if o.OK {
+			r.SymbolCounts = append(r.SymbolCounts, o.Symbols)
+		} else {
+			r.Failures++
+		}
+	}
+	if syms > 0 {
+		r.Rate = float64(bits) / float64(syms)
+	}
+	return r
+}
+
+// GapDB reports the result's gap to AWGN capacity in dB (§8.1).
+func (r Result) GapDB() float64 { return capacity.GapDB(r.Rate, r.SNRdB) }
+
+// FractionOfCapacity reports rate / C(snr).
+func (r Result) FractionOfCapacity() float64 {
+	return capacity.FractionOfCapacity(r.Rate, r.SNRdB)
+}
+
+// Fading configures Rayleigh block fading for spinal measurements.
+type Fading struct {
+	// Tau is the coherence time in symbols (§8.3).
+	Tau int
+	// ProvideH gives the decoder exact fading coefficients (Fig 8-4);
+	// false runs the AWGN decoder on the faded signal (Fig 8-5).
+	ProvideH bool
+	// PhaseOnly (with ProvideH false) models a receiver whose carrier
+	// recovery tracks the fading phase (as any pilot-bearing PHY does)
+	// but has no amplitude information: the decoder sees h/|h|. This is
+	// the practical reading of Fig 8-5's "AWGN decoder", since no
+	// coherent scheme survives a uniformly random per-symbol phase.
+	PhaseOnly bool
+}
+
+// SpinalConfig describes one spinal-code operating point.
+type SpinalConfig struct {
+	Params core.Params
+	NBits  int     // message size in bits
+	SNRdB  float64 // channel SNR
+	Trials int     // number of messages
+	Seed   int64   // base seed; trial t uses Seed+t
+	// MaxPasses is the give-up budget in full passes; 0 derives a budget
+	// from channel capacity (≈3× the minimum possible passes, plus slack).
+	MaxPasses int
+	// AttemptEvery controls decode-attempt granularity:
+	//   0  — auto: per-symbol attempts at high SNR, per-subpass in the
+	//        mid range, every other subpass at low SNR (the paper's
+	//        "decode attempts roughly every symbol" behaviour where it
+	//        matters, §8.4, without its cost where it doesn't);
+	//   -1 — attempt after every received symbol;
+	//   n>0 — attempt every n subpasses.
+	AttemptEvery int
+	// Fading, if non-nil, replaces AWGN with Rayleigh block fading.
+	Fading *Fading
+}
+
+// maxPasses derives the give-up budget.
+func (c SpinalConfig) maxPasses() int {
+	if c.MaxPasses > 0 {
+		return c.MaxPasses
+	}
+	cap := capacity.AWGNdB(c.SNRdB)
+	if c.Fading != nil {
+		cap = capacity.RayleighdB(c.SNRdB)
+	}
+	if cap < 0.05 {
+		cap = 0.05
+	}
+	need := float64(c.Params.K) / cap
+	budget := int(3*need) + 4
+	return budget
+}
+
+// MeasureSpinal runs Trials rateless spinal sessions and aggregates them.
+func MeasureSpinal(cfg SpinalConfig) Result {
+	outs := parallelTrials(cfg.Trials, func(trial int) Outcome {
+		return spinalTrial(cfg, trial)
+	})
+	return Aggregate(cfg.SNRdB, outs)
+}
+
+func spinalTrial(cfg SpinalConfig, trial int) Outcome {
+	seed := cfg.Seed + int64(trial)
+	rng := rand.New(rand.NewSource(seed))
+	msg := make([]byte, (cfg.NBits+7)/8)
+	rng.Read(msg)
+	if cfg.NBits%8 != 0 {
+		msg[len(msg)-1] &= (1 << uint(cfg.NBits%8)) - 1
+	}
+
+	enc := core.NewEncoder(msg, cfg.NBits, cfg.Params)
+	dec := core.NewDecoder(cfg.NBits, cfg.Params)
+	sched := enc.NewSchedule()
+
+	var awgn *channel.AWGN
+	var ray *channel.Rayleigh
+	if cfg.Fading != nil {
+		ray = channel.NewRayleigh(cfg.SNRdB, cfg.Fading.Tau, seed^0x5f3759df)
+	} else {
+		awgn = channel.NewAWGN(cfg.SNRdB, seed^0x5f3759df)
+	}
+
+	attemptEvery := cfg.AttemptEvery
+	if attemptEvery == 0 {
+		// Auto granularity by channel capacity: per-symbol attempts pay
+		// off exactly where a handful of symbols is a large fraction of
+		// the transmission (§8.4: gains from aggressive decoding are
+		// less prominent at low SNR).
+		c := capacity.AWGNdB(cfg.SNRdB)
+		if cfg.Fading != nil {
+			c = capacity.RayleighdB(cfg.SNRdB)
+		}
+		switch {
+		case c >= 4:
+			attemptEvery = -1
+		case c >= 0.8:
+			attemptEvery = 1
+		default:
+			attemptEvery = 2
+		}
+	}
+	ways := sched.Subpasses()
+	maxSub := cfg.maxPasses() * ways
+
+	symbols := 0
+	for sub := 1; sub <= maxSub; sub++ {
+		ids := sched.NextSubpass()
+		x := enc.Symbols(ids)
+		var y, h []complex128
+		if ray != nil {
+			y, h = ray.Transmit(x)
+			switch {
+			case cfg.Fading.ProvideH:
+				// exact h
+			case cfg.Fading.PhaseOnly:
+				for i, hv := range h {
+					m := cmplx.Abs(hv)
+					if m < 1e-12 {
+						h[i] = 1
+					} else {
+						h[i] = hv / complex(m, 0)
+					}
+				}
+			default:
+				h = nil
+			}
+		} else {
+			y = awgn.Transmit(x)
+		}
+		if attemptEvery == -1 {
+			// Per-symbol attempts within the subpass.
+			for i := range ids {
+				var hs []complex128
+				if h != nil {
+					hs = h[i : i+1]
+				}
+				dec.AddFaded(ids[i:i+1], y[i:i+1], hs)
+				symbols++
+				if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+					return Outcome{Symbols: symbols, Bits: cfg.NBits, OK: true}
+				}
+			}
+			continue
+		}
+		dec.AddFaded(ids, y, h)
+		symbols += len(ids)
+		if sub%attemptEvery == 0 || sub == maxSub {
+			if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+				return Outcome{Symbols: symbols, Bits: cfg.NBits, OK: true}
+			}
+		}
+	}
+	return Outcome{Symbols: symbols}
+}
+
+// MeasureSpinalFixedRate evaluates a rated version of the spinal code
+// (Fig 8-2): exactly the symbol budget for the given number of subpasses
+// is transmitted and a single decode attempt is made. Throughput is
+// rate × P(success), because a rated code's failures still occupy the
+// channel.
+func MeasureSpinalFixedRate(cfg SpinalConfig, subpasses int) Result {
+	outs := parallelTrials(cfg.Trials, func(trial int) Outcome {
+		seed := cfg.Seed + int64(trial)
+		rng := rand.New(rand.NewSource(seed))
+		msg := make([]byte, (cfg.NBits+7)/8)
+		rng.Read(msg)
+		if cfg.NBits%8 != 0 {
+			msg[len(msg)-1] &= (1 << uint(cfg.NBits%8)) - 1
+		}
+		enc := core.NewEncoder(msg, cfg.NBits, cfg.Params)
+		dec := core.NewDecoder(cfg.NBits, cfg.Params)
+		sched := enc.NewSchedule()
+		ch := channel.NewAWGN(cfg.SNRdB, seed^0x5f3759df)
+		symbols := 0
+		for sub := 0; sub < subpasses; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+			symbols += len(ids)
+		}
+		if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+			return Outcome{Symbols: symbols, Bits: cfg.NBits, OK: true}
+		}
+		return Outcome{Symbols: symbols}
+	})
+	return Aggregate(cfg.SNRdB, outs)
+}
+
+// MeasureSpinalBSC runs rateless spinal sessions over a BSC with crossover
+// probability p and reports the achieved rate in bits per channel bit
+// (compare against capacity.BSC).
+func MeasureSpinalBSC(params core.Params, nBits int, p float64, trials int, seed int64) (rate float64, failures int) {
+	cbsc := capacity.BSC(p)
+	if cbsc < 0.05 {
+		cbsc = 0.05
+	}
+	maxPasses := int(3*float64(params.K)/cbsc) + 4
+	outs := parallelTrials(trials, func(trial int) Outcome {
+		s := seed + int64(trial)
+		rng := rand.New(rand.NewSource(s))
+		msg := make([]byte, (nBits+7)/8)
+		rng.Read(msg)
+		if nBits%8 != 0 {
+			msg[len(msg)-1] &= (1 << uint(nBits%8)) - 1
+		}
+		enc := core.NewEncoder(msg, nBits, params)
+		dec := core.NewBSCDecoder(nBits, params)
+		sched := enc.NewSchedule()
+		ch := channel.NewBSC(p, s^0x5f3759df)
+		symbols := 0
+		maxSub := maxPasses * sched.Subpasses()
+		for sub := 1; sub <= maxSub; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, ch.Transmit(enc.Bits(ids)))
+			symbols += len(ids)
+			if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+				return Outcome{Symbols: symbols, Bits: nBits, OK: true}
+			}
+		}
+		return Outcome{Symbols: symbols}
+	})
+	r := Aggregate(0, outs)
+	return r.Rate, r.Failures
+}
+
+// parallelTrials runs fn for each trial index across available CPUs,
+// preserving per-trial determinism.
+func parallelTrials(trials int, fn func(trial int) Outcome) []Outcome {
+	return Parallel(trials, fn)
+}
+
+// Parallel runs fn(0..n-1) across available CPUs and collects results in
+// index order. Trials must be independent; determinism is preserved
+// because each index derives its own seed.
+func Parallel[T any](n int, fn func(i int) T) []T {
+	outs := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				outs[t] = fn(t)
+			}
+		}()
+	}
+	for t := 0; t < n; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return outs
+}

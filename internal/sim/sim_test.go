@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"spinal/internal/capacity"
+	"spinal/internal/core"
+)
+
+func quickParams() core.Params {
+	return core.Params{K: 4, B: 32, D: 1, C: 6, Tail: 2, Ways: 8}
+}
+
+func TestMeasureSpinalHighSNR(t *testing.T) {
+	cfg := SpinalConfig{
+		Params: quickParams(), NBits: 128, SNRdB: 25, Trials: 6, Seed: 1,
+	}
+	r := MeasureSpinal(cfg)
+	if r.Failures > 0 {
+		t.Fatalf("failures at 25 dB: %d", r.Failures)
+	}
+	if r.Rate < 3 {
+		t.Fatalf("rate %.2f too low at 25 dB", r.Rate)
+	}
+	if r.Rate > capacity.AWGNdB(25) {
+		t.Fatalf("rate %.2f exceeds capacity %.2f", r.Rate, capacity.AWGNdB(25))
+	}
+	if r.GapDB() >= 0 {
+		t.Fatalf("gap %.2f should be negative", r.GapDB())
+	}
+	if len(r.SymbolCounts) != r.Messages-r.Failures {
+		t.Fatal("symbol counts inconsistent with successes")
+	}
+}
+
+func TestRateBelowCapacityAcrossSNR(t *testing.T) {
+	for _, snr := range []float64{0, 10, 20} {
+		cfg := SpinalConfig{
+			Params: quickParams(), NBits: 96, SNRdB: snr, Trials: 4, Seed: 2,
+		}
+		r := MeasureSpinal(cfg)
+		if r.Rate <= 0 {
+			t.Errorf("snr=%g: zero rate", snr)
+		}
+		if r.Rate > capacity.AWGNdB(snr) {
+			t.Errorf("snr=%g: rate %.3f above capacity %.3f", snr, r.Rate, capacity.AWGNdB(snr))
+		}
+	}
+}
+
+func TestRateIncreasesWithSNR(t *testing.T) {
+	rate := func(snr float64) float64 {
+		return MeasureSpinal(SpinalConfig{
+			Params: quickParams(), NBits: 96, SNRdB: snr, Trials: 5, Seed: 3,
+		}).Rate
+	}
+	lo, hi := rate(5), rate(25)
+	if hi <= lo {
+		t.Fatalf("rate did not increase with SNR: %.3f at 5 dB vs %.3f at 25 dB", lo, hi)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := SpinalConfig{Params: quickParams(), NBits: 64, SNRdB: 12, Trials: 4, Seed: 9}
+	a := MeasureSpinal(cfg)
+	b := MeasureSpinal(cfg)
+	if a.Rate != b.Rate || a.Failures != b.Failures {
+		t.Fatal("same seed produced different results")
+	}
+	cfg.Seed = 10
+	c := MeasureSpinal(cfg)
+	if a.Rate == c.Rate && len(a.SymbolCounts) == len(c.SymbolCounts) {
+		sameAll := true
+		for i := range a.SymbolCounts {
+			if a.SymbolCounts[i] != c.SymbolCounts[i] {
+				sameAll = false
+			}
+		}
+		if sameAll {
+			t.Fatal("different seeds produced identical outcomes")
+		}
+	}
+}
+
+func TestFixedRateNeverBeatsRateless(t *testing.T) {
+	// The hedging effect of Fig 8-2: the rateless code's rate is at least
+	// the best fixed-rate throughput (within noise; use a margin).
+	p := quickParams()
+	snr := 10.0
+	rateless := MeasureSpinal(SpinalConfig{Params: p, NBits: 128, SNRdB: snr, Trials: 8, Seed: 4})
+	bestFixed := 0.0
+	for _, sub := range []int{8, 16, 24, 32, 48} {
+		r := MeasureSpinalFixedRate(SpinalConfig{Params: p, NBits: 128, SNRdB: snr, Trials: 8, Seed: 4}, sub)
+		if r.Rate > bestFixed {
+			bestFixed = r.Rate
+		}
+	}
+	if bestFixed > rateless.Rate*1.15 {
+		t.Fatalf("fixed-rate %.3f substantially beats rateless %.3f", bestFixed, rateless.Rate)
+	}
+}
+
+func TestFadingMeasurement(t *testing.T) {
+	p := quickParams()
+	cfg := SpinalConfig{
+		Params: p, NBits: 96, SNRdB: 20, Trials: 5, Seed: 5,
+		Fading: &Fading{Tau: 10, ProvideH: true},
+	}
+	r := MeasureSpinal(cfg)
+	if r.Rate <= 0 {
+		t.Fatal("no rate on fading channel with known h")
+	}
+	if r.Rate > capacity.AWGNdB(20) {
+		t.Fatalf("fading rate %.3f above AWGN capacity", r.Rate)
+	}
+}
+
+func TestBSCMeasurement(t *testing.T) {
+	p := core.Params{K: 4, B: 32, D: 1, C: 1, Tail: 2, Ways: 8}
+	rate, failures := MeasureSpinalBSC(p, 96, 0.05, 4, 6)
+	if failures > 1 {
+		t.Fatalf("%d/4 failures on BSC(0.05)", failures)
+	}
+	if rate <= 0 || rate > capacity.BSC(0.05) {
+		t.Fatalf("BSC rate %.3f outside (0, %.3f]", rate, capacity.BSC(0.05))
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	r := Aggregate(10, nil)
+	if r.Rate != 0 || r.Messages != 0 {
+		t.Fatal("empty aggregate should be zero")
+	}
+	if !math.IsInf(r.GapDB(), -1) {
+		t.Fatal("zero-rate gap should be -Inf")
+	}
+}
+
+func TestAttemptEveryThrottling(t *testing.T) {
+	// Throttled attempts must still decode, just possibly with more
+	// symbols.
+	p := quickParams()
+	base := SpinalConfig{Params: p, NBits: 96, SNRdB: 15, Trials: 4, Seed: 7}
+	throttled := base
+	throttled.AttemptEvery = 8
+	a := MeasureSpinal(base)
+	b := MeasureSpinal(throttled)
+	if b.Failures > a.Failures {
+		t.Fatalf("throttling increased failures: %d vs %d", b.Failures, a.Failures)
+	}
+	if b.Rate > a.Rate*1.05 {
+		t.Fatalf("coarser attempts should not raise rate: %.3f vs %.3f", b.Rate, a.Rate)
+	}
+}
+
+func TestPhaseOnlyFading(t *testing.T) {
+	// Phase-tracked amplitude-blind decoding (Fig 8-5 model) must achieve
+	// a positive rate well below the full-info rate.
+	p := quickParams()
+	full := MeasureSpinal(SpinalConfig{
+		Params: p, NBits: 96, SNRdB: 20, Trials: 4, Seed: 31,
+		Fading: &Fading{Tau: 10, ProvideH: true},
+	})
+	phase := MeasureSpinal(SpinalConfig{
+		Params: p, NBits: 96, SNRdB: 20, Trials: 4, Seed: 31,
+		Fading: &Fading{Tau: 10, PhaseOnly: true}, MaxPasses: 10,
+	})
+	if phase.Rate <= 0 {
+		t.Fatal("phase-only decoding achieved no rate at 20 dB")
+	}
+	if phase.Rate > full.Rate {
+		t.Fatalf("phase-only (%.2f) beat full fading info (%.2f)", phase.Rate, full.Rate)
+	}
+}
+
+func TestPerSymbolAttemptsBeatSubpassAtHighSNR(t *testing.T) {
+	p := quickParams()
+	base := SpinalConfig{Params: p, NBits: 256, SNRdB: 25, Trials: 4, Seed: 33}
+	perSym := base
+	perSym.AttemptEvery = -1
+	perSub := base
+	perSub.AttemptEvery = 1
+	a := MeasureSpinal(perSym)
+	b := MeasureSpinal(perSub)
+	if a.Rate < b.Rate {
+		t.Fatalf("per-symbol attempts (%.2f) below per-subpass (%.2f) at 25 dB", a.Rate, b.Rate)
+	}
+}

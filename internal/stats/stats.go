@@ -1,0 +1,192 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: running means, empirical CDFs, percentiles and
+// histograms for the figures in §8 of the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of float64 observations and reports moments
+// without storing the samples (Welford's algorithm).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates an observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N reports the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean reports the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var reports the unbiased sample variance.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (r *Running) Stddev() float64 { return math.Sqrt(r.Var()) }
+
+// Min reports the smallest observation.
+func (r *Running) Min() float64 { return r.min }
+
+// Max reports the largest observation.
+func (r *Running) Max() float64 { return r.max }
+
+// CI95 reports the half-width of a normal-approximation 95% confidence
+// interval on the mean.
+func (r *Running) CI95() float64 {
+	if r.n < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * r.Stddev() / math.Sqrt(float64(r.n))
+}
+
+// CDF is an empirical cumulative distribution function over collected
+// samples (used for Figure 8-11).
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(x float64) {
+	c.samples = append(c.samples, x)
+	c.sorted = false
+}
+
+// N reports the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At evaluates the empirical CDF at x: the fraction of samples ≤ x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	if p <= 0 {
+		return c.samples[0]
+	}
+	if p >= 100 {
+		return c.samples[len(c.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(c.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.samples[rank-1]
+}
+
+// Points returns up to n evenly spaced (x, F(x)) pairs for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil
+	}
+	c.sort()
+	if n > len(c.samples) {
+		n = len(c.samples)
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.samples) - 1) / max(n-1, 1)
+		x := c.samples[idx]
+		pts = append(pts, [2]float64{x, float64(idx+1) / float64(len(c.samples))})
+	}
+	return pts
+}
+
+// Histogram counts samples into uniform-width bins over [lo, hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.under++
+		return
+	}
+	if x >= h.Hi {
+		h.over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i == len(h.Counts) { // guard against FP edge
+		i--
+	}
+	h.Counts[i]++
+}
+
+// Total reports the number of samples added, including out-of-range ones.
+func (h *Histogram) Total() int {
+	t := h.under + h.over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// String renders a compact textual summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist[%g,%g) bins=%d n=%d under=%d over=%d",
+		h.Lo, h.Hi, len(h.Counts), h.Total(), h.under, h.over)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", r.N(), len(xs))
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", r.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(r.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("var = %g, want %g", r.Var(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max = %g/%g, want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMatchesDirect(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			r.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(n-1)
+		return math.Abs(r.Mean()-mean) < 1e-9 && math.Abs(r.Var()-v) < 1e-6
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.N() != 0 {
+		t.Fatal("zero value not usable")
+	}
+	if !math.IsInf(r.CI95(), 1) {
+		t.Fatal("CI95 of empty should be +Inf")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.At(50); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(50) = %g, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %g, want 0", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %g, want 1", got)
+	}
+	if got := c.Percentile(50); got != 50 {
+		t.Errorf("P50 = %g, want 50", got)
+	}
+	if got := c.Percentile(100); got != 100 {
+		t.Errorf("P100 = %g, want 100", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Errorf("P0 = %g, want 1", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c CDF
+		for i := 0; i < 200; i++ {
+			c.Add(rng.NormFloat64())
+		}
+		prev := -1.0
+		for x := -3.0; x <= 3.0; x += 0.1 {
+			f := c.At(x)
+			if f < prev || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for i := 0; i < 1000; i++ {
+		c.Add(float64(i))
+	}
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("got %d points, want 11", len(pts))
+	}
+	if pts[0][0] != 0 || pts[len(pts)-1][0] != 999 {
+		t.Errorf("endpoints wrong: %v %v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] {
+			t.Fatal("points not monotone")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 12 {
+		t.Errorf("total = %d, want 12", h.Total())
+	}
+	if h.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0)        // lowest bin
+	h.Add(0.999999) // highest bin
+	h.Add(1)        // over
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("edge binning wrong: %v", h.Counts)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}

@@ -1,0 +1,287 @@
+package strider
+
+import "spinal/internal/framing"
+
+// Decoder performs successive interference cancellation over the received
+// passes. Layers are decoded strongest-first; a layer whose CRC passes is
+// re-encoded, cached and subtracted from subsequent attempts. The decoder
+// needs the channel noise variance (Strider assumes SNR knowledge; spinal
+// codes do not — a §8.3 point in spinal's favour).
+type Decoder struct {
+	code *Code
+
+	// Received observations, per pass. For partially received passes,
+	// have[p][i] reports whether position i arrived. Observations are
+	// stored equalized (z·conj(h)/|h|²) with weight[p][i] = |h|² for
+	// noise scaling; weight 1 means no fading.
+	obs    [][]complex128
+	have   [][]bool
+	weight [][]float64
+
+	decoded []bool
+	info    [][]byte       // per decoded layer: message bits
+	rex     [][]complex128 // per decoded layer: re-encoded QPSK symbols
+
+	symbolsReceived int
+}
+
+// NewDecoder creates a decoder for one message of the given code.
+func NewDecoder(c *Code) *Decoder {
+	return &Decoder{
+		code:    c,
+		decoded: make([]bool, c.cfg.Layers),
+		info:    make([][]byte, c.cfg.Layers),
+		rex:     make([][]complex128, c.cfg.Layers),
+	}
+}
+
+// SymbolsReceived reports how many channel symbols have been stored.
+func (d *Decoder) SymbolsReceived() int { return d.symbolsReceived }
+
+func (d *Decoder) ensurePass(p int) {
+	for len(d.obs) <= p {
+		d.obs = append(d.obs, make([]complex128, d.code.ns))
+		d.have = append(d.have, make([]bool, d.code.ns))
+		d.weight = append(d.weight, make([]float64, d.code.ns))
+	}
+}
+
+// AddPass stores a fully received pass. h may be nil (no fading) or hold
+// per-symbol fading coefficients known to the receiver.
+func (d *Decoder) AddPass(p int, y []complex128, h []complex128) {
+	d.ensurePass(p)
+	for i, v := range y {
+		d.store(p, i, v, h, i)
+	}
+}
+
+// AddSubpass stores a partial pass: symbols at the given positions.
+func (d *Decoder) AddSubpass(p int, positions []int, y []complex128, h []complex128) {
+	d.ensurePass(p)
+	for j, i := range positions {
+		d.store(p, i, y[j], h, j)
+	}
+}
+
+func (d *Decoder) store(p, i int, v complex128, h []complex128, hIdx int) {
+	w := 1.0
+	if h != nil {
+		hv := h[hIdx]
+		habs2 := real(hv)*real(hv) + imag(hv)*imag(hv)
+		if habs2 < 1e-12 {
+			// Deep fade: record as missing.
+			return
+		}
+		v *= complex(real(hv)/habs2, -imag(hv)/habs2)
+		w = habs2
+	}
+	if !d.have[p][i] {
+		d.symbolsReceived++
+	}
+	d.obs[p][i] = v
+	d.have[p][i] = true
+	d.weight[p][i] = w
+}
+
+// TryDecode attempts SIC with everything received so far. Undecoded
+// layers are attempted in descending order of accumulated received
+// energy (with the rotated profile this is the layer currently easiest
+// to separate); each CRC-verified layer is subtracted before the next.
+// It returns the full message (one bit per byte) and true once every
+// layer's CRC passes. noiseVar is the channel's total complex noise
+// variance.
+func (d *Decoder) TryDecode(noiseVar float64) ([]byte, bool) {
+	c := d.code
+	for {
+		// Rank undecoded layers by accumulated energy.
+		best, bestE := -1, -1.0
+		for l := 0; l < c.cfg.Layers; l++ {
+			if d.decoded[l] {
+				continue
+			}
+			e := d.energy(l)
+			if e > bestE {
+				best, bestE = l, e
+			}
+		}
+		if best == -1 {
+			break // all decoded
+		}
+		if !d.decodeLayer(best, noiseVar) {
+			return nil, false
+		}
+	}
+	msg := make([]byte, c.MessageBits())
+	for l := 0; l < c.cfg.Layers; l++ {
+		copy(msg[l*c.cfg.LayerBits:], d.info[l])
+	}
+	return msg, true
+}
+
+// passSINR returns layer l's single-pass SINR in pass p, treating
+// undecoded layers as noise: q_pl / (Σ_{l' undec ≠ l} q_pl' + σ²).
+func (d *Decoder) passSINR(p, l int, noiseVar float64) float64 {
+	c := d.code
+	var intf float64
+	for l2 := 0; l2 < c.cfg.Layers; l2++ {
+		if l2 == l || d.decoded[l2] {
+			continue
+		}
+		intf += c.q[p][l2]
+	}
+	return c.q[p][l] / (intf + noiseVar)
+}
+
+// energy estimates layer l's combined post-SIC SINR across stored passes
+// (per-pass SINRs add under matched combining), weighting partial passes
+// by received fraction. TryDecode uses it to pick the SIC order.
+func (d *Decoder) energy(l int) float64 {
+	c := d.code
+	var e float64
+	for p := range d.obs {
+		n := 0
+		for i := 0; i < c.ns; i++ {
+			if d.have[p][i] {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		e += d.passSINR(p, l, 1e-3) * float64(n) / float64(c.ns)
+	}
+	return e
+}
+
+// covClass caches combining statistics for one coverage mask (set of
+// passes received at a symbol position).
+type covClass struct {
+	gain float64 // Σ_{p∈mask} w_p·q_pl, the signal coefficient
+	intf float64 // Σ_{l'≠l undec} |Σ_{p∈mask} w_p·conj(c_pl)·c_pl'|²
+	wsqn float64 // Σ_{p∈mask} w_p²·q_pl·σ² (noise power before fading adj.)
+}
+
+// decodeLayer combines the observations for layer l with SINR-matched
+// per-pass weights (an MMSE-style combiner: pass p is weighted by
+// 1/(interference_p + σ²), so steep early passes dominate when they
+// should), subtracts already-decoded layers, turbo-decodes and checks the
+// CRC. On success the layer is cached for cancellation.
+//
+// Interference is computed exactly per coverage class: an undecoded layer
+// l' sends identical symbols in every pass, so its post-combining
+// contribution is |Σ_p w_p·conj(c_pl)·c_pl'|², which the decoder can
+// evaluate because it knows R.
+func (d *Decoder) decodeLayer(l int, noiseVar float64) bool {
+	c := d.code
+	passes := len(d.obs)
+	if passes > 63 {
+		passes = 63
+	}
+
+	// Per-pass combining weights.
+	w := make([]float64, passes)
+	for p := 0; p < passes; p++ {
+		var intf float64
+		for l2 := 0; l2 < c.cfg.Layers; l2++ {
+			if l2 == l || d.decoded[l2] {
+				continue
+			}
+			intf += c.q[p][l2]
+		}
+		w[p] = 1 / (intf + noiseVar)
+	}
+
+	classes := map[uint64]*covClass{}
+	classFor := func(mask uint64) *covClass {
+		if cl, ok := classes[mask]; ok {
+			return cl
+		}
+		cl := &covClass{}
+		for p := 0; p < passes; p++ {
+			if mask&(1<<uint(p)) == 0 {
+				continue
+			}
+			cl.gain += w[p] * c.q[p][l]
+			cl.wsqn += w[p] * w[p] * c.q[p][l] * noiseVar
+		}
+		for l2 := 0; l2 < c.cfg.Layers; l2++ {
+			if l2 == l || d.decoded[l2] {
+				continue
+			}
+			var s complex128
+			for p := 0; p < passes; p++ {
+				if mask&(1<<uint(p)) == 0 {
+					continue
+				}
+				s += complex(w[p], 0) * complexConj(c.coeff(p, l)) * c.coeff(p, l2)
+			}
+			cl.intf += real(s)*real(s) + imag(s)*imag(s)
+		}
+		classes[mask] = cl
+		return cl
+	}
+
+	llr := make([]float64, 2*c.ns)
+	anyObs := false
+	for i := 0; i < c.ns; i++ {
+		var num complex128
+		var fadeExtra float64
+		var mask uint64
+		for p := 0; p < passes; p++ {
+			if !d.have[p][i] {
+				continue
+			}
+			mask |= 1 << uint(p)
+			co := c.coeff(p, l)
+			z := d.obs[p][i]
+			for l2 := 0; l2 < c.cfg.Layers; l2++ {
+				if d.decoded[l2] {
+					z -= c.coeff(p, l2) * d.rex[l2][i]
+				}
+			}
+			num += complex(w[p], 0) * complexConj(co) * z
+			// Equalized observations scale noise by 1/|h|²; account for
+			// the difference from the nominal σ² used in w.
+			if d.weight[p][i] != 1 {
+				q := c.q[p][l]
+				fadeExtra += w[p] * w[p] * q * noiseVar * (1/d.weight[p][i] - 1)
+			}
+		}
+		if mask == 0 {
+			continue // position never received: zero LLRs
+		}
+		cl := classFor(mask)
+		if cl.gain <= 0 {
+			continue
+		}
+		anyObs = true
+		est := num / complex(cl.gain, 0)
+		varEff := (cl.intf + cl.wsqn + fadeExtra) / (cl.gain * cl.gain)
+		if varEff < 1e-12 {
+			varEff = 1e-12
+		}
+		const a = 0.7071067811865476
+		scale := 2 * a / (varEff / 2)
+		llr[2*i] = scale * real(est)
+		llr[2*i+1] = scale * imag(est)
+	}
+	if !anyObs {
+		return false
+	}
+
+	block := c.tc.Decode(llr, c.cfg.TurboIters)
+	msgBits := block[:c.cfg.LayerBits]
+	var crc uint16
+	for i := 0; i < 16; i++ {
+		crc = crc<<1 | uint16(block[c.cfg.LayerBits+i]&1)
+	}
+	if framing.CRC16(packBits(msgBits)) != crc {
+		return false
+	}
+	d.decoded[l] = true
+	d.info[l] = msgBits
+	d.rex[l] = qpskModulate(c.tc.Encode(block))
+	return true
+}
+
+func complexConj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -1,0 +1,256 @@
+// Package strider implements the Strider baseline of §8: the layered
+// rateless code of Erez, Trott and Wornell as engineered by Gudipati and
+// Katti, built on a rate-1/5 turbo base code with QPSK layers, decoded by
+// successive interference cancellation (SIC), plus the paper's "Strider+"
+// puncturing enhancement that transmits passes in eight subpasses for a
+// finer-grained rate set.
+//
+// Layer powers follow the self-similar geometric allocation of the
+// layered approach: with design SINR δ, layer l (decoded l-th) has power
+// q_l ∝ δ(1+δ)^{L-1-l}, so after enough passes every layer sees at least
+// the base code's design SINR once stronger layers are cancelled. Each
+// pass transmits the same layer symbols with fresh pseudo-random phases;
+// the receiver maximal-ratio combines passes, so the per-layer SINR grows
+// linearly with the pass count — the rateless mechanism. Achieved rates
+// therefore track (2/5)·L/ℓ bits/symbol after ℓ passes, the expression in
+// §8.2.
+//
+// Each layer carries a 16-bit CRC so the decoder knows when SIC may
+// proceed, mirroring Strider's per-block CRCs.
+package strider
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"spinal/internal/framing"
+	"spinal/internal/turbo"
+)
+
+// Config parameterizes a Strider code.
+type Config struct {
+	// Layers is the number of data blocks (the paper recommends 33).
+	Layers int
+	// LayerBits is the number of message bits per layer (CRC excluded).
+	LayerBits int
+	// MaxPasses bounds transmission (the paper uses up to 27).
+	MaxPasses int
+	// TurboIters is the number of turbo decoding iterations (default 8).
+	TurboIters int
+	// Subpasses per pass: 1 is plain Strider; 8 is Strider+ (§8's
+	// puncturing enhancement).
+	Subpasses int
+	// DesignSINR is δ, the per-layer linear SINR the first pass's power
+	// allocation targets (default 0.45: below the rate-1/5 turbo's
+	// ≈0.6 threshold so one pass never suffices, while two passes exceed
+	// it — matching the paper's observation that Strider needs ≥2 passes
+	// everywhere in the tested range).
+	DesignSINR float64
+	// Seed drives the phase schedule and interleavers.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Layers == 0 {
+		c.Layers = 33
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 27
+	}
+	if c.TurboIters == 0 {
+		c.TurboIters = 8
+	}
+	if c.Subpasses == 0 {
+		c.Subpasses = 1
+	}
+	if c.DesignSINR == 0 {
+		c.DesignSINR = 0.45
+	}
+	if c.LayerBits < 8 {
+		panic("strider: LayerBits must be ≥ 8")
+	}
+	if (c.LayerBits+framing.CRCBits)%2 != 0 {
+		// QPSK consumes bit pairs; round up so coded blocks fill whole
+		// symbols.
+		c.LayerBits++
+	}
+	if c.Subpasses != 1 && c.Subpasses != 8 {
+		panic("strider: Subpasses must be 1 or 8")
+	}
+	return c
+}
+
+// Code is a configured Strider code shared by transmitter and receiver.
+//
+// The coefficient matrix R realizes the layered approach's incremental
+// allocation: pass p applies a geometric power profile with parameter
+// δ_p = δ·2/(p+2), so early passes are steep (a high-SNR receiver
+// SIC-decodes after two of them, pinning the maximum rate at 0.4·L/2
+// bits/symbol as in §8.2) and later passes flatten toward uniform,
+// feeding the weak layers that a low-SNR receiver needs. The receiver
+// combines passes with SINR-matched weights, so flat late passes never
+// drown the information carried by steep early ones.
+type Code struct {
+	cfg Config
+	tc  *turbo.Code
+	// q[p][l] is layer l's power share in pass p (Σ_l q[p][l] = 1).
+	q     [][]float64
+	ns    int            // symbols per layer per pass
+	phase [][]complex128 // [pass][layer] unit phasor
+}
+
+// New builds a Strider code.
+func New(cfg Config) *Code {
+	cfg = cfg.withDefaults()
+	blockBits := cfg.LayerBits + framing.CRCBits
+	tc := turbo.NewCode(blockBits, true, cfg.Seed^0x7eed)
+	if tc.CodedBits()%2 != 0 {
+		panic("strider: coded bits must be even for QPSK")
+	}
+	c := &Code{
+		cfg: cfg,
+		tc:  tc,
+		ns:  tc.CodedBits() / 2,
+	}
+
+	// Per-pass geometric power allocations with flattening parameter
+	// δ_p = δ·2/(p+2): q_l ∝ δ_p(1+δ_p)^{L-1-l}, normalized per pass.
+	L := cfg.Layers
+	c.q = make([][]float64, cfg.MaxPasses)
+	for p := 0; p < cfg.MaxPasses; p++ {
+		dp := cfg.DesignSINR * 2 / float64(p+2)
+		row := make([]float64, L)
+		var sum float64
+		for l := 0; l < L; l++ {
+			row[l] = dp * math.Pow(1+dp, float64(L-1-l))
+			sum += row[l]
+		}
+		for l := 0; l < L; l++ {
+			row[l] /= sum
+		}
+		c.q[p] = row
+	}
+
+	// Pseudo-random per-pass per-layer phases (the R matrix).
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+	c.phase = make([][]complex128, cfg.MaxPasses)
+	for p := range c.phase {
+		c.phase[p] = make([]complex128, L)
+		for l := range c.phase[p] {
+			c.phase[p][l] = cmplx.Exp(complex(0, 2*math.Pi*rng.Float64()))
+		}
+	}
+	return c
+}
+
+// MessageBits reports the message size in bits (one bit per byte in the
+// Encode input).
+func (c *Code) MessageBits() int { return c.cfg.Layers * c.cfg.LayerBits }
+
+// SymbolsPerPass reports the number of channel symbols in one full pass.
+func (c *Code) SymbolsPerPass() int { return c.ns }
+
+// MaxPasses reports the configured pass budget.
+func (c *Code) MaxPasses() int { return c.cfg.MaxPasses }
+
+// Subpasses reports the puncturing fan-out.
+func (c *Code) Subpasses() int { return c.cfg.Subpasses }
+
+// coeff returns the complex coefficient of layer l in pass p.
+func (c *Code) coeff(p, l int) complex128 {
+	return c.phase[p][l] * complex(math.Sqrt(c.q[p][l]), 0)
+}
+
+// packBits packs a bit-per-byte slice into bytes (LSB-first) for CRC
+// computation.
+func packBits(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+// layerBlock appends the CRC to a layer's message bits, producing the
+// turbo input block.
+func (c *Code) layerBlock(msgBits []byte) []byte {
+	crc := framing.CRC16(packBits(msgBits))
+	block := make([]byte, 0, len(msgBits)+16)
+	block = append(block, msgBits...)
+	for i := 0; i < 16; i++ {
+		block = append(block, byte(crc>>(15-uint(i)))&1)
+	}
+	return block
+}
+
+// Tx is an encoded message ready for rateless transmission.
+type Tx struct {
+	code *Code
+	x    [][]complex128 // per-layer QPSK symbols
+}
+
+// Encode prepares a message for transmission. msg holds MessageBits()
+// bits, one per byte.
+func (c *Code) Encode(msg []byte) *Tx {
+	if len(msg) != c.MessageBits() {
+		panic("strider: wrong message length")
+	}
+	t := &Tx{code: c, x: make([][]complex128, c.cfg.Layers)}
+	for l := 0; l < c.cfg.Layers; l++ {
+		block := c.layerBlock(msg[l*c.cfg.LayerBits : (l+1)*c.cfg.LayerBits])
+		coded := c.tc.Encode(block)
+		t.x[l] = qpskModulate(coded)
+	}
+	return t
+}
+
+// qpskModulate maps bit pairs to unit-power QPSK symbols.
+func qpskModulate(bits []byte) []complex128 {
+	const a = 0.7071067811865476
+	out := make([]complex128, len(bits)/2)
+	for i := range out {
+		re, im := a, a
+		if bits[2*i]&1 == 1 {
+			re = -a
+		}
+		if bits[2*i+1]&1 == 1 {
+			im = -a
+		}
+		out[i] = complex(re, im)
+	}
+	return out
+}
+
+// Pass produces the full superposed symbol vector for pass p.
+func (t *Tx) Pass(p int) []complex128 {
+	out := make([]complex128, t.code.ns)
+	for l := range t.x {
+		co := t.code.coeff(p, l)
+		for i, s := range t.x[l] {
+			out[i] += co * s
+		}
+	}
+	return out
+}
+
+// Subpass produces the symbols of subpass s (0-based) of pass p under
+// Strider+ puncturing, together with their symbol positions. Subpass s
+// carries the positions congruent to subpassResidue(s) mod Subpasses.
+func (t *Tx) Subpass(p, s int) (syms []complex128, positions []int) {
+	full := t.Pass(p)
+	res := subpassResidue(s, t.code.cfg.Subpasses)
+	for i := res; i < len(full); i += t.code.cfg.Subpasses {
+		syms = append(syms, full[i])
+		positions = append(positions, i)
+	}
+	return syms, positions
+}
+
+// subpassResidue spreads subpasses evenly (bit-reversed order).
+func subpassResidue(s, ways int) int {
+	order := map[int][]int{1: {0}, 8: {7, 3, 5, 1, 6, 2, 4, 0}}[ways]
+	return order[s%ways]
+}

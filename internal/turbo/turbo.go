@@ -1,0 +1,310 @@
+// Package turbo implements the rate-1/5 parallel-concatenated
+// convolutional (turbo) code that Strider uses as its base code (§8), with
+// a log-MAP BCJR decoder for the constituent recursive systematic
+// convolutional (RSC) codes and iterative extrinsic exchange.
+//
+// The RSC constituents have memory 3 with feedback polynomial 13 (octal)
+// and output polynomials 15 and 17 (octal), the 3GPP-style choice. The
+// rate-1/5 code transmits the systematic stream plus two parity streams
+// from each constituent; rate 1/3 transmits one parity stream from each.
+// Trellises start in state 0 and are left unterminated (a documented
+// simplification; end effects are negligible at the block sizes used).
+package turbo
+
+import (
+	"math"
+	"math/rand"
+)
+
+const (
+	memory = 3
+	states = 1 << memory
+
+	// Polynomial masks, bit 0 = current feedback input a_k, bit i =
+	// register a_{k-i}. 13 octal = 1+D+D³, 15 octal = 1+D²+D³,
+	// 17 octal = 1+D+D²+D³.
+	polyFB   = 0b1011
+	polyOut1 = 0b1101
+	polyOut2 = 0b1111
+)
+
+// trellis transition tables, indexed [state][input].
+var (
+	nextState [states][2]uint8
+	outP1     [states][2]uint8
+	outP2     [states][2]uint8
+)
+
+func init() {
+	for s := 0; s < states; s++ {
+		for u := 0; u < 2; u++ {
+			fb := uint8(u) ^ parity8(uint8(s)&uint8(polyFB>>1))
+			nextState[s][u] = (uint8(s)<<1 | fb) & (states - 1)
+			outP1[s][u] = (uint8(polyOut1) & 1 * fb) ^ parity8(uint8(s)&uint8(polyOut1>>1))
+			outP2[s][u] = (uint8(polyOut2) & 1 * fb) ^ parity8(uint8(s)&uint8(polyOut2>>1))
+		}
+	}
+}
+
+func parity8(b uint8) uint8 {
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	return b & 1
+}
+
+// rscEncode runs one RSC constituent over bits, returning the two parity
+// streams.
+func rscEncode(bits []byte) (p1, p2 []byte) {
+	p1 = make([]byte, len(bits))
+	p2 = make([]byte, len(bits))
+	var s uint8
+	for i, u := range bits {
+		u &= 1
+		p1[i] = outP1[s][u]
+		p2[i] = outP2[s][u]
+		s = nextState[s][u]
+	}
+	return p1, p2
+}
+
+// Interleaver is a pseudo-random permutation shared by encoder and
+// decoder.
+type Interleaver struct {
+	perm []int32
+	inv  []int32
+}
+
+// NewInterleaver builds a deterministic length-n interleaver from seed.
+func NewInterleaver(n int, seed int64) *Interleaver {
+	rng := rand.New(rand.NewSource(seed))
+	p := rng.Perm(n)
+	il := &Interleaver{perm: make([]int32, n), inv: make([]int32, n)}
+	for i, v := range p {
+		il.perm[i] = int32(v)
+		il.inv[v] = int32(i)
+	}
+	return il
+}
+
+// Len reports the interleaver length.
+func (il *Interleaver) Len() int { return len(il.perm) }
+
+func permuteBytes(out, in []byte, idx []int32) {
+	for i, v := range idx {
+		out[i] = in[v]
+	}
+}
+
+func permuteF64(out, in []float64, idx []int32) {
+	for i, v := range idx {
+		out[i] = in[v]
+	}
+}
+
+// Code is a turbo code over n-bit blocks.
+type Code struct {
+	n      int
+	il     *Interleaver
+	rate15 bool
+}
+
+// NewCode creates a turbo code for n-bit information blocks. rate15
+// selects rate 1/5 (Strider's base); false gives rate 1/3.
+func NewCode(n int, rate15 bool, seed int64) *Code {
+	if n < 8 {
+		panic("turbo: block too short")
+	}
+	return &Code{n: n, il: NewInterleaver(n, seed), rate15: rate15}
+}
+
+// N reports the information block length in bits.
+func (c *Code) N() int { return c.n }
+
+// CodedBits reports the number of coded bits per block.
+func (c *Code) CodedBits() int {
+	if c.rate15 {
+		return 5 * c.n
+	}
+	return 3 * c.n
+}
+
+// Encode produces the coded bit stream: systematic, then parity streams
+// interleaved per-bit as [sys, p1a, (p1b,) p2a, (p2b)] groups so the
+// stream degrades gracefully under truncation.
+func (c *Code) Encode(info []byte) []byte {
+	if len(info) != c.n {
+		panic("turbo: wrong info length")
+	}
+	p1a, p1b := rscEncode(info)
+	inter := make([]byte, c.n)
+	permuteBytes(inter, info, c.il.perm)
+	p2a, p2b := rscEncode(inter)
+
+	out := make([]byte, 0, c.CodedBits())
+	for i := 0; i < c.n; i++ {
+		if c.rate15 {
+			out = append(out, info[i]&1, p1a[i], p1b[i], p2a[i], p2b[i])
+		} else {
+			out = append(out, info[i]&1, p1a[i], p2a[i])
+		}
+	}
+	return out
+}
+
+// Decode runs iterative log-MAP decoding over per-coded-bit LLRs
+// (positive ⇒ bit 0), laid out as Encode produced them. It returns the
+// hard-decision information bits.
+func (c *Code) Decode(llr []float64, iterations int) []byte {
+	if len(llr) != c.CodedBits() {
+		panic("turbo: wrong LLR length")
+	}
+	n := c.n
+	lsys := make([]float64, n)
+	l1a := make([]float64, n)
+	l1b := make([]float64, n)
+	l2a := make([]float64, n)
+	l2b := make([]float64, n)
+	group := 3
+	if c.rate15 {
+		group = 5
+	}
+	for i := 0; i < n; i++ {
+		lsys[i] = llr[i*group]
+		l1a[i] = llr[i*group+1]
+		if c.rate15 {
+			l1b[i] = llr[i*group+2]
+			l2a[i] = llr[i*group+3]
+			l2b[i] = llr[i*group+4]
+		} else {
+			l2a[i] = llr[i*group+2]
+		}
+	}
+
+	lsysI := make([]float64, n) // systematic LLRs in interleaved order
+	permuteF64(lsysI, lsys, c.il.perm)
+
+	ext1 := make([]float64, n) // extrinsic from decoder 1 (natural order)
+	ext2 := make([]float64, n) // extrinsic from decoder 2 (natural order)
+	apri := make([]float64, n)
+
+	var bcjr bcjrState
+	bcjr.init(n)
+
+	for iter := 0; iter < iterations; iter++ {
+		// Decoder 1: a priori = deinterleaved extrinsic of decoder 2.
+		bcjr.run(lsys, l1a, l1b, ext2, ext1)
+		// Decoder 2: a priori = interleaved extrinsic of decoder 1.
+		permuteF64(apri, ext1, c.il.perm)
+		bcjr.run(lsysI, l2a, l2b, apri, apri)
+		permuteF64(ext2, apri, c.il.inv)
+	}
+
+	info := make([]byte, n)
+	for i := 0; i < n; i++ {
+		post := lsys[i] + ext1[i] + ext2[i]
+		if post < 0 {
+			info[i] = 1
+		}
+	}
+	return info
+}
+
+// bcjrState holds reusable buffers for the log-MAP forward-backward pass.
+type bcjrState struct {
+	alpha [][states]float64
+	beta  [][states]float64
+}
+
+func (b *bcjrState) init(n int) {
+	b.alpha = make([][states]float64, n+1)
+	b.beta = make([][states]float64, n+1)
+}
+
+// run executes log-MAP BCJR for one constituent. lp2 may be all zeros
+// (rate 1/3). apri is the a priori LLR per info bit; ext receives the
+// extrinsic output (may alias apri).
+func (b *bcjrState) run(lsys, lp1, lp2, apri, ext []float64) {
+	n := len(lsys)
+	negInf := math.Inf(-1)
+
+	// gamma for (state, u): branch metric. Using the convention
+	// L > 0 ⇒ bit 0, the metric contribution of bit value v under LLR L
+	// is -v·L (up to a constant common to both hypotheses).
+	gamma := func(i, s, u int) float64 {
+		g := 0.0
+		if u == 1 {
+			g -= lsys[i] + apri[i]
+		}
+		if outP1[s][u] == 1 {
+			g -= lp1[i]
+		}
+		if outP2[s][u] == 1 {
+			g -= lp2[i]
+		}
+		return g
+	}
+
+	// Forward.
+	for s := 0; s < states; s++ {
+		b.alpha[0][s] = negInf
+	}
+	b.alpha[0][0] = 0
+	for i := 0; i < n; i++ {
+		for s := 0; s < states; s++ {
+			b.alpha[i+1][s] = negInf
+		}
+		for s := 0; s < states; s++ {
+			a := b.alpha[i][s]
+			if math.IsInf(a, -1) {
+				continue
+			}
+			for u := 0; u < 2; u++ {
+				ns := nextState[s][u]
+				m := a + gamma(i, s, u)
+				b.alpha[i+1][ns] = logMax(b.alpha[i+1][ns], m)
+			}
+		}
+	}
+
+	// Backward; unterminated trellis ⇒ uniform beta at the end.
+	for s := 0; s < states; s++ {
+		b.beta[n][s] = 0
+	}
+	for i := n - 1; i >= 0; i-- {
+		for s := 0; s < states; s++ {
+			m0 := b.beta[i+1][nextState[s][0]] + gamma(i, s, 0)
+			m1 := b.beta[i+1][nextState[s][1]] + gamma(i, s, 1)
+			b.beta[i][s] = logMax(m0, m1)
+		}
+	}
+
+	// Extrinsic LLR per bit.
+	for i := 0; i < n; i++ {
+		l0, l1 := negInf, negInf
+		for s := 0; s < states; s++ {
+			a := b.alpha[i][s]
+			if math.IsInf(a, -1) {
+				continue
+			}
+			l0 = logMax(l0, a+gamma(i, s, 0)+b.beta[i+1][nextState[s][0]])
+			l1 = logMax(l1, a+gamma(i, s, 1)+b.beta[i+1][nextState[s][1]])
+		}
+		full := l0 - l1
+		ext[i] = full - lsys[i] - apri[i]
+	}
+}
+
+// logMax is the max* operator: log(e^a + e^b).
+func logMax(a, c float64) float64 {
+	if math.IsInf(a, -1) {
+		return c
+	}
+	if math.IsInf(c, -1) {
+		return a
+	}
+	if a < c {
+		a, c = c, a
+	}
+	return a + math.Log1p(math.Exp(c-a))
+}

@@ -1,0 +1,236 @@
+package turbo
+
+import (
+	"math/rand"
+	"testing"
+
+	"spinal/internal/channel"
+)
+
+func randBits(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+func TestTrellisTables(t *testing.T) {
+	// Every state must have two distinct successors, and the trellis must
+	// be a permutation per input (each state has exactly two predecessors
+	// in total).
+	pred := make(map[uint8]int)
+	for s := 0; s < states; s++ {
+		if nextState[s][0] == nextState[s][1] {
+			t.Fatalf("state %d: inputs lead to same successor", s)
+		}
+		pred[nextState[s][0]]++
+		pred[nextState[s][1]]++
+	}
+	for s := 0; s < states; s++ {
+		if pred[uint8(s)] != 2 {
+			t.Fatalf("state %d has %d predecessors, want 2", s, pred[uint8(s)])
+		}
+	}
+}
+
+func TestRSCRecursive(t *testing.T) {
+	// An RSC's response to a single 1 must be infinite (recursive): the
+	// parity stream after the impulse should not become all-zero.
+	bits := make([]byte, 64)
+	bits[0] = 1
+	p1, _ := rscEncode(bits)
+	nz := 0
+	for _, b := range p1[1:] {
+		if b == 1 {
+			nz++
+		}
+	}
+	if nz < 10 {
+		t.Fatalf("impulse response dies out: %d ones", nz)
+	}
+}
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	il := NewInterleaver(100, 3)
+	in := make([]float64, 100)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	mid := make([]float64, 100)
+	out := make([]float64, 100)
+	permuteF64(mid, in, il.perm)
+	permuteF64(out, mid, il.inv)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("interleaver inverse broken")
+		}
+	}
+	// Must actually permute.
+	same := 0
+	for i := range in {
+		if mid[i] == in[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("interleaver nearly identity: %d fixed points", same)
+	}
+}
+
+func TestCodedBits(t *testing.T) {
+	if NewCode(100, true, 1).CodedBits() != 500 {
+		t.Fatal("rate 1/5 coded bits wrong")
+	}
+	if NewCode(100, false, 1).CodedBits() != 300 {
+		t.Fatal("rate 1/3 coded bits wrong")
+	}
+}
+
+func TestEncodeSystematic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewCode(64, true, 9)
+	info := randBits(rng, 64)
+	coded := c.Encode(info)
+	for i := 0; i < 64; i++ {
+		if coded[i*5] != info[i] {
+			t.Fatalf("systematic bit %d not present in stream", i)
+		}
+	}
+}
+
+func TestDecodeNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, rate15 := range []bool{true, false} {
+		c := NewCode(128, rate15, 11)
+		info := randBits(rng, 128)
+		coded := c.Encode(info)
+		llr := make([]float64, len(coded))
+		for i, b := range coded {
+			if b == 0 {
+				llr[i] = 10
+			} else {
+				llr[i] = -10
+			}
+		}
+		got := c.Decode(llr, 4)
+		for i := range info {
+			if got[i] != info[i] {
+				t.Fatalf("rate15=%v: noiseless decode wrong at bit %d", rate15, i)
+			}
+		}
+	}
+}
+
+// bpskTurboTrial encodes, transmits over AWGN with BPSK and decodes;
+// reports whether the block was recovered.
+func bpskTurboTrial(c *Code, snrDB float64, seed int64, iters int) bool {
+	rng := rand.New(rand.NewSource(seed))
+	info := randBits(rng, c.N())
+	coded := c.Encode(info)
+	ch := channel.NewAWGN(snrDB, seed+1000)
+	const a = 0.7071067811865476
+	syms := make([]complex128, (len(coded)+1)/2)
+	for i := range syms {
+		re, im := a, a
+		if coded[2*i] == 1 {
+			re = -a
+		}
+		if 2*i+1 < len(coded) && coded[2*i+1] == 1 {
+			im = -a
+		}
+		syms[i] = complex(re, im)
+	}
+	y := ch.Transmit(syms)
+	sigma2 := ch.NoiseVar() / 2
+	llr := make([]float64, len(coded))
+	for i := range coded {
+		var v float64
+		if i%2 == 0 {
+			v = real(y[i/2])
+		} else {
+			v = imag(y[i/2])
+		}
+		llr[i] = 2 * a * v / sigma2
+	}
+	got := c.Decode(llr, iters)
+	for i := range info {
+		if got[i] != info[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecodeNearCapacity(t *testing.T) {
+	// Rate 1/5 with QPSK carries 0.4 bits/symbol; Shannon needs −5.0 dB.
+	// A decent turbo code should decode reliably at −3 dB and fail at
+	// −8 dB.
+	c := NewCode(512, true, 21)
+	okHigh, okLow := 0, 0
+	for trial := int64(0); trial < 6; trial++ {
+		if bpskTurboTrial(c, -3, trial, 8) {
+			okHigh++
+		}
+		if bpskTurboTrial(c, -8, 100+trial, 8) {
+			okLow++
+		}
+	}
+	if okHigh < 5 {
+		t.Errorf("rate-1/5 turbo at −3 dB: only %d/6 decoded", okHigh)
+	}
+	if okLow > 1 {
+		t.Errorf("rate-1/5 turbo at −8 dB: %d/6 decoded (below Shannon limit!)", okLow)
+	}
+}
+
+func TestIterationsHelp(t *testing.T) {
+	// At a marginal SNR, 8 iterations should succeed at least as often as
+	// 1 iteration.
+	c := NewCode(256, true, 31)
+	one, eight := 0, 0
+	for trial := int64(0); trial < 8; trial++ {
+		if bpskTurboTrial(c, -4.0, 200+trial, 1) {
+			one++
+		}
+		if bpskTurboTrial(c, -4.0, 200+trial, 8) {
+			eight++
+		}
+	}
+	if eight < one {
+		t.Fatalf("more iterations hurt: 1 iter %d/8, 8 iters %d/8", one, eight)
+	}
+}
+
+func TestRate13Decodes(t *testing.T) {
+	c := NewCode(256, false, 41)
+	ok := 0
+	for trial := int64(0); trial < 5; trial++ {
+		// Rate 1/3 QPSK = 2/3 bits/symbol, Shannon ≈ −2.3 dB; run at 1 dB.
+		if bpskTurboTrial(c, 1, 300+trial, 8) {
+			ok++
+		}
+	}
+	if ok < 4 {
+		t.Fatalf("rate-1/3 turbo at 1 dB: only %d/5 decoded", ok)
+	}
+}
+
+func BenchmarkTurboDecode(b *testing.B) {
+	c := NewCode(512, true, 21)
+	rng := rand.New(rand.NewSource(60))
+	info := randBits(rng, 512)
+	coded := c.Encode(info)
+	llr := make([]float64, len(coded))
+	for i, bit := range coded {
+		if bit == 0 {
+			llr[i] = 2
+		} else {
+			llr[i] = -2
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(llr, 8)
+	}
+}

@@ -1,0 +1,79 @@
+// Package spinal is a Go implementation of spinal codes (Perry,
+// Balakrishnan, Shah — SIGCOMM 2012): a rateless code for wireless
+// channels built from the sequential application of a hash function to
+// the message bits, decoded by the polynomial-time bubble decoder.
+//
+// The package re-exports the core API from internal/core. A minimal
+// transmission loop looks like:
+//
+//	p := spinal.DefaultParams()
+//	enc := spinal.NewEncoder(msg, len(msg)*8, p)
+//	dec := spinal.NewDecoder(len(msg)*8, p)
+//	sched := enc.NewSchedule()
+//	for !decoded {
+//		ids := sched.NextSubpass()
+//		dec.Add(ids, channel(enc.Symbols(ids)))
+//		got, _ := dec.Decode()
+//		decoded = crcOK(got) // e.g. framing.Verify
+//	}
+//
+// Subsystems (channel models, baseline codes, the link-layer protocol,
+// the experiment harness) live under internal/; the runnable entry points
+// are cmd/spinalsim, cmd/spinalcat and the examples/ directory.
+package spinal
+
+import (
+	"spinal/internal/core"
+	"spinal/internal/hashfn"
+	"spinal/internal/modem"
+)
+
+// Params configures a spinal code (see core.Params).
+type Params = core.Params
+
+// SymbolID identifies one transmitted symbol (spine index + RNG index).
+type SymbolID = core.SymbolID
+
+// Schedule enumerates the transmission order of symbols: §5 puncturing
+// subpasses with §4.4 tail symbols.
+type Schedule = core.Schedule
+
+// Encoder produces the rateless symbol stream for one message.
+type Encoder = core.Encoder
+
+// Decoder is the bubble decoder for AWGN (optionally fading-aware).
+type Decoder = core.Decoder
+
+// BSCDecoder is the bubble decoder with Hamming branch metrics.
+type BSCDecoder = core.BSCDecoder
+
+// Hash is the spine hash function interface; OneAtATime is the default.
+type Hash = hashfn.Hash
+
+// Mapper is the constellation mapping function interface.
+type Mapper = modem.Mapper
+
+// DefaultParams returns the paper's recommended operating point:
+// k=4, B=256, d=1, c=6, two tail symbols, 8-way puncturing.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewEncoder builds an encoder for the first nBits bits of msg.
+func NewEncoder(msg []byte, nBits int, p Params) *Encoder {
+	return core.NewEncoder(msg, nBits, p)
+}
+
+// NewDecoder creates an AWGN bubble decoder for nBits-bit messages.
+func NewDecoder(nBits int, p Params) *Decoder {
+	return core.NewDecoder(nBits, p)
+}
+
+// NewBSCDecoder creates a BSC bubble decoder for nBits-bit messages.
+func NewBSCDecoder(nBits int, p Params) *BSCDecoder {
+	return core.NewBSCDecoder(nBits, p)
+}
+
+// NewSchedule creates the symbol schedule for nspine spine values with
+// the given puncturing fan-out and tail symbol count.
+func NewSchedule(nspine, ways, tail int) *Schedule {
+	return core.NewSchedule(nspine, ways, tail)
+}

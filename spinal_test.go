@@ -1,0 +1,69 @@
+package spinal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the facade exactly as the package doc
+// comment advertises.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]byte, 16)
+	rng.Read(msg)
+	p := DefaultParams()
+	p.B = 32
+
+	enc := NewEncoder(msg, len(msg)*8, p)
+	dec := NewDecoder(len(msg)*8, p)
+	sched := enc.NewSchedule()
+	for sub := 0; sub < 8; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Symbols(ids))
+	}
+	got, cost := dec.Decode()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip failed")
+	}
+	if cost != 0 {
+		t.Fatalf("noiseless cost %g", cost)
+	}
+}
+
+func TestPublicBSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	msg := make([]byte, 8)
+	rng.Read(msg)
+	p := DefaultParams()
+	p.C = 1
+	p.B = 32
+
+	enc := NewEncoder(msg, len(msg)*8, p)
+	dec := NewBSCDecoder(len(msg)*8, p)
+	sched := enc.NewSchedule()
+	// A noiseless BSC still needs more coded bits than message bits; six
+	// passes supply 6·17 = 102 bits for the 64-bit message.
+	for sub := 0; sub < 48; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Bits(ids))
+	}
+	got, _ := dec.Decode()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("BSC round trip failed")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.K != 4 || p.B != 256 || p.D != 1 || p.C != 6 || p.Tail != 2 || p.Ways != 8 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}
+
+func TestNewScheduleExported(t *testing.T) {
+	s := NewSchedule(64, 8, 2)
+	if s.SymbolsPerPass() != 65 {
+		t.Fatalf("SymbolsPerPass = %d", s.SymbolsPerPass())
+	}
+}
