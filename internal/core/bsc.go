@@ -1,21 +1,35 @@
 package core
 
-import "spinal/internal/hashfn"
+import (
+	"math"
+	"runtime"
+
+	"spinal/internal/hashfn"
+)
 
 // BSCDecoder is the bubble decoder for the binary symmetric channel. The
 // only change from the AWGN decoder is the branch metric: Hamming distance
 // between received bits and the bits the candidate spine state would have
 // produced (§4.1). Use C=1 in Params for BSC operation.
+//
+// Like Decoder, it owns all search scratch (steady-state decodes allocate
+// nothing) and binds the hash functions at construction.
 type BSCDecoder struct {
 	p     Params
 	nBits int
 	ns    int
-	rng   hashfn.RNG
+	words hashfn.WordsFunc
 
 	ts   [][]uint32
 	bits [][]byte
 
 	nsyms int
+
+	bs     beamSearch
+	eval   *evaluator
+	msgBuf []byte
+	parMsg []byte
+	par    parPool
 }
 
 // NewBSCDecoder creates a BSC decoder for nBits-bit messages.
@@ -25,14 +39,105 @@ func NewBSCDecoder(nBits int, p Params) *BSCDecoder {
 		panic("core: message must have at least one bit")
 	}
 	ns := numSpine(nBits, p.K)
-	return &BSCDecoder{
+	d := &BSCDecoder{
 		p:     p,
 		nBits: nBits,
 		ns:    ns,
-		rng:   hashfn.RNG{H: p.Hash},
+		words: hashfn.CompileWords(p.Hash),
 		ts:    make([][]uint32, ns),
 		bits:  make([][]byte, ns),
+		bs:    newBeamSearch(nBits, p),
 	}
+	d.eval = d.newEvaluator()
+	return d
+}
+
+func (d *BSCDecoder) newEvaluator() *evaluator {
+	e := &evaluator{
+		children: d.bs.children,
+		nBits:    d.nBits,
+		k:        d.p.K,
+		ns:       d.ns,
+	}
+	if d.p.D > 1 {
+		e.memo = make(map[uint64]float64)
+	}
+	var (
+		ts   []uint32
+		bits []byte
+	)
+	e.bind = func(chunk int) {
+		if e.boundChunk == chunk {
+			return
+		}
+		e.boundChunk = chunk
+		ts = d.ts[chunk]
+		bits = d.bits[chunk]
+	}
+	words := d.words
+	var wbuf []uint32
+	e.cost = func(state uint32) float64 {
+		n := len(ts)
+		if n == 0 {
+			return 0
+		}
+		if cap(wbuf) < n {
+			wbuf = make([]uint32, n)
+		}
+		w := wbuf[:n]
+		words(state, ts, w)
+		var dist int
+		for i, wv := range w {
+			dist += int((byte(wv) ^ bits[i]) & 1)
+		}
+		return float64(dist)
+	}
+	oaat, isOAAT := hashfn.AsOneAtATime(d.p.Hash)
+	if !isOAAT {
+		e.expand = func(parent uint32, kb int, _ float64, childs []uint32, costs []float64) {
+			e.children(parent, kb, childs)
+			for j, s := range childs {
+				costs[j] = e.cost(s)
+			}
+		}
+		return e
+	}
+	var pre, wrow []uint32
+	e.expand = func(parent uint32, kb int, budget float64, childs []uint32, costs []float64) {
+		nc := len(childs)
+		if cap(pre) < nc {
+			pre = make([]uint32, nc)
+			wrow = make([]uint32, nc)
+		}
+		if len(ts) == 0 {
+			e.children(parent, kb, childs)
+			for j := range costs {
+				costs[j] = 0
+			}
+			return
+		}
+		pr, wr := pre[:nc], wrow[:nc]
+		oaat.ChildrenPrefixes(parent, kb, childs, pr)
+		for j := range costs {
+			costs[j] = 0
+		}
+		for i, t := range ts {
+			hashfn.FinishWords(pr, t, wr)
+			b := bits[i]
+			mn := math.Inf(1)
+			for j, w := range wr {
+				c := costs[j] + float64((byte(w)^b)&1)
+				costs[j] = c
+				if c < mn {
+					mn = c
+				}
+			}
+			if mn >= budget {
+				return
+			}
+		}
+	}
+	return e
 }
 
 // NewSchedule returns a fresh transmission schedule matching this decoder.
@@ -56,7 +161,8 @@ func (d *BSCDecoder) Add(ids []SymbolID, bits []byte) {
 // SymbolCount reports the number of bits stored so far.
 func (d *BSCDecoder) SymbolCount() int { return d.nsyms }
 
-// Reset discards stored bits for reuse on a new message.
+// Reset discards stored bits for reuse on a new message, keeping all
+// storage and search scratch capacity.
 func (d *BSCDecoder) Reset() {
 	for i := range d.ts {
 		d.ts[i] = d.ts[i][:0]
@@ -65,21 +171,32 @@ func (d *BSCDecoder) Reset() {
 	d.nsyms = 0
 }
 
+// Close releases the persistent worker pool, if any (see Decoder.Close).
+func (d *BSCDecoder) Close() { d.par.close() }
+
 // Decode runs the bubble decoder and returns the most likely message and
-// its Hamming path cost.
+// its Hamming path cost. The returned slice is owned by the decoder and
+// overwritten by the next Decode call; copy it if it must be retained.
 func (d *BSCDecoder) Decode() ([]byte, float64) {
-	bs := beamSearch{nBits: d.nBits, p: d.p, cost: d.branchCost}
-	return bs.run()
+	msg, cost := d.bs.run(d.eval, d.msgBuf)
+	d.msgBuf = msg
+	return msg, cost
 }
 
-func (d *BSCDecoder) branchCost(chunk int, state uint32) float64 {
-	ts := d.ts[chunk]
-	bits := d.bits[chunk]
-	var dist int
-	for i, t := range ts {
-		if byte(d.rng.Word(state, t)&1) != bits[i] {
-			dist++
-		}
+// DecodeParallel is Decode with candidate expansion sharded across a
+// persistent worker pool (workers ≤ 0 means GOMAXPROCS); results match
+// Decode up to cost ties.
+func (d *BSCDecoder) DecodeParallel(workers int) ([]byte, float64) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return float64(dist)
+	if workers == 1 {
+		return d.Decode()
+	}
+	if d.par.ensure(workers, d.newEvaluator) {
+		runtime.AddCleanup(d, func(p *workerPool) { p.stop() }, d.par.pool)
+	}
+	msg, cost := d.bs.runParallel(d.par.pool, d.par.evals, d.parMsg)
+	d.parMsg = msg
+	return msg, cost
 }

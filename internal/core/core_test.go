@@ -475,7 +475,8 @@ func TestSelectBest(t *testing.T) {
 			sorted[i] = cands[i].score
 		}
 		// Selection correctness: max of kept ≤ min of dropped.
-		selectBest(cands, k)
+		var bs beamSearch
+		bs.selectBest(cands, k)
 		maxKept := cands[0].score
 		for _, c := range cands[:k] {
 			if c.score > maxKept {

@@ -11,20 +11,39 @@ import (
 // decoding tree on each Decode call; §7.1 found that caching explored
 // nodes between attempts does not help, because new symbols change pruning
 // decisions.
+//
+// The decoder owns all search scratch: after the first few Decode calls
+// warm the buffers up, decoding allocates nothing. Received symbols are
+// stored as separate I/Q planes (structure of arrays) so the ℓ2 metric's
+// inner loop walks dense float64 slices, and the spine hash and symbol
+// RNG are bound to concrete batched functions at construction instead of
+// being dispatched through the hashfn.Hash interface per symbol.
 type Decoder struct {
 	p     Params
 	nBits int
 	ns    int
-	rng   hashfn.RNG
+	words hashfn.WordsFunc
 	cmask uint32
 	table []float64 // constellation lookup, indexed by c-bit value
 
-	// Received data per chunk, parallel slices.
-	ts [][]uint32     // RNG indices
-	ys [][]complex128 // received symbols
-	hs [][]complex128 // fading coefficients; nil slice ⇒ h=1 for the chunk
+	// Received data per chunk, parallel planes.
+	ts  [][]uint32  // RNG indices
+	ysI [][]float64 // received symbol I plane
+	ysQ [][]float64 // received symbol Q plane
+	hsI [][]float64 // fading coefficient I plane (valid when faded[c])
+	hsQ [][]float64 // fading coefficient Q plane
+	// faded marks chunks whose hs planes are active; an unmarked chunk is
+	// treated as h=1 throughout (plain AWGN).
+	faded []bool
 
 	nsyms int
+
+	bs     beamSearch
+	eval   *evaluator // serial-path evaluator
+	msgBuf []byte     // Decode result buffer
+	parMsg []byte     // DecodeParallel result buffer (kept separate so a
+	// serial result survives a subsequent parallel decode)
+	par parPool
 }
 
 // NewDecoder creates a decoder for nBits-bit messages with the given code
@@ -39,17 +58,257 @@ func NewDecoder(nBits int, p Params) *Decoder {
 	for b := range table {
 		table[b] = p.Mapper.Map(uint32(b))
 	}
-	return &Decoder{
+	d := &Decoder{
 		p:     p,
 		nBits: nBits,
 		ns:    ns,
-		rng:   hashfn.RNG{H: p.Hash},
+		words: hashfn.CompileWords(p.Hash),
 		cmask: (1 << uint(p.C)) - 1,
 		table: table,
 		ts:    make([][]uint32, ns),
-		ys:    make([][]complex128, ns),
-		hs:    make([][]complex128, ns),
+		ysI:   make([][]float64, ns),
+		ysQ:   make([][]float64, ns),
+		hsI:   make([][]float64, ns),
+		hsQ:   make([][]float64, ns),
+		faded: make([]bool, ns),
+		bs:    newBeamSearch(nBits, p),
 	}
+	d.eval = d.newEvaluator()
+	return d
+}
+
+// newEvaluator builds a branch-cost evaluator with its own scratch (and
+// lookahead memo when D > 1). The serial decode path keeps one;
+// DecodeParallel keeps one per pool worker.
+//
+// bind loads one chunk's stored planes into closure variables once per
+// spine step; cost then scores a candidate state with no per-candidate
+// slice chasing: one batched, devirtualized WordsFunc call fills a
+// cache-resident word buffer (for OneAtATime the per-state prefix is
+// mixed once and each index costs four mixed bytes plus the avalanche),
+// and the ℓ2 loop runs over dense I/Q planes.
+func (d *Decoder) newEvaluator() *evaluator {
+	e := &evaluator{
+		children: d.bs.children,
+		nBits:    d.nBits,
+		k:        d.p.K,
+		ns:       d.ns,
+	}
+	if d.p.D > 1 {
+		e.memo = make(map[uint64]float64)
+	}
+	var (
+		ts     []uint32
+		yI, yQ []float64
+		hI, hQ []float64
+		faded  bool
+	)
+	e.bind = func(chunk int) {
+		if e.boundChunk == chunk {
+			return
+		}
+		e.boundChunk = chunk
+		ts = d.ts[chunk]
+		yI, yQ = d.ysI[chunk], d.ysQ[chunk]
+		faded = d.faded[chunk]
+		if faded {
+			hI, hQ = d.hsI[chunk], d.hsQ[chunk]
+		}
+	}
+	table := d.table
+	cmask := d.cmask
+	cshift := uint(d.p.C)
+	words := d.words
+	var wbuf []uint32
+	e.cost = func(state uint32) float64 {
+		n := len(ts)
+		if n == 0 {
+			// Punctured chunk: cost 0, so all children of a parent score
+			// equally, exactly as §5 prescribes.
+			return 0
+		}
+		if cap(wbuf) < n {
+			wbuf = make([]uint32, n)
+		}
+		w := wbuf[:n]
+		words(state, ts, w)
+		var sum float64
+		if !faded {
+			for i, wv := range w {
+				dr := yI[i] - table[wv&cmask]
+				di := yQ[i] - table[wv>>cshift&cmask]
+				sum += dr*dr + di*di
+			}
+		} else {
+			for i, wv := range w {
+				xI := table[wv&cmask]
+				xQ := table[wv>>cshift&cmask]
+				dr := yI[i] - (xI*hI[i] - xQ*hQ[i])
+				di := yQ[i] - (xI*hQ[i] + xQ*hI[i])
+				sum += dr*dr + di*di
+			}
+		}
+		return sum
+	}
+	oaat, isOAAT := hashfn.AsOneAtATime(d.p.Hash)
+	if !isOAAT {
+		e.expand = func(parent uint32, kb int, _ float64, childs []uint32, costs []float64) {
+			e.children(parent, kb, childs)
+			for j, s := range childs {
+				costs[j] = e.cost(s)
+			}
+		}
+		return e
+	}
+	// OneAtATime (the paper's production hash): score the whole batch in
+	// transposed order. ChildrenPrefixes hoists the per-state half of
+	// each RNG word while deriving the children; every stored symbol then
+	// costs four mixed bytes plus the avalanche per candidate, in loops
+	// whose iterations are independent.
+	//
+	// For unfaded chunks the squared distances themselves are
+	// precomputed: per (symbol, constellation value) they do not depend
+	// on the candidate at all, so a 2·2^C-entry table per stored symbol
+	// (built once per spine step, L1-resident) turns the inner loop into
+	// two loads and an add.
+	L := 1 << uint(d.p.C)
+	var pre, wrow []uint32
+	var dtab []float64
+	dtabFor := -1
+	bindInner := e.bind
+	e.bind = func(chunk int) {
+		if e.boundChunk == chunk {
+			return
+		}
+		bindInner(chunk)
+		dtabFor = -1
+	}
+	e.expand = func(parent uint32, kb int, budget float64, childs []uint32, costs []float64) {
+		nc := len(childs)
+		n := len(ts)
+		if cap(pre) < nc {
+			pre = make([]uint32, nc)
+			wrow = make([]uint32, 2*nc)
+		}
+		if n == 0 {
+			e.children(parent, kb, childs)
+			for j := range costs {
+				costs[j] = 0
+			}
+			return
+		}
+		if !faded && dtabFor != e.boundChunk {
+			dtabFor = e.boundChunk
+			if cap(dtab) < n*2*L {
+				dtab = make([]float64, n*2*L)
+			}
+			dtab = dtab[:n*2*L]
+			for i := 0; i < n; i++ {
+				o := i * 2 * L
+				yi, yq := yI[i], yQ[i]
+				for v, x := range table {
+					dv := yi - x
+					dq := yq - x
+					dtab[o+v] = dv * dv
+					dtab[o+L+v] = dq * dq
+				}
+			}
+		}
+		pr, wr, wr2 := pre[:nc], wrow[:nc], wrow[nc:2*nc]
+		oaat.ChildrenPrefixes(parent, kb, childs, pr)
+		i := 0
+		// Symbols go two at a time where possible: one pass over the
+		// candidates covers both words, halving the cost-array traffic.
+		// The accumulation order matches the one-symbol-at-a-time loop
+		// exactly, so costs are bit-identical either way.
+		for ; !faded && i+1 < n; i += 2 {
+			hashfn.FinishWords(pr, ts[i], wr)
+			hashfn.FinishWords(pr, ts[i+1], wr2)
+			o0, o1 := i*2*L, (i+1)*2*L
+			dI0 := dtab[o0 : o0+L][: cmask+1 : cmask+1]
+			dQ0 := dtab[o0+L : o0+2*L][: cmask+1 : cmask+1]
+			dI1 := dtab[o1 : o1+L][: cmask+1 : cmask+1]
+			dQ1 := dtab[o1+L : o1+2*L][: cmask+1 : cmask+1]
+			mn := math.Inf(1)
+			if i == 0 {
+				for j, w := range wr {
+					w1 := wr2[j]
+					c := dI0[w&cmask] + dQ0[w>>cshift&cmask] + dI1[w1&cmask] + dQ1[w1>>cshift&cmask]
+					costs[j] = c
+					if c < mn {
+						mn = c
+					}
+				}
+			} else {
+				for j, w := range wr {
+					w1 := wr2[j]
+					c := costs[j] + dI0[w&cmask] + dQ0[w>>cshift&cmask] + dI1[w1&cmask] + dQ1[w1>>cshift&cmask]
+					costs[j] = c
+					if c < mn {
+						mn = c
+					}
+				}
+			}
+			if mn >= budget {
+				// Every candidate in the batch already meets the
+				// rejection bound; the caller discards them all, so the
+				// remaining symbols need not be hashed.
+				return
+			}
+		}
+		for ; i < n; i++ {
+			t := ts[i]
+			hashfn.FinishWords(pr, t, wr)
+			mn := math.Inf(1)
+			if !faded {
+				dI := dtab[i*2*L : i*2*L+L][: cmask+1 : cmask+1]
+				dQ := dtab[i*2*L+L : (i+1)*2*L][: cmask+1 : cmask+1]
+				if i == 0 {
+					for j, w := range wr {
+						c := dI[w&cmask] + dQ[w>>cshift&cmask]
+						costs[j] = c
+						if c < mn {
+							mn = c
+						}
+					}
+				} else {
+					for j, w := range wr {
+						c := costs[j] + dI[w&cmask] + dQ[w>>cshift&cmask]
+						costs[j] = c
+						if c < mn {
+							mn = c
+						}
+					}
+				}
+			} else {
+				yi, yq := yI[i], yQ[i]
+				hi, hq := hI[i], hQ[i]
+				for j, w := range wr {
+					xI := table[w&cmask]
+					xQ := table[w>>cshift&cmask]
+					dr := yi - (xI*hi - xQ*hq)
+					di := yq - (xI*hq + xQ*hi)
+					var c float64
+					if i == 0 {
+						c = dr*dr + di*di
+					} else {
+						c = costs[j] + dr*dr + di*di
+					}
+					costs[j] = c
+					if c < mn {
+						mn = c
+					}
+				}
+			}
+			if mn >= budget {
+				// Every candidate in the batch already meets the
+				// rejection bound; the caller discards them all, so the
+				// remaining symbols need not be hashed.
+				return
+			}
+		}
+	}
+	return e
 }
 
 // NewSchedule returns a fresh transmission schedule matching this decoder.
@@ -72,19 +331,25 @@ func (d *Decoder) AddFaded(ids []SymbolID, y []complex128, h []complex128) {
 	for i, id := range ids {
 		c := id.Chunk
 		d.ts[c] = append(d.ts[c], id.RNGIndex)
-		d.ys[c] = append(d.ys[c], y[i])
+		d.ysI[c] = append(d.ysI[c], real(y[i]))
+		d.ysQ[c] = append(d.ysQ[c], imag(y[i]))
 		if h != nil {
-			if d.hs[c] == nil && len(d.ts[c]) > 1 {
+			if !d.faded[c] {
 				// Earlier symbols for this chunk arrived without fading
 				// info; backfill with h=1.
-				d.hs[c] = make([]complex128, len(d.ts[c])-1)
-				for j := range d.hs[c] {
-					d.hs[c][j] = 1
+				d.faded[c] = true
+				d.hsI[c] = d.hsI[c][:0]
+				d.hsQ[c] = d.hsQ[c][:0]
+				for j := 0; j < len(d.ts[c])-1; j++ {
+					d.hsI[c] = append(d.hsI[c], 1)
+					d.hsQ[c] = append(d.hsQ[c], 0)
 				}
 			}
-			d.hs[c] = append(d.hs[c], h[i])
-		} else if d.hs[c] != nil {
-			d.hs[c] = append(d.hs[c], 1)
+			d.hsI[c] = append(d.hsI[c], real(h[i]))
+			d.hsQ[c] = append(d.hsQ[c], imag(h[i]))
+		} else if d.faded[c] {
+			d.hsI[c] = append(d.hsI[c], 1)
+			d.hsQ[c] = append(d.hsQ[c], 0)
 		}
 		d.nsyms++
 	}
@@ -94,214 +359,36 @@ func (d *Decoder) AddFaded(ids []SymbolID, y []complex128, h []complex128) {
 func (d *Decoder) SymbolCount() int { return d.nsyms }
 
 // Reset discards stored symbols so the decoder can be reused for a new
-// message with the same parameters.
+// message with the same parameters. All storage and search scratch keeps
+// its capacity, so a reset decoder decodes without re-warming.
 func (d *Decoder) Reset() {
 	for i := range d.ts {
 		d.ts[i] = d.ts[i][:0]
-		d.ys[i] = d.ys[i][:0]
-		d.hs[i] = nil
+		d.ysI[i] = d.ysI[i][:0]
+		d.ysQ[i] = d.ysQ[i][:0]
+		d.hsI[i] = d.hsI[i][:0]
+		d.hsQ[i] = d.hsQ[i][:0]
+		d.faded[i] = false
 	}
 	d.nsyms = 0
 }
+
+// Close releases the persistent worker pool, if any. The decoder remains
+// usable afterwards; a later DecodeParallel call recreates the pool.
+// Close is optional — an unreachable decoder's pool is reclaimed by a
+// runtime cleanup — but deterministic release is friendlier to tests and
+// long-running servers.
+func (d *Decoder) Close() { d.par.close() }
 
 // Decode runs the bubble decoder over all stored symbols and returns the
 // most likely message and its path cost. The caller checks correctness
 // (via CRC at the link layer, §6, or direct comparison in simulations) and
 // requests more symbols if the result is wrong.
+//
+// The returned slice is owned by the decoder and overwritten by the next
+// Decode call (and by Reset); copy it if it must be retained.
 func (d *Decoder) Decode() ([]byte, float64) {
-	bs := beamSearch{nBits: d.nBits, p: d.p, cost: d.branchCost}
-	return bs.run()
-}
-
-// branchCost is the ℓ2 distance between the stored symbols of a chunk and
-// the symbols the candidate spine state would have produced (equation
-// 4.2). Chunks with no symbols yet (punctured) cost 0, so all children of
-// a parent score equally, exactly as §5 prescribes.
-func (d *Decoder) branchCost(chunk int, state uint32) float64 {
-	ts := d.ts[chunk]
-	ys := d.ys[chunk]
-	hs := d.hs[chunk]
-	c := uint(d.p.C)
-	var sum float64
-	for i, t := range ts {
-		w := d.rng.Word(state, t)
-		x := complex(d.table[w&d.cmask], d.table[w>>c&d.cmask])
-		if hs != nil {
-			x *= hs[i]
-		}
-		dr := real(ys[i]) - real(x)
-		di := imag(ys[i]) - imag(x)
-		sum += dr*dr + di*di
-	}
-	return sum
-}
-
-// beamSearch is the bubble decoder's search core, shared by the AWGN and
-// BSC decoders. cost(chunk, state) is the branch cost of the edge whose
-// child spine value is state at the given chunk index.
-type beamSearch struct {
-	nBits int
-	p     Params
-	cost  func(chunk int, state uint32) float64
-}
-
-type beamNode struct {
-	state uint32
-	back  int32
-	cost  float64
-}
-
-type candidate struct {
-	state  uint32
-	parent int32 // index into current beam
-	bits   uint16
-	cost   float64 // accumulated true path cost
-	score  float64 // cost + best lookahead cost to depth d
-}
-
-type backRec struct {
-	parent int32
-	bits   uint16
-}
-
-// run executes the search and returns the best message with its path
-// cost.
-func (bs *beamSearch) run() ([]byte, float64) {
-	k := bs.p.K
-	ns := numSpine(bs.nBits, k)
-	beam := []beamNode{{state: bs.p.Seed, back: -1, cost: 0}}
-	arena := make([]backRec, 0, ns*bs.p.B)
-	var cands []candidate
-
-	for p := 0; p < ns; p++ {
-		// Lookahead depth: explore subtrees to depth dd below the children
-		// being scored. At the tail of the message the lookahead shrinks.
-		dd := bs.p.D
-		if p+dd > ns {
-			dd = ns - p
-		}
-		kb := chunkBits(bs.nBits, k, p)
-		cands = cands[:0]
-		for bi := range beam {
-			node := &beam[bi]
-			for m := uint32(0); m < 1<<uint(kb); m++ {
-				cs := bs.p.Hash.Sum(node.state, m, kb)
-				base := node.cost + bs.cost(p, cs)
-				score := base
-				if dd > 1 {
-					score += bs.explore(cs, p+1, dd-1)
-				}
-				cands = append(cands, candidate{
-					state: cs, parent: int32(bi), bits: uint16(m),
-					cost: base, score: score,
-				})
-			}
-		}
-		keep := bs.p.B
-		if keep > len(cands) {
-			keep = len(cands)
-		}
-		selectBest(cands, keep)
-		newBeam := make([]beamNode, keep)
-		for i := 0; i < keep; i++ {
-			arena = append(arena, backRec{
-				parent: beam[cands[i].parent].back, bits: cands[i].bits,
-			})
-			newBeam[i] = beamNode{
-				state: cands[i].state,
-				back:  int32(len(arena) - 1),
-				cost:  cands[i].cost,
-			}
-		}
-		beam = newBeam
-	}
-
-	// The final beam holds complete messages; return the lowest-cost one
-	// (§4.4: with tail symbols the correct candidate has the lowest cost).
-	best := 0
-	for i := 1; i < len(beam); i++ {
-		if beam[i].cost < beam[best].cost {
-			best = i
-		}
-	}
-	msg := make([]byte, (bs.nBits+7)/8)
-	idx := beam[best].back
-	for j := ns - 1; j >= 0; j-- {
-		setChunk(msg, bs.nBits, k, j, uint32(arena[idx].bits))
-		idx = arena[idx].parent
-	}
-	return msg, beam[best].cost
-}
-
-// explore returns the minimum additional path cost over all descendants
-// depth levels below (state, chunk); this is the subtree score used to
-// rank candidates when D > 1 (Fig 4-1 steps b–c).
-func (bs *beamSearch) explore(state uint32, chunk, depth int) float64 {
-	kb := chunkBits(bs.nBits, bs.p.K, chunk)
-	best := math.Inf(1)
-	for m := uint32(0); m < 1<<uint(kb); m++ {
-		cs := bs.p.Hash.Sum(state, m, kb)
-		c := bs.cost(chunk, cs)
-		if depth > 1 && chunk+1 < numSpine(bs.nBits, bs.p.K) {
-			c += bs.explore(cs, chunk+1, depth-1)
-		}
-		if c < best {
-			best = c
-		}
-	}
-	return best
-}
-
-// selectBest partially sorts cands so the k lowest-score candidates occupy
-// cands[:k] (quickselect; ties broken arbitrarily, as §4.3 permits).
-func selectBest(cands []candidate, k int) {
-	if k >= len(cands) {
-		return
-	}
-	lo, hi := 0, len(cands)-1
-	for lo < hi {
-		p := hoarePartition(cands, lo, hi)
-		if k-1 <= p {
-			hi = p
-		} else {
-			lo = p + 1
-		}
-	}
-}
-
-// hoarePartition rearranges cands[lo..hi] and returns j such that every
-// element of cands[lo..j] has score ≤ every element of cands[j+1..hi],
-// with lo ≤ j < hi.
-func hoarePartition(cands []candidate, lo, hi int) int {
-	// Median-of-three pivot to avoid quadratic behaviour on sorted input.
-	mid := lo + (hi-lo)/2
-	if cands[mid].score < cands[lo].score {
-		cands[mid], cands[lo] = cands[lo], cands[mid]
-	}
-	if cands[hi].score < cands[lo].score {
-		cands[hi], cands[lo] = cands[lo], cands[hi]
-	}
-	if cands[hi].score < cands[mid].score {
-		cands[hi], cands[mid] = cands[mid], cands[hi]
-	}
-	pivot := cands[mid].score
-	i, j := lo-1, hi+1
-	for {
-		for {
-			i++
-			if cands[i].score >= pivot {
-				break
-			}
-		}
-		for {
-			j--
-			if cands[j].score <= pivot {
-				break
-			}
-		}
-		if i >= j {
-			return j
-		}
-		cands[i], cands[j] = cands[j], cands[i]
-	}
+	msg, cost := d.bs.run(d.eval, d.msgBuf)
+	d.msgBuf = msg
+	return msg, cost
 }

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spinal/internal/channel"
+	"spinal/internal/hashfn"
+)
+
+// refDecoder is a self-contained reimplementation of the seed repo's
+// bubble decoder: array-of-structs symbol storage, interface-dispatched
+// hashing, full candidate materialization and sort-based selection. The
+// optimized Decoder must return messages with the same path cost (§4.3
+// permits arbitrary tie-breaking, so the messages themselves may differ
+// on exact cost ties).
+type refDecoder struct {
+	p     Params
+	nBits int
+	rng   hashfn.RNG
+	cmask uint32
+	table []float64
+
+	ts [][]uint32
+	ys [][]complex128
+	hs [][]complex128
+}
+
+func newRefDecoder(nBits int, p Params) *refDecoder {
+	p = p.withDefaults()
+	ns := numSpine(nBits, p.K)
+	table := make([]float64, 1<<uint(p.C))
+	for b := range table {
+		table[b] = p.Mapper.Map(uint32(b))
+	}
+	return &refDecoder{
+		p:     p,
+		nBits: nBits,
+		rng:   hashfn.RNG{H: p.Hash},
+		cmask: (1 << uint(p.C)) - 1,
+		table: table,
+		ts:    make([][]uint32, ns),
+		ys:    make([][]complex128, ns),
+		hs:    make([][]complex128, ns),
+	}
+}
+
+func (d *refDecoder) addFaded(ids []SymbolID, y, h []complex128) {
+	for i, id := range ids {
+		c := id.Chunk
+		d.ts[c] = append(d.ts[c], id.RNGIndex)
+		d.ys[c] = append(d.ys[c], y[i])
+		if h != nil {
+			if d.hs[c] == nil && len(d.ts[c]) > 1 {
+				d.hs[c] = make([]complex128, len(d.ts[c])-1)
+				for j := range d.hs[c] {
+					d.hs[c][j] = 1
+				}
+			}
+			d.hs[c] = append(d.hs[c], h[i])
+		} else if d.hs[c] != nil {
+			d.hs[c] = append(d.hs[c], 1)
+		}
+	}
+}
+
+func (d *refDecoder) branchCost(chunk int, state uint32) float64 {
+	ts := d.ts[chunk]
+	ys := d.ys[chunk]
+	hs := d.hs[chunk]
+	c := uint(d.p.C)
+	var sum float64
+	for i, t := range ts {
+		w := d.rng.Word(state, t)
+		x := complex(d.table[w&d.cmask], d.table[w>>c&d.cmask])
+		if hs != nil {
+			x *= hs[i]
+		}
+		dr := real(ys[i]) - real(x)
+		di := imag(ys[i]) - imag(x)
+		sum += dr*dr + di*di
+	}
+	return sum
+}
+
+func (d *refDecoder) explore(state uint32, chunk, depth int) float64 {
+	kb := chunkBits(d.nBits, d.p.K, chunk)
+	best := math.Inf(1)
+	for m := uint32(0); m < 1<<uint(kb); m++ {
+		cs := d.p.Hash.Sum(state, m, kb)
+		c := d.branchCost(chunk, cs)
+		if depth > 1 && chunk+1 < numSpine(d.nBits, d.p.K) {
+			c += d.explore(cs, chunk+1, depth-1)
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func (d *refDecoder) decode() ([]byte, float64) {
+	k := d.p.K
+	ns := numSpine(d.nBits, k)
+	type refNode struct {
+		state uint32
+		back  int
+		cost  float64
+	}
+	type refCand struct {
+		state  uint32
+		parent int
+		bits   uint32
+		cost   float64
+		score  float64
+	}
+	beam := []refNode{{state: d.p.Seed, back: -1}}
+	var arena []backRec
+	for p := 0; p < ns; p++ {
+		dd := d.p.D
+		if p+dd > ns {
+			dd = ns - p
+		}
+		kb := chunkBits(d.nBits, k, p)
+		var cands []refCand
+		for bi, node := range beam {
+			for m := uint32(0); m < 1<<uint(kb); m++ {
+				cs := d.p.Hash.Sum(node.state, m, kb)
+				base := node.cost + d.branchCost(p, cs)
+				score := base
+				if dd > 1 {
+					score += d.explore(cs, p+1, dd-1)
+				}
+				cands = append(cands, refCand{state: cs, parent: bi, bits: m, cost: base, score: score})
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+		keep := d.p.B
+		if keep > len(cands) {
+			keep = len(cands)
+		}
+		newBeam := make([]refNode, keep)
+		for i := 0; i < keep; i++ {
+			arena = append(arena, backRec{parent: int32(beam[cands[i].parent].back), bits: uint16(cands[i].bits)})
+			newBeam[i] = refNode{state: cands[i].state, back: len(arena) - 1, cost: cands[i].cost}
+		}
+		beam = newBeam
+	}
+	best := 0
+	for i := 1; i < len(beam); i++ {
+		if beam[i].cost < beam[best].cost {
+			best = i
+		}
+	}
+	msg := make([]byte, (d.nBits+7)/8)
+	idx := int32(beam[best].back)
+	for j := ns - 1; j >= 0; j-- {
+		setChunk(msg, d.nBits, k, j, uint32(arena[idx].bits))
+		idx = arena[idx].parent
+	}
+	return msg, beam[best].cost
+}
+
+// pathCost recomputes the total branch cost of a complete message — an
+// independent check that a decoder's reported cost is consistent with
+// the message it returned.
+func (d *refDecoder) pathCost(msg []byte) float64 {
+	p := d.p
+	ns := numSpine(d.nBits, p.K)
+	s := p.Seed
+	var sum float64
+	for j := 0; j < ns; j++ {
+		s = p.Hash.Sum(s, chunkAt(msg, d.nBits, p.K, j), chunkBits(d.nBits, p.K, j))
+		sum += d.branchCost(j, s)
+	}
+	return sum
+}
+
+func relClose(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff == 0 {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale+1e-12
+}
+
+// TestDecodeEquivalence: across random parameter draws (k, B, D, ways,
+// fading on/off, noise level), the optimized serial decoder, the
+// parallel decoder and the seed-style reference decoder must all return
+// messages of identical cost (up to ties), and each reported cost must
+// equal the recomputed path cost of the returned message.
+func TestDecodeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		p := Params{
+			K:    1 + rng.Intn(4),
+			B:    4 << rng.Intn(4),
+			D:    1 + rng.Intn(3),
+			C:    6,
+			Tail: 1 + rng.Intn(3),
+			Ways: []int{1, 2, 4, 8}[rng.Intn(4)],
+			Seed: rng.Uint32(),
+		}
+		nBits := 16 + rng.Intn(80)
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewDecoder(nBits, p)
+		ref := newRefDecoder(nBits, p)
+		sched := enc.NewSchedule()
+
+		snr := 8 + rng.Float64()*12
+		ch := channel.NewAWGN(snr, int64(1000+trial))
+		var ray *channel.Rayleigh
+		if trial%3 == 0 {
+			ray = channel.NewRayleigh(snr, 1+rng.Intn(20), int64(2000+trial))
+		}
+		for sub := 0; sub < 2*p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			x := enc.Symbols(ids)
+			if ray != nil {
+				y, h := ray.Transmit(x)
+				dec.AddFaded(ids, y, h)
+				ref.addFaded(ids, y, h)
+			} else {
+				y := ch.Transmit(x)
+				dec.Add(ids, y)
+				ref.addFaded(ids, y, nil)
+			}
+		}
+
+		wantMsg, wantCost := ref.decode()
+		gotMsg, gotCost := dec.Decode()
+		if !relClose(wantCost, gotCost) {
+			t.Fatalf("trial %d (%+v): ref cost %g, Decode cost %g", trial, p, wantCost, gotCost)
+		}
+		if !relClose(gotCost, ref.pathCost(gotMsg)) {
+			t.Fatalf("trial %d: Decode cost %g inconsistent with its message (path cost %g)",
+				trial, gotCost, ref.pathCost(gotMsg))
+		}
+		if !relClose(wantCost, ref.pathCost(wantMsg)) {
+			t.Fatalf("trial %d: reference decoder inconsistent with itself", trial)
+		}
+
+		workers := 2 + rng.Intn(4)
+		parMsg, parCost := dec.DecodeParallel(workers)
+		if !relClose(wantCost, parCost) {
+			t.Fatalf("trial %d (%+v): ref cost %g, DecodeParallel(%d) cost %g",
+				trial, p, wantCost, workers, parCost)
+		}
+		if !relClose(parCost, ref.pathCost(parMsg)) {
+			t.Fatalf("trial %d: DecodeParallel cost inconsistent with its message", trial)
+		}
+		// The serial result must have survived the parallel decode: the
+		// two paths use separate result buffers.
+		if !relClose(gotCost, ref.pathCost(gotMsg)) {
+			t.Fatalf("trial %d: serial result clobbered by parallel decode", trial)
+		}
+		dec.Close()
+
+		// On equal costs with no ties the messages agree outright; when
+		// they differ, both must still be exact-cost ties.
+		if !bytes.Equal(wantMsg, gotMsg) && !relClose(ref.pathCost(wantMsg), ref.pathCost(gotMsg)) {
+			t.Fatalf("trial %d: different messages with different costs", trial)
+		}
+	}
+}
+
+// TestBSCDecodeEquivalence mirrors the equivalence check for the Hamming
+// metric decoder, including its parallel path.
+func TestBSCDecodeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 10; trial++ {
+		p := Params{
+			K:    1 + rng.Intn(4),
+			B:    4 << rng.Intn(4),
+			D:    1 + rng.Intn(2),
+			C:    1,
+			Tail: 2,
+			Ways: []int{1, 2, 4, 8}[rng.Intn(4)],
+		}
+		nBits := 16 + rng.Intn(48)
+		msg := randomMessage(rng, nBits)
+		enc := NewEncoder(msg, nBits, p)
+		dec := NewBSCDecoder(nBits, p)
+		sched := enc.NewSchedule()
+		ch := channel.NewBSC(0.03, int64(3000+trial))
+		for sub := 0; sub < 6*p.Ways; sub++ {
+			ids := sched.NextSubpass()
+			dec.Add(ids, ch.Transmit(enc.Bits(ids)))
+		}
+		gotMsg, gotCost := dec.Decode()
+		parMsg, parCost := dec.DecodeParallel(3)
+		if gotCost != parCost {
+			t.Fatalf("trial %d: BSC serial cost %g != parallel cost %g", trial, gotCost, parCost)
+		}
+		if !bytes.Equal(gotMsg, parMsg) && gotCost != parCost {
+			t.Fatalf("trial %d: BSC messages differ with different costs", trial)
+		}
+		dec.Close()
+	}
+}

@@ -12,106 +12,202 @@ import (
 // a (cheap) serial stage: each step's B·2^k branch evaluations are
 // sharded over workers, then a single quickselect keeps the best B.
 //
+// The workers are persistent: the first call starts a pool that parks
+// between spine steps and between Decode calls, each worker holding its
+// own branch-cost scratch, so repeated decodes spawn no goroutines and
+// make no steady-state allocations. Call Close to release the pool
+// early; an unreachable decoder's pool is reclaimed automatically.
+//
 // The result is bit-identical to Decode up to cost ties (§4.3 allows
 // arbitrary tie-breaking, and tie order can differ between serial and
-// sharded expansion).
-//
-// Parallelism pays off when branch costs are heavy — many stored passes
-// (low SNR) or large B·2^k; at light symbol loads the per-step goroutine
-// fan-out costs more than it saves (see BenchmarkDecodeSerial vs
-// BenchmarkDecodeParallel4), which is why the simulation engine uses the
-// serial decoder and parallelizes across messages instead.
+// sharded expansion). Like Decode, the returned slice is owned by the
+// decoder and overwritten by the next DecodeParallel call.
 func (d *Decoder) DecodeParallel(workers int) ([]byte, float64) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	bs := beamSearch{nBits: d.nBits, p: d.p, cost: d.branchCost}
 	if workers == 1 {
-		return bs.run()
+		return d.Decode()
 	}
-	return bs.runParallel(workers)
+	if d.par.ensure(workers, d.newEvaluator) {
+		// The pool holds no reference back to the decoder, so this fires
+		// once the decoder is unreachable and lets the workers exit.
+		runtime.AddCleanup(d, func(p *workerPool) { p.stop() }, d.par.pool)
+	}
+	msg, cost := d.bs.runParallel(d.par.pool, d.par.evals, d.parMsg)
+	d.parMsg = msg
+	return msg, cost
+}
+
+// parPool is the persistent-pool state a decoder keeps between
+// DecodeParallel calls: the worker goroutines plus one evaluator per
+// worker. Both decoder types embed one.
+type parPool struct {
+	pool  *workerPool
+	evals []*evaluator
+}
+
+// ensure makes the pool match the requested worker count, building or
+// rebuilding it (with fresh per-worker evaluators) as needed. It
+// reports whether a new pool was created, in which case the caller
+// registers the cleanup that ties the pool's lifetime to the decoder's.
+func (ps *parPool) ensure(workers int, newEval func() *evaluator) bool {
+	if ps.pool != nil && ps.pool.n == workers {
+		return false
+	}
+	ps.close()
+	ps.pool = newWorkerPool(workers)
+	ps.evals = make([]*evaluator, workers)
+	for i := range ps.evals {
+		ps.evals[i] = newEval()
+	}
+	return true
+}
+
+// close stops the workers and drops the pool; safe to call repeatedly.
+func (ps *parPool) close() {
+	if ps.pool != nil {
+		ps.pool.stop()
+		ps.pool = nil
+		ps.evals = nil
+	}
+}
+
+// stepJob describes one spine step's candidate expansion. The coordinator
+// fills it in and hands the same pointer to every worker; worker w derives
+// its beam shard from its index.
+type stepJob struct {
+	bs      *beamSearch
+	beam    []beamNode
+	evals   []*evaluator
+	chunk   int
+	kb      int
+	fan     int
+	dd      int
+	keep    int
+	workers int
+}
+
+// run expands worker w's strided shard of the beam (parents w, w+W,
+// w+2W, …) into the worker's own survivor buffer, pruning against the
+// worker-local score heap. The global B best are a subset of the union
+// of per-worker B bests, so local pruning is safe and the coordinator's
+// merge selects exactly. Striding keeps the load balanced: the beam is
+// cost-sorted and expansion stops at the first dominated parent, so a
+// contiguous split would hand all the live work to the first worker.
+func (j *stepJob) run(w int) {
+	e := j.evals[w]
+	e.out = e.out[:0]
+	if w >= len(j.beam) {
+		return
+	}
+	e.filter.reset(j.keep, minBeamCost(j.beam))
+	e.out = j.bs.expandPruned(e, j.beam, w, j.workers, j.chunk, j.kb, j.fan, j.dd, e.out)
+}
+
+// workerPool is a set of persistent goroutines that expand beam shards.
+// It lives across spine steps and across Decode calls, and holds no
+// reference to any decoder — all per-step state arrives via the job — so
+// an abandoned decoder can be collected and its pool reclaimed.
+type workerPool struct {
+	n        int
+	jobs     []chan *stepJob
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{
+		n:    n,
+		jobs: make([]chan *stepJob, n),
+		done: make(chan struct{}, n),
+	}
+	for w := range p.jobs {
+		p.jobs[w] = make(chan *stepJob, 1)
+		go func(w int) {
+			for job := range p.jobs[w] {
+				job.run(w)
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// dispatch hands job to every worker and waits for all of them.
+func (p *workerPool) dispatch(job *stepJob) {
+	for _, c := range p.jobs {
+		c <- job
+	}
+	for i := 0; i < p.n; i++ {
+		<-p.done
+	}
+}
+
+// stop shuts the workers down. Idempotent, so both Close and the runtime
+// cleanup may call it.
+func (p *workerPool) stop() {
+	p.stopOnce.Do(func() {
+		for _, c := range p.jobs {
+			close(c)
+		}
+	})
 }
 
 // runParallel is beamSearch.run with the expansion loop sharded by beam
-// index.
-func (bs *beamSearch) runParallel(workers int) ([]byte, float64) {
+// index across the persistent pool. Each worker owns its evaluator, so no
+// branch-cost scratch is shared.
+func (bs *beamSearch) runParallel(pool *workerPool, evals []*evaluator, dst []byte) ([]byte, float64) {
 	k := bs.p.K
 	ns := numSpine(bs.nBits, k)
-	beam := []beamNode{{state: bs.p.Seed, back: -1, cost: 0}}
-	arena := make([]backRec, 0, ns*bs.p.B)
+	for _, e := range evals {
+		e.begin()
+	}
 
-	var wg sync.WaitGroup
+	beam := append(bs.beam[:0], beamNode{state: bs.p.Seed, back: -1, cost: 0})
+	next := bs.nextBeam[:0]
+	arena := bs.arena[:0]
+
 	for p := 0; p < ns; p++ {
-		dd := bs.p.D
-		if p+dd > ns {
-			dd = ns - p
-		}
+		dd := bs.lookahead(p, ns)
 		kb := chunkBits(bs.nBits, k, p)
 		fan := 1 << uint(kb)
-		cands := make([]candidate, len(beam)*fan)
 
-		shard := (len(beam) + workers - 1) / workers
-		if shard < 1 {
-			shard = 1
+		// Striding hands each worker some of the front-loaded strongest
+		// parents, so every worker's filter tightens early.
+		bs.frontLoadBeam(beam, pool.n*((bs.p.B+fan-1)/fan))
+		bs.job = stepJob{
+			bs: bs, beam: beam, evals: evals,
+			chunk: p, kb: kb, fan: fan, dd: dd,
+			keep: bs.p.B, workers: pool.n,
 		}
-		for w := 0; w < workers && w*shard < len(beam); w++ {
-			lo := w * shard
-			hi := lo + shard
-			if hi > len(beam) {
-				hi = len(beam)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for bi := lo; bi < hi; bi++ {
-					node := &beam[bi]
-					for m := uint32(0); m < uint32(fan); m++ {
-						cs := bs.p.Hash.Sum(node.state, m, kb)
-						base := node.cost + bs.cost(p, cs)
-						score := base
-						if dd > 1 {
-							score += bs.explore(cs, p+1, dd-1)
-						}
-						cands[bi*fan+int(m)] = candidate{
-							state: cs, parent: int32(bi), bits: uint16(m),
-							cost: base, score: score,
-						}
-					}
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+		pool.dispatch(&bs.job)
 
+		cands := bs.cands[:0]
+		for _, e := range evals {
+			cands = append(cands, e.out...)
+		}
 		keep := bs.p.B
 		if keep > len(cands) {
 			keep = len(cands)
+		} else {
+			cands = bs.selectBest(cands, keep)
 		}
-		selectBest(cands, keep)
-		newBeam := make([]beamNode, keep)
+		next = next[:0]
 		for i := 0; i < keep; i++ {
 			arena = append(arena, backRec{
 				parent: beam[cands[i].parent].back, bits: cands[i].bits,
 			})
-			newBeam[i] = beamNode{
+			next = append(next, beamNode{
 				state: cands[i].state,
 				back:  int32(len(arena) - 1),
 				cost:  cands[i].cost,
-			}
+			})
 		}
-		beam = newBeam
+		bs.cands = cands
+		beam, next = next, beam
 	}
 
-	best := 0
-	for i := 1; i < len(beam); i++ {
-		if beam[i].cost < beam[best].cost {
-			best = i
-		}
-	}
-	msg := make([]byte, (bs.nBits+7)/8)
-	idx := beam[best].back
-	for j := ns - 1; j >= 0; j-- {
-		setChunk(msg, bs.nBits, k, j, uint32(arena[idx].bits))
-		idx = arena[idx].parent
-	}
-	return msg, beam[best].cost
+	bs.beam, bs.nextBeam, bs.arena = beam, next, arena
+	return bs.backtrack(beam, arena, dst)
 }

@@ -1,0 +1,164 @@
+package hashfn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func devirtHashes() []Hash {
+	return []Hash{
+		OneAtATime{}, OneAtATime{Seed: 0xabad1dea},
+		Lookup3{}, Lookup3{Seed: 77},
+		Salsa20{}, Salsa20{Seed: 12345},
+	}
+}
+
+// TestCompileMatchesSum: the devirtualized SumFunc is the interface call.
+func TestCompileMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, h := range devirtHashes() {
+		sum := Compile(h)
+		for i := 0; i < 200; i++ {
+			state, m := rng.Uint32(), rng.Uint32()
+			k := 1 + rng.Intn(32)
+			if got, want := sum(state, m, k), h.Sum(state, m, k); got != want {
+				t.Fatalf("%s: Compile(%#x,%#x,%d) = %#x, Sum = %#x", h.Name(), state, m, k, got, want)
+			}
+		}
+	}
+}
+
+// TestWordsMatchesWord: batched RNG words equal per-index Word calls,
+// through both RNG.Words and the compiled WordsFunc.
+func TestWordsMatchesWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, h := range devirtHashes() {
+		r := RNG{H: h}
+		words := CompileWords(h)
+		for trial := 0; trial < 20; trial++ {
+			seed := rng.Uint32()
+			ts := make([]uint32, 1+rng.Intn(40))
+			for i := range ts {
+				ts[i] = rng.Uint32()
+			}
+			got1 := make([]uint32, len(ts))
+			got2 := make([]uint32, len(ts))
+			r.Words(seed, ts, got1)
+			words(seed, ts, got2)
+			for i, tv := range ts {
+				want := r.Word(seed, tv)
+				if got1[i] != want || got2[i] != want {
+					t.Fatalf("%s: Words[%d] = %#x/%#x, Word = %#x", h.Name(), i, got1[i], got2[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestChildrenMatchesSum: the batched child-state generator equals Sum
+// over the message values 0..2^kb-1.
+func TestChildrenMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, h := range devirtHashes() {
+		children := CompileChildren(h)
+		for kb := 1; kb <= 8; kb++ {
+			state := rng.Uint32()
+			out := make([]uint32, 1<<uint(kb))
+			children(state, kb, out)
+			for m := range out {
+				if want := h.Sum(state, uint32(m), kb); out[m] != want {
+					t.Fatalf("%s kb=%d: children[%d] = %#x, Sum = %#x", h.Name(), kb, m, out[m], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixComposition: Prefix/WordFinish, FinishWords, Prefixes and
+// ChildrenPrefixes all compose to the interface-path results.
+func TestPrefixComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, o := range []OneAtATime{{}, {Seed: 0x5eed}} {
+		r := RNG{H: o}
+		for trial := 0; trial < 50; trial++ {
+			seed, tv := rng.Uint32(), rng.Uint32()
+			if got, want := WordFinish(o.Prefix(seed), tv), r.Word(seed, tv); got != want {
+				t.Fatalf("WordFinish(Prefix) = %#x, Word = %#x", got, want)
+			}
+		}
+
+		seeds := make([]uint32, 33)
+		for i := range seeds {
+			seeds[i] = rng.Uint32()
+		}
+		pre := make([]uint32, len(seeds))
+		for i, s := range seeds {
+			pre[i] = o.Prefix(s)
+		}
+		tv := rng.Uint32()
+		out := make([]uint32, len(seeds))
+		FinishWords(pre, tv, out)
+		for i, s := range seeds {
+			if out[i] != r.Word(s, tv) {
+				t.Fatalf("FinishWords[%d] mismatch", i)
+			}
+		}
+
+		for kb := 1; kb <= 8; kb++ {
+			state := rng.Uint32()
+			cs := make([]uint32, 1<<uint(kb))
+			cp := make([]uint32, 1<<uint(kb))
+			o.ChildrenPrefixes(state, kb, cs, cp)
+			for m := range cs {
+				if want := o.Sum(state, uint32(m), kb); cs[m] != want {
+					t.Fatalf("ChildrenPrefixes state[%d] = %#x, Sum = %#x", m, cs[m], want)
+				}
+				if cp[m] != o.Prefix(cs[m]) {
+					t.Fatalf("ChildrenPrefixes prefix[%d] mismatch", m)
+				}
+			}
+		}
+	}
+}
+
+// customHash exercises the fallback paths of the Compile* helpers.
+type customHash struct{}
+
+func (customHash) Name() string { return "custom" }
+func (customHash) Sum(state, m uint32, k int) uint32 {
+	return state*2654435761 + m&maskBits(k) + uint32(k)
+}
+
+// TestCompileFallbacks: unknown Hash implementations route through the
+// interface and still agree with direct Sum calls.
+func TestCompileFallbacks(t *testing.T) {
+	h := customHash{}
+	sum := Compile(h)
+	words := CompileWords(h)
+	children := CompileChildren(h)
+	r := RNG{H: h}
+	if sum(1, 2, 3) != h.Sum(1, 2, 3) {
+		t.Fatal("fallback Compile mismatch")
+	}
+	ts := []uint32{0, 5, 9}
+	out := make([]uint32, 3)
+	words(7, ts, out)
+	for i, tv := range ts {
+		if out[i] != r.Word(7, tv) {
+			t.Fatal("fallback CompileWords mismatch")
+		}
+	}
+	r.Words(7, ts, out)
+	for i, tv := range ts {
+		if out[i] != r.Word(7, tv) {
+			t.Fatal("fallback RNG.Words mismatch")
+		}
+	}
+	kids := make([]uint32, 4)
+	children(3, 2, kids)
+	for m := range kids {
+		if kids[m] != h.Sum(3, uint32(m), 2) {
+			t.Fatal("fallback CompileChildren mismatch")
+		}
+	}
+}

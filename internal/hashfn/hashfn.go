@@ -60,6 +60,19 @@ func oaatByte(h uint32, b byte) uint32 {
 	return h
 }
 
+// AsOneAtATime reports whether h is the OneAtATime hash (by value or by
+// pointer), returning the concrete value. Decoders use it at
+// construction to select their specialized batched evaluation paths.
+func AsOneAtATime(h Hash) (OneAtATime, bool) {
+	switch c := h.(type) {
+	case OneAtATime:
+		return c, true
+	case *OneAtATime:
+		return *c, true
+	}
+	return OneAtATime{}, false
+}
+
 // Lookup3 is Jenkins' lookup3 hash (hashword variant over 32-bit words).
 type Lookup3 struct {
 	Seed uint32
@@ -190,4 +203,262 @@ type RNG struct {
 // Word returns the t-th 32-bit pseudo-random word for seed.
 func (r RNG) Word(seed uint32, t uint32) uint32 {
 	return r.H.Sum(seed, t, 32)
+}
+
+// Words fills out[i] with the ts[i]-th pseudo-random word for seed,
+// equivalent to calling Word for each index but amortizing the per-seed
+// setup (and, for known hash types, the interface dispatch) across the
+// batch. out must be at least as long as ts.
+func (r RNG) Words(seed uint32, ts []uint32, out []uint32) {
+	switch h := r.H.(type) {
+	case OneAtATime:
+		h.words(seed, ts, out)
+	case *OneAtATime:
+		h.words(seed, ts, out)
+	case Lookup3:
+		h.words(seed, ts, out)
+	case *Lookup3:
+		h.words(seed, ts, out)
+	case Salsa20:
+		h.words(seed, ts, out)
+	case *Salsa20:
+		h.words(seed, ts, out)
+	default:
+		for i, t := range ts {
+			out[i] = r.H.Sum(seed, t, 32)
+		}
+	}
+}
+
+// SumFunc is the devirtualized form of Hash.Sum: a direct function value
+// bound at construction time so hot loops avoid interface dispatch.
+type SumFunc func(state uint32, m uint32, k int) uint32
+
+// WordsFunc fills out[i] with the RNG word h(seed, ts[i]) for each i,
+// amortizing the per-seed portion of the hash across the batch.
+type WordsFunc func(seed uint32, ts []uint32, out []uint32)
+
+// ChildrenFunc fills out[m] with h(state, m, kb) for m in [0, len(out)),
+// amortizing the per-state portion of the hash across all 2^kb child
+// spine values expanded from one decoder tree node.
+type ChildrenFunc func(state uint32, kb int, out []uint32)
+
+// Compile returns a direct function computing h.Sum. Known concrete types
+// are bound without interface dispatch; unknown implementations fall back
+// to the interface call.
+func Compile(h Hash) SumFunc {
+	switch c := h.(type) {
+	case OneAtATime:
+		return c.Sum
+	case *OneAtATime:
+		return (*c).Sum
+	case Lookup3:
+		return c.Sum
+	case *Lookup3:
+		return (*c).Sum
+	case Salsa20:
+		return c.Sum
+	case *Salsa20:
+		return (*c).Sum
+	default:
+		return h.Sum
+	}
+}
+
+// CompileWords returns a batched RNG-word generator for h, specialized
+// for the known hash types so that per-seed mixing happens once per batch
+// rather than once per word.
+func CompileWords(h Hash) WordsFunc {
+	switch c := h.(type) {
+	case OneAtATime:
+		return c.words
+	case *OneAtATime:
+		return (*c).words
+	case Lookup3:
+		return c.words
+	case *Lookup3:
+		return (*c).words
+	case Salsa20:
+		return c.words
+	case *Salsa20:
+		return (*c).words
+	default:
+		return func(seed uint32, ts []uint32, out []uint32) {
+			for i, t := range ts {
+				out[i] = h.Sum(seed, t, 32)
+			}
+		}
+	}
+}
+
+// CompileChildren returns a batched child-state generator for h,
+// specialized for the known hash types so that per-parent-state mixing
+// happens once per expansion rather than once per child.
+func CompileChildren(h Hash) ChildrenFunc {
+	switch c := h.(type) {
+	case OneAtATime:
+		return c.children
+	case *OneAtATime:
+		return (*c).children
+	case Lookup3:
+		return c.children
+	case *Lookup3:
+		return (*c).children
+	case Salsa20:
+		return c.children
+	case *Salsa20:
+		return (*c).children
+	default:
+		return func(state uint32, kb int, out []uint32) {
+			for m := range out {
+				out[m] = h.Sum(state, uint32(m), kb)
+			}
+		}
+	}
+}
+
+// Prefix returns the one-at-a-time state after absorbing the four seed
+// bytes — the per-seed half of an RNG Word: WordFinish(o.Prefix(s), t)
+// == RNG{o}.Word(s, t). The batched forms (words, FinishWords,
+// ChildrenPrefixes) are built from this pair.
+func (o OneAtATime) Prefix(seed uint32) uint32 {
+	h := o.Seed
+	h = oaatByte(h, byte(seed))
+	h = oaatByte(h, byte(seed>>8))
+	h = oaatByte(h, byte(seed>>16))
+	h = oaatByte(h, byte(seed>>24))
+	return h
+}
+
+// WordFinish completes a Prefix into the RNG word for index t:
+// WordFinish(o.Prefix(seed), t) == RNG{o}.Word(seed, t).
+func WordFinish(prefix, t uint32) uint32 {
+	h := oaatByte(prefix, byte(t))
+	h = oaatByte(h, byte(t>>8))
+	h = oaatByte(h, byte(t>>16))
+	h = oaatByte(h, byte(t>>24))
+	h += h << 3
+	h ^= h >> 11
+	h += h << 15
+	return h
+}
+
+// FinishWords fills out[j] = WordFinish(prefixes[j], t): one stored
+// symbol's RNG word for every candidate state in a batch.
+func FinishWords(prefixes []uint32, t uint32, out []uint32) {
+	b0, b1, b2, b3 := byte(t), byte(t>>8), byte(t>>16), byte(t>>24)
+	for j, p := range prefixes {
+		h := oaatByte(p, b0)
+		h = oaatByte(h, b1)
+		h = oaatByte(h, b2)
+		h = oaatByte(h, b3)
+		h += h << 3
+		h ^= h >> 11
+		h += h << 15
+		out[j] = h
+	}
+}
+
+// words is the batched form of Sum(seed, t, 32): the four seed bytes are
+// mixed once, then each index needs only its own four bytes plus the
+// final avalanche.
+func (o OneAtATime) words(seed uint32, ts []uint32, out []uint32) {
+	h0 := o.Prefix(seed)
+	for i, t := range ts {
+		out[i] = WordFinish(h0, t)
+	}
+}
+
+// ChildrenPrefixes fills cs[m] = Sum(state, m, kb) — the 2^kb child
+// spine values of state — and pre[m] = Prefix(cs[m]) in one pass: the
+// decoder needs a child's RNG prefix immediately after deriving the
+// child, and fusing the two keeps the intermediate state in registers.
+// Requires kb ≤ 8 (the k range Params permits) and len(cs) = len(pre).
+func (o OneAtATime) ChildrenPrefixes(state uint32, kb int, cs, pre []uint32) {
+	h0 := o.Seed
+	h0 = oaatByte(h0, byte(state))
+	h0 = oaatByte(h0, byte(state>>8))
+	h0 = oaatByte(h0, byte(state>>16))
+	h0 = oaatByte(h0, byte(state>>24))
+	s := o.Seed
+	for m := range cs {
+		h := oaatByte(h0, byte(m))
+		h += h << 3
+		h ^= h >> 11
+		h += h << 15
+		cs[m] = h
+		p := oaatByte(s, byte(h))
+		p = oaatByte(p, byte(h>>8))
+		p = oaatByte(p, byte(h>>16))
+		p = oaatByte(p, byte(h>>24))
+		pre[m] = p
+	}
+}
+
+// children is the batched form of Sum(state, m, kb) for m < 2^kb ≤ 256:
+// the four state bytes are mixed once, then each child needs only one
+// message byte plus the final avalanche.
+func (o OneAtATime) children(state uint32, kb int, out []uint32) {
+	h0 := o.Seed
+	h0 = oaatByte(h0, byte(state))
+	h0 = oaatByte(h0, byte(state>>8))
+	h0 = oaatByte(h0, byte(state>>16))
+	h0 = oaatByte(h0, byte(state>>24))
+	for m := range out {
+		h := oaatByte(h0, byte(m))
+		h += h << 3
+		h ^= h >> 11
+		h += h << 15
+		out[m] = h
+	}
+}
+
+func (l Lookup3) words(seed uint32, ts []uint32, out []uint32) {
+	init := uint32(0xdeadbeef) + 2<<2 + l.Seed
+	a := init + seed
+	for i, t := range ts {
+		out[i] = lookup3Final(a, init+t, init)
+	}
+}
+
+func (l Lookup3) children(state uint32, kb int, out []uint32) {
+	init := uint32(0xdeadbeef) + 2<<2 + l.Seed
+	a := init + state
+	mask := maskBits(kb)
+	for m := range out {
+		out[m] = lookup3Final(a, init+uint32(m)&mask, init)
+	}
+}
+
+func (s Salsa20) words(seed uint32, ts []uint32, out []uint32) {
+	var in [16]uint32
+	in[0] = 0x61707865
+	in[5] = 0x3320646e
+	in[10] = 0x79622d32
+	in[15] = 0x6b206574
+	in[1] = seed
+	in[3] = s.Seed
+	in[4] = 32
+	for i, t := range ts {
+		in[2] = t
+		o := salsa20Core(&in)
+		out[i] = o[0]
+	}
+}
+
+func (s Salsa20) children(state uint32, kb int, out []uint32) {
+	var in [16]uint32
+	in[0] = 0x61707865
+	in[5] = 0x3320646e
+	in[10] = 0x79622d32
+	in[15] = 0x6b206574
+	in[1] = state
+	in[3] = s.Seed
+	in[4] = uint32(kb)
+	mask := maskBits(kb)
+	for m := range out {
+		in[2] = uint32(m) & mask
+		o := salsa20Core(&in)
+		out[m] = o[0]
+	}
 }

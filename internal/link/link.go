@@ -161,7 +161,9 @@ func (r *Receiver) HandleFrame(f *Frame) framing.Ack {
 		decoded, _ := dec.Decode()
 		if payload, ok := framing.Verify(decoded); ok {
 			r.got[b.Block] = true
-			r.payloads[b.Block] = payload
+			// payload aliases the decoder's reusable result buffer;
+			// copy before retaining it for reassembly.
+			r.payloads[b.Block] = append([]byte(nil), payload...)
 		}
 	}
 	return framing.Ack{Seq: f.Seq, Decoded: append([]bool(nil), r.got...)}

@@ -121,25 +121,60 @@ func (c SpinalConfig) maxPasses() int {
 	return budget
 }
 
+// spinalCodec is one worker's reusable transmit/receive state: an
+// encoder/decoder pair reset between trials instead of reallocated, plus
+// message and symbol scratch. A worker decodes hundreds of messages, so
+// reuse keeps the decoder's warmed-up search buffers across all of them.
+type spinalCodec struct {
+	enc *core.Encoder
+	dec *core.Decoder
+	msg []byte
+	x   []complex128
+}
+
+// message fills the codec's message buffer with trial's seeded payload.
+func (c *spinalCodec) message(rng *rand.Rand, nBits int) []byte {
+	n := (nBits + 7) / 8
+	if cap(c.msg) < n {
+		c.msg = make([]byte, n)
+	}
+	c.msg = c.msg[:n]
+	rng.Read(c.msg)
+	if nBits%8 != 0 {
+		c.msg[n-1] &= (1 << uint(nBits%8)) - 1
+	}
+	return c.msg
+}
+
+// bind points the codec at a message, creating or resetting the
+// encoder/decoder pair.
+func (c *spinalCodec) bind(msg []byte, nBits int, p core.Params) {
+	if c.enc == nil {
+		c.enc = core.NewEncoder(msg, nBits, p)
+		c.dec = core.NewDecoder(nBits, p)
+		return
+	}
+	c.enc.Reset(msg, nBits)
+	c.dec.Reset()
+}
+
 // MeasureSpinal runs Trials rateless spinal sessions and aggregates them.
 func MeasureSpinal(cfg SpinalConfig) Result {
-	outs := parallelTrials(cfg.Trials, func(trial int) Outcome {
-		return spinalTrial(cfg, trial)
-	})
+	outs := ParallelWith(cfg.Trials,
+		func() *spinalCodec { return new(spinalCodec) },
+		func(c *spinalCodec, trial int) Outcome {
+			return spinalTrial(cfg, c, trial)
+		})
 	return Aggregate(cfg.SNRdB, outs)
 }
 
-func spinalTrial(cfg SpinalConfig, trial int) Outcome {
+func spinalTrial(cfg SpinalConfig, c *spinalCodec, trial int) Outcome {
 	seed := cfg.Seed + int64(trial)
 	rng := rand.New(rand.NewSource(seed))
-	msg := make([]byte, (cfg.NBits+7)/8)
-	rng.Read(msg)
-	if cfg.NBits%8 != 0 {
-		msg[len(msg)-1] &= (1 << uint(cfg.NBits%8)) - 1
-	}
+	msg := c.message(rng, cfg.NBits)
 
-	enc := core.NewEncoder(msg, cfg.NBits, cfg.Params)
-	dec := core.NewDecoder(cfg.NBits, cfg.Params)
+	c.bind(msg, cfg.NBits, cfg.Params)
+	enc, dec := c.enc, c.dec
 	sched := enc.NewSchedule()
 
 	var awgn *channel.AWGN
@@ -175,7 +210,8 @@ func spinalTrial(cfg SpinalConfig, trial int) Outcome {
 	symbols := 0
 	for sub := 1; sub <= maxSub; sub++ {
 		ids := sched.NextSubpass()
-		x := enc.Symbols(ids)
+		c.x = enc.AppendSymbols(c.x[:0], ids)
+		x := c.x
 		var y, h []complex128
 		if ray != nil {
 			y, h = ray.Transmit(x)
@@ -229,30 +265,37 @@ func spinalTrial(cfg SpinalConfig, trial int) Outcome {
 // rate × P(success), because a rated code's failures still occupy the
 // channel.
 func MeasureSpinalFixedRate(cfg SpinalConfig, subpasses int) Result {
-	outs := parallelTrials(cfg.Trials, func(trial int) Outcome {
-		seed := cfg.Seed + int64(trial)
-		rng := rand.New(rand.NewSource(seed))
-		msg := make([]byte, (cfg.NBits+7)/8)
-		rng.Read(msg)
-		if cfg.NBits%8 != 0 {
-			msg[len(msg)-1] &= (1 << uint(cfg.NBits%8)) - 1
-		}
-		enc := core.NewEncoder(msg, cfg.NBits, cfg.Params)
-		dec := core.NewDecoder(cfg.NBits, cfg.Params)
-		sched := enc.NewSchedule()
-		ch := channel.NewAWGN(cfg.SNRdB, seed^0x5f3759df)
-		symbols := 0
-		for sub := 0; sub < subpasses; sub++ {
-			ids := sched.NextSubpass()
-			dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
-			symbols += len(ids)
-		}
-		if got, _ := dec.Decode(); bytes.Equal(got, msg) {
-			return Outcome{Symbols: symbols, Bits: cfg.NBits, OK: true}
-		}
-		return Outcome{Symbols: symbols}
-	})
+	outs := ParallelWith(cfg.Trials,
+		func() *spinalCodec { return new(spinalCodec) },
+		func(c *spinalCodec, trial int) Outcome {
+			seed := cfg.Seed + int64(trial)
+			rng := rand.New(rand.NewSource(seed))
+			msg := c.message(rng, cfg.NBits)
+			c.bind(msg, cfg.NBits, cfg.Params)
+			enc, dec := c.enc, c.dec
+			sched := enc.NewSchedule()
+			ch := channel.NewAWGN(cfg.SNRdB, seed^0x5f3759df)
+			symbols := 0
+			for sub := 0; sub < subpasses; sub++ {
+				ids := sched.NextSubpass()
+				c.x = enc.AppendSymbols(c.x[:0], ids)
+				dec.Add(ids, ch.Transmit(c.x))
+				symbols += len(ids)
+			}
+			if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+				return Outcome{Symbols: symbols, Bits: cfg.NBits, OK: true}
+			}
+			return Outcome{Symbols: symbols}
+		})
 	return Aggregate(cfg.SNRdB, outs)
+}
+
+// bscCodec is the BSC analogue of spinalCodec.
+type bscCodec struct {
+	enc  *core.Encoder
+	dec  *core.BSCDecoder
+	msg  []byte
+	bits []byte
 }
 
 // MeasureSpinalBSC runs rateless spinal sessions over a BSC with crossover
@@ -264,44 +307,61 @@ func MeasureSpinalBSC(params core.Params, nBits int, p float64, trials int, seed
 		cbsc = 0.05
 	}
 	maxPasses := int(3*float64(params.K)/cbsc) + 4
-	outs := parallelTrials(trials, func(trial int) Outcome {
-		s := seed + int64(trial)
-		rng := rand.New(rand.NewSource(s))
-		msg := make([]byte, (nBits+7)/8)
-		rng.Read(msg)
-		if nBits%8 != 0 {
-			msg[len(msg)-1] &= (1 << uint(nBits%8)) - 1
-		}
-		enc := core.NewEncoder(msg, nBits, params)
-		dec := core.NewBSCDecoder(nBits, params)
-		sched := enc.NewSchedule()
-		ch := channel.NewBSC(p, s^0x5f3759df)
-		symbols := 0
-		maxSub := maxPasses * sched.Subpasses()
-		for sub := 1; sub <= maxSub; sub++ {
-			ids := sched.NextSubpass()
-			dec.Add(ids, ch.Transmit(enc.Bits(ids)))
-			symbols += len(ids)
-			if got, _ := dec.Decode(); bytes.Equal(got, msg) {
-				return Outcome{Symbols: symbols, Bits: nBits, OK: true}
+	outs := ParallelWith(trials,
+		func() *bscCodec { return new(bscCodec) },
+		func(c *bscCodec, trial int) Outcome {
+			s := seed + int64(trial)
+			rng := rand.New(rand.NewSource(s))
+			n := (nBits + 7) / 8
+			if cap(c.msg) < n {
+				c.msg = make([]byte, n)
 			}
-		}
-		return Outcome{Symbols: symbols}
-	})
+			msg := c.msg[:n]
+			rng.Read(msg)
+			if nBits%8 != 0 {
+				msg[n-1] &= (1 << uint(nBits%8)) - 1
+			}
+			if c.enc == nil {
+				c.enc = core.NewEncoder(msg, nBits, params)
+				c.dec = core.NewBSCDecoder(nBits, params)
+			} else {
+				c.enc.Reset(msg, nBits)
+				c.dec.Reset()
+			}
+			enc, dec := c.enc, c.dec
+			sched := enc.NewSchedule()
+			ch := channel.NewBSC(p, s^0x5f3759df)
+			symbols := 0
+			maxSub := maxPasses * sched.Subpasses()
+			for sub := 1; sub <= maxSub; sub++ {
+				ids := sched.NextSubpass()
+				c.bits = enc.AppendBits(c.bits[:0], ids)
+				dec.Add(ids, ch.Transmit(c.bits))
+				symbols += len(ids)
+				if got, _ := dec.Decode(); bytes.Equal(got, msg) {
+					return Outcome{Symbols: symbols, Bits: nBits, OK: true}
+				}
+			}
+			return Outcome{Symbols: symbols}
+		})
 	r := Aggregate(0, outs)
 	return r.Rate, r.Failures
-}
-
-// parallelTrials runs fn for each trial index across available CPUs,
-// preserving per-trial determinism.
-func parallelTrials(trials int, fn func(trial int) Outcome) []Outcome {
-	return Parallel(trials, fn)
 }
 
 // Parallel runs fn(0..n-1) across available CPUs and collects results in
 // index order. Trials must be independent; determinism is preserved
 // because each index derives its own seed.
 func Parallel[T any](n int, fn func(i int) T) []T {
+	return ParallelWith(n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) T { return fn(i) })
+}
+
+// ParallelWith is Parallel with per-worker context: setup runs once in
+// each worker goroutine and its result is handed to every fn call that
+// worker executes. Trial loops use it to reuse expensive state — an
+// encoder/decoder pair, scratch buffers — across the trials a worker
+// processes, while trials stay independent and deterministic.
+func ParallelWith[S, T any](n int, setup func() S, fn func(ctx S, i int) T) []T {
 	outs := make([]T, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -316,8 +376,9 @@ func Parallel[T any](n int, fn func(i int) T) []T {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ctx := setup()
 			for t := range next {
-				outs[t] = fn(t)
+				outs[t] = fn(ctx, t)
 			}
 		}()
 	}
