@@ -1,26 +1,33 @@
 // Filetransfer: the §6 link-layer protocol over a real UDP socket pair.
 //
-// A sender process-half segments a datagram into CRC-protected code
-// blocks, spinal-encodes each, and streams frames over UDP to a receiver
+// A sender process-half segments each datagram into CRC-protected code
+// blocks, spinal-encodes them, and streams frames over UDP to a receiver
 // half in the same process; the "air" between them is simulated by AWGN
 // noise plus whole-frame loss applied at the receiver. ACKs flow back
 // over UDP with one bit per code block (§6), and the sender stops
 // transmitting blocks as they are acknowledged — rateless operation end
 // to end.
 //
+// With -flows N > 1, N independent datagrams are multiplexed over the
+// same socket pair: every UDP payload carries a flow ID, the receiver
+// demultiplexes into per-flow link receivers, and the sender interleaves
+// all flows' frames, aggregating goodput across them.
+//
 // Run with:
 //
-//	go run ./examples/filetransfer [-snr 10] [-loss 0.2] [-size 1500]
+//	go run ./examples/filetransfer [-snr 10] [-loss 0.2] [-size 1500] [-flows 4]
 package main
 
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"spinal"
@@ -32,19 +39,28 @@ import (
 func main() {
 	snrDB := flag.Float64("snr", 10, "simulated channel SNR in dB")
 	loss := flag.Float64("loss", 0.2, "whole-frame loss probability")
-	size := flag.Int("size", 1500, "datagram size in bytes")
+	size := flag.Int("size", 1500, "datagram size in bytes per flow")
+	flows := flag.Int("flows", 1, "concurrent datagrams multiplexed over the socket pair")
 	flag.Parse()
+	if *flows < 1 {
+		*flows = 1
+	}
 
 	rng := rand.New(rand.NewSource(7))
-	datagram := make([]byte, *size)
-	rng.Read(datagram)
+	datagrams := make([][]byte, *flows)
+	for i := range datagrams {
+		datagrams[i] = make([]byte, *size)
+		rng.Read(datagrams[i])
+	}
 
-	rxAddr := startReceiver(*snrDB, *loss, datagram)
-	runSender(rxAddr, datagram)
+	rxAddr := startReceiver(*snrDB, *loss, datagrams)
+	runSender(rxAddr, datagrams)
 }
 
-// wire is the gob-encoded UDP payload: either a data frame or an ACK.
+// wire is the gob-encoded UDP payload: a flow ID plus either a data frame
+// or an ACK.
 type wire struct {
+	Flow  int
 	Frame *link.Frame
 	Ack   *framing.Ack
 	From  string // sender's ACK return address
@@ -85,16 +101,20 @@ func recv(conn *net.UDPConn) wire {
 	return w
 }
 
-func startReceiver(snrDB, loss float64, want []byte) *net.UDPAddr {
+func startReceiver(snrDB, loss float64, want [][]byte) *net.UDPAddr {
 	conn, addr := udpSocket()
 	go func() {
 		p := spinal.DefaultParams()
-		rcv := link.NewReceiver(p)
+		rcvs := make([]*link.Receiver, len(want))
+		verified := make([]bool, len(want))
+		for i := range rcvs {
+			rcvs[i] = link.NewReceiver(p)
+		}
 		air := channel.NewAWGN(snrDB, 99)
 		drop := rand.New(rand.NewSource(100))
 		for {
 			w := recv(conn)
-			if w.Frame == nil {
+			if w.Frame == nil || w.Flow < 0 || w.Flow >= len(rcvs) {
 				continue
 			}
 			ret, err := net.ResolveUDPAddr("udp", w.From)
@@ -105,18 +125,23 @@ func startReceiver(snrDB, loss float64, want []byte) *net.UDPAddr {
 			if drop.Float64() < loss {
 				continue // erased frame; no ACK either
 			}
+			rcv := rcvs[w.Flow]
 			noisy := *w.Frame
 			noisy.Batches = applyNoise(w.Frame.Batches, air)
-			ack := rcv.HandleFrame(&noisy)
-			send(conn, ret, wire{Ack: &ack})
-			if rcv.Complete() {
+			ack, herr := rcv.HandleFrame(&noisy)
+			if herr != nil && !errors.Is(herr, link.ErrStaleFrame) {
+				continue
+			}
+			send(conn, ret, wire{Flow: w.Flow, Ack: &ack})
+			if !verified[w.Flow] && rcv.Complete() {
 				got, err := rcv.Datagram()
 				if err != nil {
 					log.Fatal(err)
 				}
-				if !bytes.Equal(got, want) {
-					log.Fatal("receiver: datagram corrupted")
+				if !bytes.Equal(got, want[w.Flow]) {
+					log.Fatalf("receiver: flow %d datagram corrupted", w.Flow)
 				}
+				verified[w.Flow] = true
 			}
 		}
 	}()
@@ -135,35 +160,77 @@ func applyNoise(batches []link.Batch, air *channel.AWGN) []link.Batch {
 // loopback socket.
 func deadline() time.Time { return time.Now().Add(200 * time.Millisecond) }
 
-func runSender(rx *net.UDPAddr, datagram []byte) {
+func runSender(rx *net.UDPAddr, datagrams [][]byte) {
 	conn, myAddr := udpSocket()
 	p := spinal.DefaultParams()
-	snd := link.NewSender(datagram, p, 0)
 
-	frames := 0
-	for !snd.Done() {
-		f := snd.NextFrame()
-		if f == nil {
-			break
-		}
-		frames++
-		send(conn, rx, wire{Frame: f, From: myAddr.String()})
-		// Pause for feedback (§6): wait briefly for an ACK; resume on
-		// timeout (the frame or its ACK may have been lost).
-		conn.SetReadDeadline(deadline())
-		ackBuf := make([]byte, 1<<16)
-		n, _, err := conn.ReadFromUDP(ackBuf)
-		if err == nil {
+	// One goroutine demultiplexes ACKs to per-flow channels; flow workers
+	// interleave their frames over the shared socket.
+	acks := make([]chan framing.Ack, len(datagrams))
+	for i := range acks {
+		acks[i] = make(chan framing.Ack, 8)
+	}
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return // socket closed: transfer done
+			}
 			var w wire
-			if err := gob.NewDecoder(bytes.NewReader(ackBuf[:n])).Decode(&w); err == nil && w.Ack != nil {
-				snd.HandleAck(*w.Ack)
+			if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&w); err != nil || w.Ack == nil {
+				continue
+			}
+			if w.Flow >= 0 && w.Flow < len(acks) {
+				select {
+				case acks[w.Flow] <- *w.Ack:
+				default: // slow flow; a fresher ACK will follow
+				}
 			}
 		}
-		if frames > 10000 {
-			log.Fatal("giving up after 10000 frames")
-		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	totalFrames, totalSymbols, totalBytes := 0, 0, 0
+	for fi, datagram := range datagrams {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snd := link.NewSender(datagram, p, 0)
+			frames := 0
+			for !snd.Done() {
+				f := snd.NextFrame()
+				if f == nil {
+					break
+				}
+				frames++
+				send(conn, rx, wire{Flow: fi, Frame: f, From: myAddr.String()})
+				// Pause for feedback (§6): wait briefly for an ACK; resume
+				// on timeout (the frame or its ACK may have been lost).
+				timer := time.NewTimer(time.Until(deadline()))
+				select {
+				case ack := <-acks[fi]:
+					snd.HandleAck(ack)
+				case <-timer.C:
+				}
+				timer.Stop()
+				if frames > 10000 {
+					log.Fatalf("flow %d: giving up after 10000 frames", fi)
+				}
+			}
+			mu.Lock()
+			totalFrames += frames
+			totalSymbols += snd.SymbolsSent()
+			totalBytes += len(datagram)
+			mu.Unlock()
+		}()
 	}
-	fmt.Printf("transferred %d bytes in %d frames, %d symbols (%.3f bits/symbol)\n",
-		len(datagram), frames, snd.SymbolsSent(),
-		float64(len(datagram)*8)/float64(snd.SymbolsSent()))
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("transferred %d bytes over %d flows in %d frames, %d symbols (%.3f bits/symbol, %.0f B/s goodput)\n",
+		totalBytes, len(datagrams), totalFrames, totalSymbols,
+		float64(totalBytes*8)/float64(totalSymbols),
+		float64(totalBytes)/elapsed.Seconds())
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestCodecPoolRoundTrip runs many encode→decode jobs across shards and
+// message lengths; every job must round-trip its message through the
+// worker's pooled codecs.
+func TestCodecPoolRoundTrip(t *testing.T) {
+	p := Params{K: 4, B: 16, D: 1, C: 6, Tail: 2, Ways: 8}
+	cp := NewCodecPool(p, 4)
+	defer cp.Close()
+
+	const jobs = 64
+	sizes := []int{24, 48, 96}
+	var wg sync.WaitGroup
+	errs := make([]string, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		cp.Submit(j, func(c *Codec) {
+			defer wg.Done()
+			nBits := sizes[j%len(sizes)]
+			msg := make([]byte, (nBits+7)/8)
+			for i := range msg {
+				msg[i] = byte(j*31 + i*7)
+			}
+			enc := c.Encoder(msg, nBits)
+			dec := c.Decoder(nBits)
+			sched := enc.NewSchedule()
+			for sub := 0; sub < 2*sched.Subpasses(); sub++ {
+				ids := sched.NextSubpass()
+				c.X = enc.AppendSymbols(c.X[:0], ids)
+				dec.Add(ids, c.X) // noiseless
+			}
+			got, _ := dec.Decode()
+			if !bytes.Equal(got, msg) {
+				errs[j] = "round trip failed"
+			}
+		})
+	}
+	wg.Wait()
+	for j, e := range errs {
+		if e != "" {
+			t.Fatalf("job %d: %s", j, e)
+		}
+	}
+
+	st := cp.Stats()
+	maxDec := int64(cp.Shards() * len(sizes))
+	if st.EncodersBuilt > int64(cp.Shards()) {
+		t.Errorf("built %d encoders for %d shards — not reused", st.EncodersBuilt, cp.Shards())
+	}
+	if st.DecodersBuilt > maxDec {
+		t.Errorf("built %d decoders, want ≤ %d (shards × message lengths)", st.DecodersBuilt, maxDec)
+	}
+}
+
+// TestCodecPoolShardOrdering: jobs submitted to one shard run in order on
+// one goroutine, so unsynchronized per-shard state is safe.
+func TestCodecPoolShardOrdering(t *testing.T) {
+	cp := NewCodecPool(Params{K: 4, B: 4, D: 1, C: 6}, 2)
+	defer cp.Close()
+	const n = 100
+	seq := make([]int, 0, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		cp.Submit(0, func(*Codec) {
+			seq = append(seq, i)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("shard ran job %d at position %d", v, i)
+		}
+	}
+}
+
+// TestCodecPoolClose: Close drains queued jobs and is idempotent.
+func TestCodecPoolClose(t *testing.T) {
+	cp := NewCodecPool(Params{K: 4, B: 4, D: 1, C: 6}, 3)
+	var ran sync.WaitGroup
+	ran.Add(10)
+	for i := 0; i < 10; i++ {
+		cp.Submit(i, func(*Codec) { ran.Done() })
+	}
+	cp.Close()
+	cp.Close()
+	ran.Wait()
+}

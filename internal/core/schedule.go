@@ -40,6 +40,16 @@ var residueOrder = map[int][]int{
 	8: {7, 3, 5, 1, 6, 2, 4, 0},
 }
 
+// NewScheduleFor creates the transmission schedule for an nBits-bit
+// message under p, applying the same parameter defaulting as the codecs.
+// It matches Encoder.NewSchedule and Decoder.NewSchedule without needing
+// either in hand — the link layer's senders schedule blocks whose
+// encoders live on a codec pool.
+func NewScheduleFor(nBits int, p Params) *Schedule {
+	p = p.withDefaults()
+	return NewSchedule(numSpine(nBits, p.K), p.Ways, p.Tail)
+}
+
 // NewSchedule creates the symbol schedule for a code with nspine spine
 // values, the given puncturing fan-out (1, 2, 4 or 8) and tail symbol
 // count (≥1, total symbols from the last spine value per pass).

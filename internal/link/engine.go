@@ -1,0 +1,437 @@
+package link
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+
+	"spinal/internal/capacity"
+	"spinal/internal/core"
+)
+
+// FlowID identifies one datagram in flight through an Engine.
+type FlowID uint64
+
+// ErrFlowBudget reports a flow that exhausted its round budget before
+// every code block decoded (channel too poor, or budget too tight).
+var ErrFlowBudget = errors.New("link: flow exceeded its round budget before decoding")
+
+// RatePolicy paces one flow: how many fresh puncturing subpasses (§5)
+// each outstanding code block transmits in the coming round. It is the
+// engine's per-flow rate-adaptation hook — the schedule itself fixes
+// which symbols a subpass carries, the policy decides how fast the flow
+// walks it.
+type RatePolicy interface {
+	// SubpassBudget returns the number of subpasses (≥ 0; 0 skips the
+	// block this round) for a block of blockBits bits, given the symbols
+	// one subpass carries and the symbols already sent for the block.
+	SubpassBudget(blockBits, subpassSymbols, symbolsSent int) int
+}
+
+// FixedRate transmits a constant number of subpasses per block per round;
+// values below 1 mean 1 (the Transfer loop's frame-at-a-time behaviour).
+type FixedRate int
+
+// SubpassBudget implements RatePolicy.
+func (r FixedRate) SubpassBudget(_, _, _ int) int {
+	if r < 1 {
+		return 1
+	}
+	return int(r)
+}
+
+// CapacityRate opens each block with a burst sized so the receiver is
+// likely just past its decoding point — blockBits/(margin·C(est))
+// symbols, the same heuristic as the half-duplex CapacityPolicy — and
+// then trickles geometrically growing increments. A stale SNR estimate
+// degrades gracefully: too low wastes a little rate, too high adds
+// trickle rounds.
+type CapacityRate struct {
+	// SNREstimateDB is the sender's (possibly stale) channel estimate.
+	SNREstimateDB float64
+	// Margin derates capacity for the code's gap; 0 means 0.8.
+	Margin float64
+	// Growth is the post-burst increment as a fraction of the initial
+	// estimate; 0 means 0.25.
+	Growth float64
+}
+
+// SubpassBudget implements RatePolicy.
+func (p CapacityRate) SubpassBudget(blockBits, subpassSymbols, symbolsSent int) int {
+	margin := p.Margin
+	if margin == 0 {
+		margin = 0.8
+	}
+	growth := p.Growth
+	if growth == 0 {
+		growth = 0.25
+	}
+	c := capacity.AWGNdB(p.SNREstimateDB) * margin
+	if c < 0.05 {
+		c = 0.05
+	}
+	target := float64(blockBits) / c
+	var want float64
+	if float64(symbolsSent) < target {
+		want = target - float64(symbolsSent)
+	} else {
+		want = target * growth
+	}
+	n := int(math.Ceil(want / float64(maxInt(subpassSymbols, 1))))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// EngineConfig configures a multi-flow link engine.
+type EngineConfig struct {
+	// Params is the spinal code shared by every flow (it sizes the
+	// pooled codecs).
+	Params core.Params
+	// MaxBlockBits bounds code blocks (0 ⇒ the §6 default of 1024).
+	MaxBlockBits int
+	// Shards is the codec-pool worker count (0 ⇒ GOMAXPROCS).
+	Shards int
+	// FrameSymbols is the shared-frame symbol budget: the scheduler stops
+	// admitting batches once a frame holds this many symbols, and the
+	// remaining flows wait for the next round (backpressure). 0 ⇒ 4096.
+	FrameSymbols int
+	// FrameLoss is the probability an entire shared frame is erased on
+	// the air (every flow in it loses that round's symbols).
+	FrameLoss float64
+	// Seed drives frame-loss randomness.
+	Seed int64
+	// MaxRounds is the default per-flow give-up budget in scheduling
+	// rounds (0 ⇒ 512); FlowConfig can override it per flow.
+	MaxRounds int
+}
+
+func (c EngineConfig) frameSymbols() int {
+	if c.FrameSymbols <= 0 {
+		return 4096
+	}
+	return c.FrameSymbols
+}
+
+func (c EngineConfig) maxRounds() int {
+	if c.MaxRounds <= 0 {
+		return 512
+	}
+	return c.MaxRounds
+}
+
+// FlowConfig describes one flow entering the engine.
+type FlowConfig struct {
+	// Channel perturbs the flow's share of each frame (nil ⇒ noiseless).
+	// Distinct flows may see distinct media — near and far stations on
+	// one access point.
+	Channel Channel
+	// Rate paces the flow (nil ⇒ FixedRate(1)).
+	Rate RatePolicy
+	// MaxRounds overrides the engine's give-up budget (0 ⇒ inherit).
+	MaxRounds int
+}
+
+// FlowResult reports a resolved flow: its reassembled datagram on
+// success, or a typed error (ErrFlowBudget) on give-up.
+type FlowResult struct {
+	ID       FlowID
+	Datagram []byte
+	Stats    Stats
+	Err      error
+}
+
+// engineFlow is one flow's state machine: today's Sender/Receiver pair
+// plus pacing and accounting. The codec-heavy work (symbol generation,
+// decode attempts) runs on the engine's sharded pool, not here.
+type engineFlow struct {
+	id        FlowID
+	snd       *Sender
+	rcv       *Receiver
+	ch        Channel
+	rate      RatePolicy
+	rounds    int
+	maxRounds int
+	frames    int
+	bytes     int
+}
+
+// identityChannel is the noiseless default medium.
+type identityChannel struct{}
+
+func (identityChannel) Apply(sym []complex128) []complex128 { return sym }
+
+// Engine multiplexes many concurrent datagrams ("flows") over a shared
+// rateless link. Each flow is segmented into CRC-protected code blocks;
+// every round, a frame scheduler interleaves one batch per outstanding
+// block from as many flows as fit a shared frame's symbol budget
+// (backpressure defers the rest), the medium perturbs each flow's share,
+// and a sharded pool of persistent codec workers regenerates symbols and
+// runs decode attempts. Spinal codes make this embarrassingly shardable:
+// every code block decodes independently, so the pool stays busy as long
+// as any flow has outstanding blocks.
+//
+// The engine is single-threaded at its API (AddFlow/Step/Drain must not
+// be called concurrently); parallelism lives inside Step's codec rounds.
+type Engine struct {
+	cfg   EngineConfig
+	pool  *core.CodecPool
+	flows []*engineFlow
+	next  FlowID
+	rr    int // round-robin admission cursor
+	seq   uint32
+	rng   *rand.Rand
+
+	items []txItem // per-round scratch
+}
+
+// txItem is one scheduled batch's journey through a round: IDs assigned
+// on the engine thread, symbols filled by an encode job, perturbed by the
+// flow's channel, then consumed by a decode job.
+type txItem struct {
+	fl      *engineFlow
+	batch   Batch
+	lost    bool
+	decoded bool
+}
+
+// NewEngine starts an engine and its codec pool. Close releases the pool.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{
+		cfg:  cfg,
+		pool: core.NewCodecPool(cfg.Params, cfg.Shards),
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x6c696e6b)),
+	}
+}
+
+// AddFlow admits a datagram as a new flow and returns its ID. A nil
+// datagram is legal (a single CRC-only block). The flow starts
+// transmitting on the next Step.
+func (e *Engine) AddFlow(datagram []byte, fc FlowConfig) FlowID {
+	fl := &engineFlow{
+		id:        e.next,
+		snd:       NewSender(datagram, e.cfg.Params, e.cfg.MaxBlockBits),
+		rcv:       NewReceiver(e.cfg.Params),
+		ch:        fc.Channel,
+		rate:      fc.Rate,
+		maxRounds: fc.MaxRounds,
+		bytes:     len(datagram),
+	}
+	if fl.ch == nil {
+		fl.ch = identityChannel{}
+	}
+	if fl.rate == nil {
+		fl.rate = FixedRate(1)
+	}
+	if fl.maxRounds <= 0 {
+		fl.maxRounds = e.cfg.maxRounds()
+	}
+	// The engine feeds the receiver batches directly, so adopt the block
+	// layout now instead of waiting for a first frame.
+	layout := make([]int, fl.snd.Blocks())
+	for i := range layout {
+		layout[i] = fl.snd.blocks[i].NumBits()
+	}
+	if err := fl.rcv.init(layout); err != nil {
+		// Segment never produces an invalid layout; fail loudly if it does.
+		panic(err)
+	}
+	e.next++
+	e.flows = append(e.flows, fl)
+	return fl.id
+}
+
+// Active reports the number of unresolved flows.
+func (e *Engine) Active() int { return len(e.flows) }
+
+// PoolStats exposes the codec pool's construction counters (reuse
+// telemetry for tests and monitoring).
+func (e *Engine) PoolStats() core.CodecPoolStats { return e.pool.Stats() }
+
+// Close releases the codec workers. The engine must be idle.
+func (e *Engine) Close() { e.pool.Close() }
+
+// shardOf routes a (flow, block) pair to a stable pool shard. Both
+// inputs are spread through the high bits before the shift so that the
+// blocks of one flow land on different shards (a two-flow transfer of a
+// large file must still use the whole pool).
+func shardOf(id FlowID, block int) int {
+	h := uint64(id)*0x9e3779b97f4a7c15 ^ uint64(block)*0xff51afd7ed558ccd
+	return int(h >> 33)
+}
+
+// Step runs one round — schedule, encode, air, decode, ACK — and returns
+// the flows resolved by it (nil most rounds). It is cheap to call with no
+// active flows.
+func (e *Engine) Step() []FlowResult {
+	if len(e.flows) == 0 {
+		return nil
+	}
+
+	// Schedule: round-robin from the fairness cursor, one batch of fresh
+	// symbol IDs per outstanding block, until the shared frame's symbol
+	// budget is spent. Flows left out neither transmit nor age.
+	e.items = e.items[:0]
+	budget := e.cfg.frameSymbols()
+	symbols := 0
+	offered := 0
+	n := len(e.flows)
+	for k := 0; k < n && symbols < budget; k++ {
+		fl := e.flows[(e.rr+k)%n]
+		fl.rounds++
+		offered++
+		inFrame := false
+		for b := range fl.snd.blocks {
+			if fl.snd.acked[b] {
+				continue
+			}
+			sched := fl.snd.scheds[b]
+			sub := maxInt(sched.SymbolsPerPass()/sched.Subpasses(), 1)
+			blockBits := fl.snd.blocks[b].NumBits()
+			want := fl.rate.SubpassBudget(blockBits, sub, fl.snd.symbolsFor(b))
+			if want < 1 {
+				continue
+			}
+			batch := fl.snd.batchIDs(b, want)
+			fl.snd.countSymbols(len(batch.IDs))
+			fl.snd.countSymbolsFor(b, len(batch.IDs))
+			symbols += len(batch.IDs)
+			inFrame = true
+			e.items = append(e.items, txItem{fl: fl, batch: batch})
+			if symbols >= budget {
+				break
+			}
+		}
+		if inFrame {
+			fl.frames++
+		}
+	}
+	e.rr = (e.rr + offered) % maxInt(len(e.flows), 1)
+	e.seq++
+
+	// Encode: pooled workers regenerate each batch's symbols from the
+	// block bits (flows own no encoders).
+	var wg sync.WaitGroup
+	for k := range e.items {
+		it := &e.items[k]
+		if len(it.batch.IDs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		e.pool.Submit(shardOf(it.fl.id, it.batch.Block), func(c *core.Codec) {
+			defer wg.Done()
+			bits, nb := it.fl.snd.blockBits(it.batch.Block)
+			it.batch.Symbols = c.Encoder(bits, nb).Symbols(it.batch.IDs)
+		})
+	}
+	wg.Wait()
+
+	// Air: whole-frame loss first, then each flow's channel over its own
+	// share. Serial, in schedule order, so stateful channel RNGs stay
+	// deterministic.
+	frameLost := e.cfg.FrameLoss > 0 && e.rng.Float64() < e.cfg.FrameLoss
+	for k := range e.items {
+		it := &e.items[k]
+		if frameLost || len(it.batch.IDs) == 0 {
+			it.lost = true
+			continue
+		}
+		rx := it.fl.ch.Apply(it.batch.Symbols)
+		if rx == nil {
+			it.lost = true
+			continue
+		}
+		it.batch.Symbols = rx
+	}
+
+	// Decode: one job per surviving batch. Items are unique per
+	// (flow, block), so jobs touch disjoint receiver state; the decoder
+	// itself is the worker's, reset and replayed from the block's
+	// accumulated symbols.
+	for k := range e.items {
+		it := &e.items[k]
+		if it.lost {
+			continue
+		}
+		wg.Add(1)
+		e.pool.Submit(shardOf(it.fl.id, it.batch.Block), func(c *core.Codec) {
+			defer wg.Done()
+			rcv := it.fl.rcv
+			if ok, err := rcv.accumulate(&it.batch); !ok || err != nil {
+				return
+			}
+			blk := &rcv.blocks[it.batch.Block]
+			if blk.dirty {
+				it.decoded = rcv.attempt(it.batch.Block, c.Decoder(blk.nBits))
+			}
+		})
+	}
+	wg.Wait()
+
+	// ACK: instantaneous per-block feedback — §6's one-bit-per-block ACK
+	// over a perfect reverse channel, applied in its compressed form (the
+	// decoded block index is already in hand). Then resolve finished and
+	// exhausted flows.
+	for k := range e.items {
+		it := &e.items[k]
+		if it.decoded {
+			it.fl.snd.acked[it.batch.Block] = true
+		}
+	}
+	var results []FlowResult
+	live := e.flows[:0]
+	for _, fl := range e.flows {
+		switch {
+		case fl.snd.Done():
+			results = append(results, e.resolve(fl, nil))
+		case fl.rounds >= fl.maxRounds:
+			results = append(results, e.resolve(fl, ErrFlowBudget))
+		default:
+			live = append(live, fl)
+		}
+	}
+	e.flows = live
+	if len(e.flows) > 0 {
+		e.rr %= len(e.flows)
+	} else {
+		e.rr = 0
+	}
+	return results
+}
+
+// resolve builds a flow's final result.
+func (e *Engine) resolve(fl *engineFlow, ferr error) FlowResult {
+	st := Stats{
+		Frames:      fl.frames,
+		SymbolsSent: fl.snd.SymbolsSent(),
+		Blocks:      fl.snd.Blocks(),
+	}
+	if st.SymbolsSent > 0 {
+		st.Rate = float64(fl.bytes*8) / float64(st.SymbolsSent)
+	}
+	res := FlowResult{ID: fl.id, Stats: st, Err: ferr}
+	if ferr == nil {
+		got, err := fl.rcv.Datagram()
+		if err != nil {
+			res.Err = err
+		} else {
+			res.Datagram = got
+		}
+	}
+	return res
+}
+
+// Drain steps until every flow resolves or maxSteps rounds pass (0 means
+// no bound beyond the flows' own budgets), returning all results.
+func (e *Engine) Drain(maxSteps int) []FlowResult {
+	var out []FlowResult
+	for steps := 0; e.Active() > 0; steps++ {
+		if maxSteps > 0 && steps >= maxSteps {
+			break
+		}
+		out = append(out, e.Step()...)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkLinkEngine measures aggregate multi-flow goodput: 32 concurrent
+// 44-byte flows (two 192-bit code blocks each) at 12 dB with
+// capacity-seeded pacing, driven to completion per iteration. The
+// benchmark reports delivered goodput in bytes/sec and payload bits per
+// channel symbol alongside ns/op; scripts/bench_check.sh gates ns/op
+// regressions against the checked-in BENCH_*.json baseline.
+func BenchmarkLinkEngine(b *testing.B) {
+	const flows = 32
+	const size = 44
+	cfg := EngineConfig{
+		Params:       linkParams(),
+		MaxBlockBits: 192,
+	}
+	rng := rand.New(rand.NewSource(63))
+	payloads := make([][]byte, flows)
+	for i := range payloads {
+		payloads[i] = flowPayload(rng, size)
+	}
+	e := NewEngine(cfg)
+	defer e.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesDelivered, symbols int64
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < flows; f++ {
+			e.AddFlow(payloads[f], FlowConfig{
+				Channel: newAWGNChannel(12, 0, int64(i*flows+f)),
+				Rate:    CapacityRate{SNREstimateDB: 12},
+			})
+		}
+		for _, r := range e.Drain(0) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			bytesDelivered += int64(len(r.Datagram))
+			symbols += int64(r.Stats.SymbolsSent)
+		}
+	}
+	b.ReportMetric(float64(bytesDelivered)/b.Elapsed().Seconds(), "goodput-B/s")
+	b.ReportMetric(float64(bytesDelivered*8)/float64(symbols), "bits/sym")
+}

@@ -6,8 +6,9 @@
 // synchronized across erased frames.
 //
 // The Sender and Receiver are transport-agnostic state machines: tests
-// drive them in-process through simulated channels, and the
-// examples/filetransfer program drives them over UDP.
+// drive them in-process through simulated channels, the
+// examples/filetransfer program drives them over UDP, and the Engine
+// multiplexes many of them over a shared medium with pooled codecs.
 package link
 
 import (
@@ -17,6 +18,30 @@ import (
 	"spinal/internal/core"
 	"spinal/internal/framing"
 )
+
+// Typed errors for degenerate link inputs. Frame-shaped garbage must
+// never panic or livelock a state machine; it is reported so transports
+// can count or log it, and the returned ACK (when any) stays usable.
+var (
+	// ErrNilFrame reports a nil frame handed to a receiver.
+	ErrNilFrame = errors.New("link: nil frame")
+	// ErrBadLayout reports a frame whose code-block layout is empty,
+	// non-positive, or absurdly large.
+	ErrBadLayout = errors.New("link: invalid code-block layout")
+	// ErrMalformedBatch reports a batch whose symbol and ID counts
+	// disagree; the batch is skipped.
+	ErrMalformedBatch = errors.New("link: batch symbol/ID length mismatch")
+	// ErrStaleFrame reports a frame all of whose batches reference
+	// already-decoded (or out-of-range) blocks. The ACK returned with it
+	// is valid — resending it is exactly how the sender catches up.
+	ErrStaleFrame = errors.New("link: frame carries no batch for an outstanding block")
+	// ErrIncomplete reports a datagram read before every block decoded.
+	ErrIncomplete = errors.New("link: datagram incomplete")
+)
+
+// maxLayoutBits caps a single code block's advertised size; a frame
+// claiming more is treated as corrupt rather than sizing a decoder.
+const maxLayoutBits = 1 << 20
 
 // Batch carries one code block's symbols within a frame. The SymbolIDs
 // are derivable from the frame sequence number and the shared schedule
@@ -44,35 +69,45 @@ func (f *Frame) SymbolCount() int {
 	return n
 }
 
-// Sender streams a datagram as rateless frames.
+// Sender streams a datagram as rateless frames. It keeps only the block
+// bits and per-block schedules as state; encoders are built lazily for
+// the standalone NextFrame path and skipped entirely when an Engine
+// generates symbols on its codec pool.
 type Sender struct {
-	params  core.Params
-	blocks  []framing.Block
-	encs    []*core.Encoder
-	scheds  []*core.Schedule
-	acked   []bool
-	seq     uint32
-	symbols int
+	params   core.Params
+	blocks   []framing.Block
+	bits     [][]byte // serialized block bits (payload + CRC)
+	encs     []*core.Encoder
+	scheds   []*core.Schedule
+	acked    []bool
+	seq      uint32
+	symbols  int
+	perBlock []int // per-block symbol counts (rate-adaptation input)
 }
 
 // NewSender segments the datagram into code blocks of at most
-// maxBlockBits (0 ⇒ the §6 default of 1024) and prepares the encoders.
+// maxBlockBits (0 ⇒ the §6 default of 1024) and prepares the schedules.
+// A zero-length datagram is legal: it becomes a single CRC-only block.
 func NewSender(datagram []byte, p core.Params, maxBlockBits int) *Sender {
 	blocks := framing.Segment(datagram, maxBlockBits)
 	s := &Sender{
-		params: p,
-		blocks: blocks,
-		encs:   make([]*core.Encoder, len(blocks)),
-		scheds: make([]*core.Schedule, len(blocks)),
-		acked:  make([]bool, len(blocks)),
+		params:   p,
+		blocks:   blocks,
+		bits:     make([][]byte, len(blocks)),
+		encs:     make([]*core.Encoder, len(blocks)),
+		scheds:   make([]*core.Schedule, len(blocks)),
+		acked:    make([]bool, len(blocks)),
+		perBlock: make([]int, len(blocks)),
 	}
 	for i, b := range blocks {
-		bits := b.Bits()
-		s.encs[i] = core.NewEncoder(bits, b.NumBits(), p)
-		s.scheds[i] = s.encs[i].NewSchedule()
+		s.bits[i] = b.Bits()
+		s.scheds[i] = core.NewScheduleFor(b.NumBits(), p)
 	}
 	return s
 }
+
+// Blocks reports the number of code blocks.
+func (s *Sender) Blocks() int { return len(s.blocks) }
 
 // Done reports whether every block has been acknowledged.
 func (s *Sender) Done() bool {
@@ -86,6 +121,43 @@ func (s *Sender) Done() bool {
 
 // SymbolsSent reports the cumulative number of symbols transmitted.
 func (s *Sender) SymbolsSent() int { return s.symbols }
+
+// blockBits returns block i's serialized bits and bit count, the inputs a
+// pooled encoder needs to regenerate its symbols.
+func (s *Sender) blockBits(i int) ([]byte, int) {
+	return s.bits[i], s.blocks[i].NumBits()
+}
+
+// batchIDs advances block i's schedule by subpasses and returns a batch
+// of the fresh symbol IDs, with no symbols attached. The caller (the
+// Engine) fills the symbols on a codec-pool worker and accounts them via
+// countSymbols.
+func (s *Sender) batchIDs(i, subpasses int) Batch {
+	var ids []core.SymbolID
+	for sp := 0; sp < subpasses; sp++ {
+		ids = append(ids, s.scheds[i].NextSubpass()...)
+	}
+	return Batch{Block: i, IDs: ids}
+}
+
+// countSymbols records n transmitted symbols.
+func (s *Sender) countSymbols(n int) { s.symbols += n }
+
+// countSymbolsFor records n transmitted symbols against block i.
+func (s *Sender) countSymbolsFor(i, n int) { s.perBlock[i] += n }
+
+// symbolsFor reports the symbols transmitted so far for block i.
+func (s *Sender) symbolsFor(i int) int { return s.perBlock[i] }
+
+// ownEncoder returns the sender's dedicated encoder for block i, built on
+// first use (standalone path only).
+func (s *Sender) ownEncoder(i int) *core.Encoder {
+	if s.encs[i] == nil {
+		bits, nb := s.blockBits(i)
+		s.encs[i] = core.NewEncoder(bits, nb, s.params)
+	}
+	return s.encs[i]
+}
 
 // NextFrame emits the next frame: one subpass of fresh symbols for every
 // unacknowledged block. It returns nil when all blocks are acknowledged.
@@ -102,13 +174,11 @@ func (s *Sender) NextFrame() *Frame {
 		if s.acked[i] {
 			continue
 		}
-		ids := s.scheds[i].NextSubpass()
-		f.Batches = append(f.Batches, Batch{
-			Block:   i,
-			IDs:     ids,
-			Symbols: s.encs[i].Symbols(ids),
-		})
-		s.symbols += len(ids)
+		b := s.batchIDs(i, 1)
+		b.Symbols = s.ownEncoder(i).Symbols(b.IDs)
+		f.Batches = append(f.Batches, b)
+		s.countSymbols(len(b.IDs))
+		s.countSymbolsFor(i, len(b.IDs))
 	}
 	return f
 }
@@ -123,13 +193,29 @@ func (s *Sender) HandleAck(a framing.Ack) {
 	}
 }
 
-// Receiver reassembles a datagram from rateless frames.
+// rxBlock is a receiver's per-block state: the symbols accumulated so far
+// (replayed into a pooled decoder at each attempt) and, once the CRC
+// verifies, the decoded payload.
+type rxBlock struct {
+	nBits   int
+	ids     []core.SymbolID
+	syms    []complex128
+	dirty   bool // new symbols since the last decode attempt
+	got     bool
+	payload []byte
+}
+
+// Receiver reassembles a datagram from rateless frames. It owns no
+// decoders bound to blocks: accumulated symbols live in per-block state,
+// and each decode attempt replays them into a reset decoder — its own
+// per-block-size cache standalone, or a codec-pool worker's under the
+// Engine. A datagram of a hundred blocks therefore needs a hundred symbol
+// accumulators but only one decoder per distinct block size.
 type Receiver struct {
-	params   core.Params
-	decs     []*core.Decoder
-	payloads [][]byte
-	got      []bool
-	lastSeq  uint32
+	params  core.Params
+	blocks  []rxBlock
+	decs    map[int]*core.Decoder // standalone decoders, keyed by nBits
+	lastSeq uint32
 }
 
 // NewReceiver creates a receiver with the same code parameters as the
@@ -138,57 +224,160 @@ func NewReceiver(p core.Params) *Receiver {
 	return &Receiver{params: p}
 }
 
+// init adopts the frame-advertised block layout.
+func (r *Receiver) init(layout []int) error {
+	if len(layout) == 0 {
+		return ErrBadLayout
+	}
+	for _, nb := range layout {
+		if nb <= 0 || nb > maxLayoutBits {
+			return fmt.Errorf("%w: block of %d bits", ErrBadLayout, nb)
+		}
+	}
+	r.blocks = make([]rxBlock, len(layout))
+	for i, nb := range layout {
+		r.blocks[i].nBits = nb
+	}
+	return nil
+}
+
+// accumulate stores a batch's symbols into its block accumulator. It
+// reports whether the batch addressed an outstanding block (even with
+// zero symbols — short blocks under wide puncturing have empty
+// subpasses); a length mismatch between IDs and symbols yields
+// ErrMalformedBatch.
+func (r *Receiver) accumulate(b *Batch) (bool, error) {
+	if b.Block < 0 || b.Block >= len(r.blocks) {
+		return false, nil
+	}
+	blk := &r.blocks[b.Block]
+	if blk.got {
+		return false, nil
+	}
+	if len(b.IDs) != len(b.Symbols) {
+		return true, ErrMalformedBatch
+	}
+	if len(b.IDs) > 0 {
+		blk.ids = append(blk.ids, b.IDs...)
+		blk.syms = append(blk.syms, b.Symbols...)
+		blk.dirty = true
+	}
+	return true, nil
+}
+
+// attempt replays block i's accumulated symbols into dec (which must be
+// freshly reset) and runs one decode, reporting whether the block newly
+// verified. On success the accumulators are released.
+func (r *Receiver) attempt(i int, dec *core.Decoder) bool {
+	blk := &r.blocks[i]
+	blk.dirty = false
+	dec.Add(blk.ids, blk.syms)
+	decoded, _ := dec.Decode()
+	payload, ok := framing.Verify(decoded)
+	if !ok {
+		return false
+	}
+	blk.got = true
+	// payload aliases the decoder's reusable result buffer; copy before
+	// retaining it for reassembly.
+	blk.payload = append([]byte(nil), payload...)
+	blk.ids, blk.syms = nil, nil
+	return true
+}
+
+// ownDecoder returns the receiver's reset decoder for nBits-bit blocks,
+// built on first use (standalone path only).
+func (r *Receiver) ownDecoder(nBits int) *core.Decoder {
+	if r.decs == nil {
+		r.decs = make(map[int]*core.Decoder)
+	}
+	d, ok := r.decs[nBits]
+	if !ok {
+		d = core.NewDecoder(nBits, r.params)
+		r.decs[nBits] = d
+		return d
+	}
+	d.Reset()
+	return d
+}
+
+// ack snapshots the per-block decode state.
+func (r *Receiver) ack(seq uint32) framing.Ack {
+	decoded := make([]bool, len(r.blocks))
+	for i := range r.blocks {
+		decoded[i] = r.blocks[i].got
+	}
+	return framing.Ack{Seq: seq, Decoded: decoded}
+}
+
 // HandleFrame ingests a (possibly noisy) frame and returns the ACK to
 // send back. Frames may arrive with gaps in Seq; the per-batch SymbolIDs
 // keep the decoders synchronized, modeling §6's protected sequence
 // number.
-func (r *Receiver) HandleFrame(f *Frame) framing.Ack {
-	if r.decs == nil {
-		r.decs = make([]*core.Decoder, len(f.BlockBits))
-		r.payloads = make([][]byte, len(f.BlockBits))
-		r.got = make([]bool, len(f.BlockBits))
-		for i, nb := range f.BlockBits {
-			r.decs[i] = core.NewDecoder(nb, r.params)
+//
+// Degenerate frames return a typed error alongside a best-effort ACK: a
+// frame whose batches are all for already-decoded blocks yields
+// ErrStaleFrame (the ACK still tells the sender to stop), and malformed
+// input yields ErrNilFrame, ErrBadLayout or ErrMalformedBatch. Only the
+// nil-frame and bad-layout cases leave the ACK empty.
+func (r *Receiver) HandleFrame(f *Frame) (framing.Ack, error) {
+	if f == nil {
+		return framing.Ack{}, ErrNilFrame
+	}
+	if r.blocks == nil {
+		if err := r.init(f.BlockBits); err != nil {
+			return framing.Ack{}, err
 		}
 	}
 	r.lastSeq = f.Seq
-	for _, b := range f.Batches {
-		if b.Block >= len(r.decs) || r.got[b.Block] {
-			continue
+	var err error
+	progress := false
+	for i := range f.Batches {
+		ok, aerr := r.accumulate(&f.Batches[i])
+		if ok {
+			progress = true
 		}
-		dec := r.decs[b.Block]
-		dec.Add(b.IDs, b.Symbols)
-		decoded, _ := dec.Decode()
-		if payload, ok := framing.Verify(decoded); ok {
-			r.got[b.Block] = true
-			// payload aliases the decoder's reusable result buffer;
-			// copy before retaining it for reassembly.
-			r.payloads[b.Block] = append([]byte(nil), payload...)
+		if aerr != nil && err == nil {
+			err = aerr
 		}
 	}
-	return framing.Ack{Seq: f.Seq, Decoded: append([]bool(nil), r.got...)}
+	if !progress && len(f.Batches) > 0 && err == nil {
+		err = ErrStaleFrame
+	}
+	for i := range r.blocks {
+		blk := &r.blocks[i]
+		if blk.got || !blk.dirty {
+			continue
+		}
+		r.attempt(i, r.ownDecoder(blk.nBits))
+	}
+	return r.ack(f.Seq), err
 }
 
 // Complete reports whether every block has been decoded.
 func (r *Receiver) Complete() bool {
-	if r.got == nil {
+	if r.blocks == nil {
 		return false
 	}
-	for _, g := range r.got {
-		if !g {
+	for i := range r.blocks {
+		if !r.blocks[i].got {
 			return false
 		}
 	}
 	return true
 }
 
-// Datagram reassembles the received payload; it errors if blocks are
-// missing.
+// Datagram reassembles the received payload; it returns ErrIncomplete if
+// blocks are missing.
 func (r *Receiver) Datagram() ([]byte, error) {
 	if !r.Complete() {
-		return nil, errors.New("link: datagram incomplete")
+		return nil, ErrIncomplete
 	}
-	return framing.Reassemble(r.payloads), nil
+	payloads := make([][]byte, len(r.blocks))
+	for i := range r.blocks {
+		payloads[i] = r.blocks[i].payload
+	}
+	return framing.Reassemble(payloads), nil
 }
 
 // Stats summarizes a completed transfer.
@@ -224,7 +413,7 @@ func Transfer(datagram []byte, p core.Params, maxBlockBits int, ch Channel, maxF
 	snd := NewSender(datagram, p, maxBlockBits)
 	rcv := NewReceiver(p)
 	var st Stats
-	st.Blocks = len(snd.blocks)
+	st.Blocks = snd.Blocks()
 	for frame := 0; frame < maxFrames; frame++ {
 		f := snd.NextFrame()
 		if f == nil {
@@ -235,8 +424,10 @@ func Transfer(datagram []byte, p core.Params, maxBlockBits int, ch Channel, maxF
 		if rx != nil {
 			f2 := *f
 			f2.Batches = rebatch(f.Batches, rx)
-			ack := rcv.HandleFrame(&f2)
-			snd.HandleAck(ack)
+			ack, herr := rcv.HandleFrame(&f2)
+			if herr == nil || errors.Is(herr, ErrStaleFrame) {
+				snd.HandleAck(ack)
+			}
 		}
 		if snd.Done() {
 			break

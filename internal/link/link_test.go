@@ -139,7 +139,10 @@ func TestReceiverIncremental(t *testing.T) {
 		}
 		rx := ch.Transmit(f.Symbols())
 		f.Batches = rebatch(f.Batches, rx)
-		ack := rcv.HandleFrame(f)
+		ack, err := rcv.HandleFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
 		snd.HandleAck(ack)
 		done = snd.Done()
 	}

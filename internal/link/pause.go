@@ -1,6 +1,7 @@
 package link
 
 import (
+	"errors"
 	"math"
 
 	"spinal/internal/capacity"
@@ -105,8 +106,13 @@ func TransferWithPolicy(datagram []byte, p core.Params, maxBlockBits int, ch Cha
 			// The receiver processes every frame it hears, but the
 			// half-duplex sender only learns the ACK at the pause (or
 			// immediately if everything just decoded — the receiver can
-			// preempt, cf. the ACK timing discussion in §6).
-			ack := rcv.HandleFrame(&f2)
+			// preempt, cf. the ACK timing discussion in §6). A stale frame
+			// (all batches for decoded blocks, possible mid-burst) still
+			// yields the ACK the sender needs.
+			ack, herr := rcv.HandleFrame(&f2)
+			if herr != nil && !errors.Is(herr, ErrStaleFrame) {
+				continue
+			}
 			if b == burst-1 || ack.AllDecoded() {
 				snd.HandleAck(ack)
 				if snd.Done() {

@@ -14,6 +14,8 @@ go test -run '^$' -bench 'BenchmarkDecode$|BenchmarkEncoder$' \
     -benchtime "$benchtime" -benchmem . >"$tmp"
 go test -run '^$' -bench 'BenchmarkDecodeSerial$|BenchmarkDecodeParallel4$' \
     -benchtime "$benchtime" -benchmem ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkLinkEngine$' \
+    -benchtime "$benchtime" -benchmem ./internal/link/ >>"$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }

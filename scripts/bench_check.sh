@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# Bench-regression gate for CI: re-runs the guarded benchmarks
+# (BenchmarkDecode, BenchmarkLinkEngine) and compares them against the
+# newest checked-in BENCH_*.json snapshot (scripts/bench.sh writes it).
+#
+# Thresholds and their rationale:
+#   - A benchmark fails when it exceeds its baseline by more than 20%.
+#     That is deliberately loose: shared runners routinely jitter ±10%
+#     run to run, and taking the best of three runs absorbs most of the
+#     rest. Real regressions in these hot paths — an allocation sneaking
+#     into the decode loop, a codec pool silently rebuilt per call —
+#     show up as 2x, not 1.2x. Tighten only with a dedicated runner.
+#   - ns/op is only compared when the current CPU matches the CPU
+#     recorded in the snapshot; across different hardware a wall-time
+#     ratio measures the machines, not the code. On foreign hardware the
+#     gate falls back to allocs/op, which is deterministic per code
+#     version, and reports ns/op informationally.
+#
+# Usage: scripts/bench_check.sh [benchtime]   (default 1s)
+set -eu
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+
+baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
+if [ -z "$baseline" ]; then
+    echo "bench_check: no BENCH_*.json baseline; run scripts/bench.sh first" >&2
+    exit 1
+fi
+echo "bench_check: comparing against $baseline"
+
+tmp="$(mktemp)"
+best="$(mktemp)"
+trap 'rm -f "$tmp" "$best"' EXIT
+
+go test -run '^$' -bench 'BenchmarkDecode$' -benchtime "$benchtime" -benchmem -count 3 . >"$tmp"
+go test -run '^$' -bench 'BenchmarkLinkEngine$' -benchtime "$benchtime" -benchmem -count 3 ./internal/link/ >>"$tmp"
+
+base_cpu="$(sed -n 's/.*"cpu": "\([^"]*\)".*/\1/p' "$baseline" | head -1)"
+now_cpu="$(awk '/^cpu:/ { print substr($0, 6); exit }' "$tmp" | sed 's/^ *//')"
+gate=ns
+if [ "$base_cpu" != "$now_cpu" ]; then
+    gate=allocs
+    echo "bench_check: baseline CPU ($base_cpu) != this machine ($now_cpu);" \
+         "gating allocs/op only, ns/op is informational" >&2
+fi
+
+# Best (minimum) ns/op and allocs/op per benchmark across the runs.
+awk '/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    allocs = ""
+    for (i = 4; i <= NF; i++) if ($(i+1) == "allocs/op") allocs = $i + 0
+    if (!(name in minNs) || ns < minNs[name]) minNs[name] = ns
+    if (allocs != "" && (!(name in minAl) || allocs < minAl[name])) minAl[name] = allocs
+}
+END { for (n in minNs) printf "%s %s %s\n", n, minNs[n], (n in minAl ? minAl[n] : -1) }' "$tmp" >"$best"
+
+status=0
+while read -r name ns allocs; do
+    base_ns="$(sed -n 's/.*"name": "'"$name"'".*"ns_per_op": \([0-9.eE+]*\).*/\1/p' "$baseline" | head -1)"
+    base_allocs="$(sed -n 's/.*"name": "'"$name"'".*"allocs_per_op": \([0-9]*\).*/\1/p' "$baseline" | head -1)"
+    if [ -z "$base_ns" ]; then
+        echo "bench_check: $name missing from $baseline — run scripts/bench.sh to refresh the baseline" >&2
+        status=1
+        continue
+    fi
+    if ! awk -v n="$name" -v now_ns="$ns" -v base_ns="$base_ns" \
+             -v now_al="$allocs" -v base_al="${base_allocs:--1}" -v gate="$gate" 'BEGIN {
+        ns_ratio = now_ns / base_ns
+        printf "bench_check: %-22s ns/op %.0f -> %.0f (%.2fx)", n, base_ns, now_ns, ns_ratio
+        if (base_al >= 0 && now_al >= 0)
+            printf "  allocs/op %d -> %d", base_al, now_al
+        printf "  [gate: %s]\n", gate
+        if (gate == "ns") exit !(ns_ratio <= 1.20)
+        if (base_al > 0 && now_al >= 0) exit !(now_al / base_al <= 1.20)
+        if (base_al == 0 && now_al > 0) exit 1
+        exit 0
+    }'; then
+        echo "bench_check: $name regressed beyond the 20% gate" >&2
+        status=1
+    fi
+done <"$best"
+exit $status
