@@ -141,3 +141,7 @@ func BenchmarkAttemptAblation(b *testing.B) { runExperiment(b, "ablation-attempt
 
 // BenchmarkGEChannel regenerates the bursty-channel extension experiment.
 func BenchmarkGEChannel(b *testing.B) { runExperiment(b, "ge-channel") }
+
+// BenchmarkScenarioGoodput regenerates the time-varying-scenario goodput
+// comparison (FixedRate vs CapacityRate vs TrackingRate).
+func BenchmarkScenarioGoodput(b *testing.B) { runExperiment(b, "scenario-goodput") }

@@ -7,9 +7,17 @@
 // concurrent flows through the multi-flow link engine — shared frames,
 // sharded codec workers — and reassembled in order on stdout.
 //
+// With -scenario NAME no stdin is read: the multi-flow engine runs the
+// named time-varying channel workload (burst, walk, trace:<file>, churn)
+// under the -policy rate policy and prints goodput/outage statistics —
+// the spinal code exercised against the changing channels it was built
+// for.
+//
 //	echo "hello" | spinalcat -snr 8
 //	spinalcat -snr 5 -b 16 < somefile > copy && cmp somefile copy
 //	spinalcat -snr 10 -flows 8 < somefile > copy && cmp somefile copy
+//	spinalcat -scenario burst -policy tracking
+//	spinalcat -scenario trace:internal/channel/testdata/fade.trace -flows 24
 package main
 
 import (
@@ -23,18 +31,30 @@ import (
 	"spinal/internal/channel"
 	"spinal/internal/framing"
 	"spinal/internal/link"
+	"spinal/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spinalcat: ")
 	var (
-		snrDB = flag.Float64("snr", 10, "simulated AWGN SNR in dB")
-		beam  = flag.Int("b", 256, "decoder beam width B")
-		seed  = flag.Int64("seed", 1, "channel noise seed")
-		flows = flag.Int("flows", 1, "split the input across N concurrent link-engine flows")
+		snrDB    = flag.Float64("snr", 10, "simulated AWGN SNR in dB")
+		beam     = flag.Int("b", 256, "decoder beam width B")
+		seed     = flag.Int64("seed", 1, "channel noise seed")
+		flows    = flag.Int("flows", 1, "split the input across N concurrent link-engine flows")
+		scenario = flag.String("scenario", "", "run a time-varying channel scenario instead of piping stdin: burst, walk, trace:<file>, churn")
+		policy   = flag.String("policy", "tracking", "scenario rate policy: fixed[:n], capacity[:db], tracking[:db]")
 	)
 	flag.Parse()
+
+	if *scenario != "" {
+		nFlows := 0 // 0 ⇒ MeasureScenario's default population
+		if flagSet("flows") {
+			nFlows = *flows
+		}
+		runScenario(*scenario, *policy, nFlows, *beam, *seed, flagSet("b"))
+		return
+	}
 
 	data, err := io.ReadAll(os.Stdin)
 	if err != nil {
@@ -81,10 +101,42 @@ func main() {
 		float64(len(data)*8)/float64(totalSymbols), *snrDB)
 }
 
-// awgnFlow adapts channel.AWGN to link.Channel.
-type awgnFlow struct{ ch *channel.AWGN }
+// flagSet reports whether the named flag appeared on the command line,
+// so scenario mode can tell an explicit -flows 1 or -b from the pipe
+// mode's defaults.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
-func (a awgnFlow) Apply(sym []complex128) []complex128 { return a.ch.Transmit(sym) }
+// runScenario drives sim.MeasureScenario and prints its statistics.
+func runScenario(scenario, policy string, flows, beam int, seed int64, beamExplicit bool) {
+	p := spinal.DefaultParams()
+	if beamExplicit {
+		p.B = beam
+	} else {
+		p.B = 16 // quick-scale beam: scenario statistics, not peak rate
+	}
+	cfg := sim.ScenarioConfig{
+		Params:   p,
+		Scenario: scenario,
+		Policy:   policy,
+		Flows:    flows,
+		Seed:     seed,
+	}
+	res, err := sim.MeasureScenario(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("  delivered %d bytes over %d flows in %d engine rounds (B=%d, seed %d)\n",
+		res.Bytes, res.Flows, res.Rounds, p.B, seed)
+}
 
 // runFlows splits data into n contiguous datagrams and drives them as
 // concurrent flows through the link engine.
@@ -104,7 +156,7 @@ func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int) {
 			end = len(data)
 		}
 		id := e.AddFlow(data[off:end], link.FlowConfig{
-			Channel: awgnFlow{channel.NewAWGN(snrDB, seed+int64(i))},
+			Channel: sim.NewFlowChannel(channel.NewAWGN(snrDB, seed+int64(i)), 0, 0),
 			Rate:    link.CapacityRate{SNREstimateDB: snrDB},
 		})
 		order[id] = i

@@ -104,6 +104,18 @@ func numSpine(nBits, k int) int {
 	return (nBits + k - 1) / k
 }
 
+// NumSpine reports the number of spine values an nBits-bit message has
+// under these parameters — the valid SymbolID.Chunk range is
+// [0, NumSpine). Receivers use it to reject symbols a corrupt frame
+// attributes to nonexistent chunks.
+func (p Params) NumSpine(nBits int) int {
+	k := p.K
+	if k < 1 {
+		k = 1
+	}
+	return numSpine(nBits, k)
+}
+
 // chunkBits returns the number of message bits consumed by chunk j.
 func chunkBits(nBits, k, j int) int {
 	if (j+1)*k <= nBits {

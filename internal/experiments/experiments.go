@@ -105,6 +105,7 @@ var All = []Experiment{
 	{"hw-model", "Appendix B hardware decoder throughput/area model", HWModel},
 	{"ablation-attempts", "Decode-attempt granularity ablation (engine design choice)", AttemptAblation},
 	{"ge-channel", "Bursty Gilbert-Elliott channel: rateless vs best fixed rate", GEChannel},
+	{"scenario-goodput", "Time-varying channel scenario: link goodput by rate policy", ScenarioGoodput},
 }
 
 // ByID finds an experiment by id, or nil.

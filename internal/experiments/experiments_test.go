@@ -324,6 +324,27 @@ func TestAttemptAblationOrdering(t *testing.T) {
 	}
 }
 
+func TestScenarioGoodputOrdering(t *testing.T) {
+	tables := ScenarioGoodput(DefaultConfig())
+	rows := tables[0].Rows
+	byPolicy := map[string][]string{}
+	for _, r := range rows {
+		byPolicy[r[0]] = r
+	}
+	fixed, _ := parse(t, byPolicy["fixed"][3])
+	tracking, _ := parse(t, byPolicy["tracking"][3])
+	if tracking <= fixed {
+		t.Fatalf("tracking goodput %.3f not strictly above fixed %.3f:\n%s",
+			tracking, fixed, tables[0])
+	}
+	if byPolicy["fixed"][2] == "0%" {
+		t.Fatalf("fixed pacing had no outages — deadline lost its teeth:\n%s", tables[0])
+	}
+	if byPolicy["tracking"][2] != "0%" {
+		t.Fatalf("tracking pacing suffered outages:\n%s", tables[0])
+	}
+}
+
 func TestGEChannelReliability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy; run without -short")

@@ -246,6 +246,24 @@ func (e *Engine) AddFlow(datagram []byte, fc FlowConfig) FlowID {
 // Active reports the number of unresolved flows.
 func (e *Engine) Active() int { return len(e.flows) }
 
+// SetFlowChannel replaces an active flow's medium mid-flight — a station
+// handing off to a different link, or a scenario driver switching channel
+// regimes — and reports whether the flow was still active. A nil channel
+// means noiseless. Symbols already in the receiver's accumulators are
+// unaffected; only future rounds cross the new medium.
+func (e *Engine) SetFlowChannel(id FlowID, ch Channel) bool {
+	for _, fl := range e.flows {
+		if fl.id == id {
+			if ch == nil {
+				ch = identityChannel{}
+			}
+			fl.ch = ch
+			return true
+		}
+	}
+	return false
+}
+
 // PoolStats exposes the codec pool's construction counters (reuse
 // telemetry for tests and monitoring).
 func (e *Engine) PoolStats() core.CodecPoolStats { return e.pool.Stats() }
@@ -378,6 +396,12 @@ func (e *Engine) Step() []FlowResult {
 		it := &e.items[k]
 		if it.decoded {
 			it.fl.snd.acked[it.batch.Block] = true
+			// Closed-loop rate policies learn from each decoded block's
+			// total symbol spend (TrackingRate's channel estimator).
+			if ob, ok := it.fl.rate.(RateObserver); ok {
+				ob.ObserveDecode(it.fl.snd.blocks[it.batch.Block].NumBits(),
+					it.fl.snd.symbolsFor(it.batch.Block))
+			}
 		}
 	}
 	var results []FlowResult

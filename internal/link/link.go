@@ -14,6 +14,7 @@ package link
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"spinal/internal/core"
 	"spinal/internal/framing"
@@ -31,6 +32,18 @@ var (
 	// ErrMalformedBatch reports a batch whose symbol and ID counts
 	// disagree; the batch is skipped.
 	ErrMalformedBatch = errors.New("link: batch symbol/ID length mismatch")
+	// ErrBadSymbolID reports a batch carrying a symbol ID outside its
+	// block's spine — feeding it to a decoder would index out of range, so
+	// the batch is skipped. (Found by FuzzHandleFrame.)
+	ErrBadSymbolID = errors.New("link: symbol ID outside the block's spine")
+	// ErrBadSymbol reports a batch carrying a non-finite or absurdly large
+	// symbol value. Signal power is normalized to 1 throughout the
+	// repository, so a sample 120 dB above it is frame-shaped garbage, and
+	// worse: NaN branch costs poison every comparison in the beam search,
+	// and values past ~1e154 overflow the squared-distance metric to +Inf
+	// — either way the beam emptied and the decoder crashed (found by
+	// FuzzHandleFrame). Such batches are skipped.
+	ErrBadSymbol = errors.New("link: non-finite or out-of-range symbol value")
 	// ErrStaleFrame reports a frame all of whose batches reference
 	// already-decoded (or out-of-range) blocks. The ACK returned with it
 	// is valid — resending it is exactly how the sender catches up.
@@ -42,6 +55,11 @@ var (
 // maxLayoutBits caps a single code block's advertised size; a frame
 // claiming more is treated as corrupt rather than sizing a decoder.
 const maxLayoutBits = 1 << 20
+
+// maxSymbolMagnitude bounds accepted per-dimension sample values: unit
+// signal power means anything 120 dB above it is corrupt, and the bound
+// keeps squared-distance branch costs finite for any accumulator size.
+const maxSymbolMagnitude = 1e6
 
 // Batch carries one code block's symbols within a frame. The SymbolIDs
 // are derivable from the frame sequence number and the shared schedule
@@ -256,6 +274,23 @@ func (r *Receiver) accumulate(b *Batch) (bool, error) {
 	}
 	if len(b.IDs) != len(b.Symbols) {
 		return true, ErrMalformedBatch
+	}
+	// Decoder accumulators are indexed by Chunk; an ID a corrupt frame
+	// attributes to a nonexistent chunk must be rejected here, not panic
+	// in the decoder during replay.
+	ns := r.params.NumSpine(blk.nBits)
+	for _, id := range b.IDs {
+		if id.Chunk < 0 || id.Chunk >= ns {
+			return true, ErrBadSymbolID
+		}
+	}
+	for _, s := range b.Symbols {
+		re, im := real(s), imag(s)
+		if math.IsNaN(re) || math.IsNaN(im) ||
+			re < -maxSymbolMagnitude || re > maxSymbolMagnitude ||
+			im < -maxSymbolMagnitude || im > maxSymbolMagnitude {
+			return true, ErrBadSymbol
+		}
 	}
 	if len(b.IDs) > 0 {
 		blk.ids = append(blk.ids, b.IDs...)

@@ -1,0 +1,203 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spinal/internal/channel"
+)
+
+// TestTrackingRateBudgetContract is the backpressure property: for any
+// block geometry and history, the symbols a TrackingRate requests in one
+// round never exceed MaxRoundSymbols, and the request is always ≥ 1
+// subpass (starvation-free).
+func TestTrackingRateBudgetContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 5000; trial++ {
+		tr := NewTrackingRate(-15 + rng.Float64()*60)
+		tr.MaxRoundSymbols = 1 + rng.Intn(8192)
+		// Walk the estimate around with random observations first.
+		for i := 0; i < rng.Intn(8); i++ {
+			tr.ObserveDecode(1+rng.Intn(2048), 1+rng.Intn(20000))
+		}
+		blockBits := 1 + rng.Intn(4096)
+		sub := 1 + rng.Intn(64)
+		sent := rng.Intn(100000)
+		n := tr.SubpassBudget(blockBits, sub, sent)
+		if n < 1 {
+			t.Fatalf("budget %d < 1 (bits=%d sub=%d sent=%d)", n, blockBits, sub, sent)
+		}
+		if n > 1 && n*sub > tr.MaxRoundSymbols {
+			t.Fatalf("budget %d×%d = %d symbols exceeds cap %d",
+				n, sub, n*sub, tr.MaxRoundSymbols)
+		}
+	}
+}
+
+// TestTrackingRateAdaptsDown: blocks that drag far past their burst pull
+// the SNR estimate down; blocks decoding at the burst probe it up.
+func TestTrackingRateAdaptsDown(t *testing.T) {
+	tr := NewTrackingRate(20)
+	for i := 0; i < 10; i++ {
+		tr.ObserveDecode(192, 300) // ≈0.64 b/sym ⇒ channel near 0 dB
+	}
+	if tr.EstimateDB() > 5 {
+		t.Fatalf("estimate stuck at %.1f dB after slow decodes", tr.EstimateDB())
+	}
+
+	up := NewTrackingRate(5)
+	// Decoding right at the 5 dB burst size repeatedly ⇒ probe upward.
+	for i := 0; i < 10; i++ {
+		up.ObserveDecode(192, 93) // ≈2.06 b/sym ≈ 0.8·C(5 dB)
+	}
+	if up.EstimateDB() <= 5 {
+		t.Fatalf("estimate did not probe up: %.1f dB", up.EstimateDB())
+	}
+}
+
+// TestTrackingRateIgnoresDegenerateObservations: zero/negative inputs
+// must not move the estimate or divide by zero.
+func TestTrackingRateIgnoresDegenerateObservations(t *testing.T) {
+	tr := NewTrackingRate(12)
+	tr.ObserveDecode(0, 100)
+	tr.ObserveDecode(-5, 100)
+	tr.ObserveDecode(192, 0)
+	tr.ObserveDecode(192, -3)
+	if tr.EstimateDB() != 12 {
+		t.Fatalf("degenerate observations moved the estimate to %.1f", tr.EstimateDB())
+	}
+}
+
+// modelChannel adapts a channel.Model to link.Channel for engine tests.
+type modelChannel struct{ m channel.Model }
+
+func (c modelChannel) Apply(sym []complex128) []complex128 { return c.m.Transmit(sym) }
+
+// TestEngineTrackingRateDelivers: a tracking-paced flow over a bursty
+// Gilbert–Elliott channel completes intact, and the engine's decode
+// feedback loop (RateObserver plumbing) actually moved the estimate.
+func TestEngineTrackingRateDelivers(t *testing.T) {
+	e := NewEngine(engineParams())
+	defer e.Close()
+	data := flowPayload(rand.New(rand.NewSource(23)), 132)
+	tr := NewTrackingRate(18)
+	id := e.AddFlow(data, FlowConfig{
+		Channel: modelChannel{channel.NewGilbertElliott(18, 2, 0.004, 0.016, 77)},
+		Rate:    tr,
+	})
+	res := e.Drain(0)
+	if len(res) != 1 || res[0].ID != id {
+		t.Fatalf("unexpected results %+v", res)
+	}
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if !bytes.Equal(res[0].Datagram, data) {
+		t.Fatal("datagram corrupted")
+	}
+	if tr.EstimateDB() == 18 {
+		t.Fatal("engine never fed decode observations back to the policy")
+	}
+}
+
+// TestEngineSetFlowChannel: swapping a flow's medium mid-flight (handoff)
+// keeps the transfer correct, and the swap reports liveness accurately.
+func TestEngineSetFlowChannel(t *testing.T) {
+	e := NewEngine(engineParams())
+	defer e.Close()
+	data := flowPayload(rand.New(rand.NewSource(29)), 88)
+	// Start on a hopeless channel, then hand off to a good one.
+	id := e.AddFlow(data, FlowConfig{Channel: newAWGNChannel(-20, 0, 31)})
+	for i := 0; i < 4; i++ {
+		if res := e.Step(); len(res) != 0 {
+			t.Fatalf("flow resolved on a -20 dB channel: %+v", res)
+		}
+	}
+	if !e.SetFlowChannel(id, newAWGNChannel(18, 0, 32)) {
+		t.Fatal("active flow not found for channel swap")
+	}
+	res := e.Drain(0)
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("post-handoff drain: %+v", res)
+	}
+	if !bytes.Equal(res[0].Datagram, data) {
+		t.Fatal("datagram corrupted across handoff")
+	}
+	if e.SetFlowChannel(id, nil) {
+		t.Fatal("resolved flow reported as active")
+	}
+}
+
+// TestWireRoundTrip: EncodeFrame/DecodeFrame are inverses on real frames.
+func TestWireRoundTrip(t *testing.T) {
+	snd := NewSender([]byte("wire round trip with several blocks of data"), linkParams(), 128)
+	f := snd.NextFrame()
+	got, err := DecodeFrame(EncodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != f.Seq || len(got.BlockBits) != len(f.BlockBits) || len(got.Batches) != len(f.Batches) {
+		t.Fatalf("structure mismatch: %+v vs %+v", got, f)
+	}
+	for i := range f.BlockBits {
+		if got.BlockBits[i] != f.BlockBits[i] {
+			t.Fatal("layout mismatch")
+		}
+	}
+	for i := range f.Batches {
+		a, b := f.Batches[i], got.Batches[i]
+		if a.Block != b.Block || len(a.IDs) != len(b.IDs) || len(a.Symbols) != len(b.Symbols) {
+			t.Fatal("batch structure mismatch")
+		}
+		for j := range a.IDs {
+			if a.IDs[j] != b.IDs[j] {
+				t.Fatal("ID mismatch")
+			}
+		}
+		for j := range a.Symbols {
+			if a.Symbols[j] != b.Symbols[j] {
+				t.Fatal("symbol mismatch")
+			}
+		}
+	}
+	if EncodeFrame(nil) != nil {
+		t.Fatal("nil frame encoded to bytes")
+	}
+}
+
+// TestWireRejectsGarbage: truncations and hostile length prefixes are
+// errors, never panics or huge allocations.
+func TestWireRejectsGarbage(t *testing.T) {
+	full := EncodeFrame(NewSender([]byte("truncate me"), linkParams(), 0).NextFrame())
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := DecodeFrame(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeFrame(append(append([]byte(nil), full...), 0xff)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A length prefix claiming 2^40 symbols in a 20-byte input.
+	hostile := []byte{0, 0, 0, 0, 0x01, 0x02, 0x01, 0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x03}
+	if _, err := DecodeFrame(hostile); err == nil {
+		t.Fatal("hostile length prefix accepted")
+	}
+}
+
+// TestHandleFrameBadSymbolID: out-of-spine chunk indices are rejected
+// with the typed error instead of panicking the decoder replay.
+func TestHandleFrameBadSymbolID(t *testing.T) {
+	p := linkParams()
+	rcv := NewReceiver(p)
+	f := NewSender([]byte("bad ids"), p, 0).NextFrame()
+	f.Batches[0].IDs[0].Chunk = 99999
+	if _, err := rcv.HandleFrame(f); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	f2 := NewSender([]byte("bad ids"), p, 0).NextFrame()
+	f2.Batches[0].IDs[0].Chunk = -1
+	if _, err := rcv.HandleFrame(f2); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+}

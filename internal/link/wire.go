@@ -1,0 +1,178 @@
+package link
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"spinal/internal/core"
+)
+
+// Wire format for frames: a compact binary codec so transports (and the
+// fuzz targets) have a canonical byte representation instead of gob.
+//
+//	u32  seq (little endian)
+//	uvarint  len(BlockBits), then one zigzag varint per entry
+//	uvarint  len(Batches), then per batch:
+//	    zigzag varint  Block
+//	    uvarint        len(IDs),     then per ID: zigzag varint Chunk,
+//	                                 uvarint RNGIndex
+//	    uvarint        len(Symbols), then per symbol: two little-endian
+//	                                 float64 bit patterns (re, im)
+//
+// ID and symbol counts are encoded independently on purpose: a mismatch
+// is representable, so DecodeFrame can hand the receiver exactly the
+// malformed batches its typed-error paths (ErrMalformedBatch) exist for.
+// Element counts are bounded against the remaining input length before
+// allocation, so a hostile length prefix cannot balloon memory.
+
+// ErrBadWire reports bytes that do not parse as a frame.
+var ErrBadWire = errors.New("link: malformed wire frame")
+
+// wireMaxList bounds per-frame list lengths accepted by DecodeFrame.
+const wireMaxList = 1 << 16
+
+// EncodeFrame serializes a frame to its wire form.
+func EncodeFrame(f *Frame) []byte {
+	if f == nil {
+		return nil
+	}
+	buf := make([]byte, 4, 64+16*f.SymbolCount())
+	binary.LittleEndian.PutUint32(buf, f.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(f.BlockBits)))
+	for _, nb := range f.BlockBits {
+		buf = appendZigzag(buf, nb)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(f.Batches)))
+	for _, b := range f.Batches {
+		buf = appendZigzag(buf, b.Block)
+		buf = binary.AppendUvarint(buf, uint64(len(b.IDs)))
+		for _, id := range b.IDs {
+			buf = appendZigzag(buf, id.Chunk)
+			buf = binary.AppendUvarint(buf, uint64(id.RNGIndex))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(b.Symbols)))
+		for _, s := range b.Symbols {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(real(s)))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(imag(s)))
+		}
+	}
+	return buf
+}
+
+// DecodeFrame parses a wire-format frame. It validates only structure
+// (lengths, bounds against the input size); semantic checks — layout
+// sanity, ID ranges, count mismatches — stay with Receiver.HandleFrame so
+// its typed errors are exercised end to end.
+func DecodeFrame(data []byte) (*Frame, error) {
+	d := wireReader{buf: data}
+	f := &Frame{Seq: d.u32()}
+	nLayout := d.count(1)
+	for i := 0; i < nLayout && d.err == nil; i++ {
+		f.BlockBits = append(f.BlockBits, d.zigzag())
+	}
+	nBatches := d.count(2)
+	for i := 0; i < nBatches && d.err == nil; i++ {
+		var b Batch
+		b.Block = d.zigzag()
+		nIDs := d.count(2)
+		for j := 0; j < nIDs && d.err == nil; j++ {
+			b.IDs = append(b.IDs, core.SymbolID{
+				Chunk:    d.zigzag(),
+				RNGIndex: uint32(d.uvarint()),
+			})
+		}
+		nSyms := d.count(16)
+		for j := 0; j < nSyms && d.err == nil; j++ {
+			re := d.f64()
+			im := d.f64()
+			b.Symbols = append(b.Symbols, complex(re, im))
+		}
+		f.Batches = append(f.Batches, b)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadWire, len(d.buf)-d.off)
+	}
+	return f, nil
+}
+
+func appendZigzag(buf []byte, v int) []byte {
+	x := int64(v)
+	return binary.AppendUvarint(buf, uint64((x<<1)^(x>>63)))
+}
+
+// wireReader is a bounds-checked cursor over the wire bytes; the first
+// error sticks and every later read returns zero.
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wireReader) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrBadWire, what, d.off)
+	}
+}
+
+func (d *wireReader) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.fail("truncated header")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *wireReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireReader) zigzag() int {
+	v := d.uvarint()
+	return int(int64(v>>1) ^ -int64(v&1))
+}
+
+// count reads a list length and rejects lengths the remaining input
+// cannot possibly satisfy at minBytes encoded bytes per element.
+func (d *wireReader) count(minBytes int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > wireMaxList || int(v)*minBytes > len(d.buf)-d.off {
+		d.fail("implausible list length")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *wireReader) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated symbol")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden scenario outcomes:
+//
+//	go test ./internal/sim -run TestScenarioGolden -update
+var update = flag.Bool("update", false, "rewrite golden scenario outcome files")
+
+const goldenPath = "testdata/scenarios.golden.json"
+
+// goldenConfigs pins the deterministic scenario matrix: two checked-in
+// SNR traces and the bursty Markov channel, across the three rate-policy
+// families. Every outcome — messages delivered, symbols spent, rounds,
+// goodput — must reproduce byte for byte.
+func goldenConfigs() []ScenarioConfig {
+	var cfgs []ScenarioConfig
+	for _, sc := range []string{
+		"trace:../channel/testdata/stepdown.trace",
+		"trace:../channel/testdata/fade.trace",
+		"burst",
+	} {
+		for _, pol := range []string{"fixed", "capacity", "tracking"} {
+			cfgs = append(cfgs, ScenarioConfig{
+				Params:       multiFlowParams(),
+				Scenario:     sc,
+				Policy:       pol,
+				Flows:        5,
+				Concurrency:  3,
+				MinBytes:     40,
+				MaxBytes:     90,
+				MaxRounds:    48,
+				MaxBlockBits: 192,
+				Shards:       2,
+				Seed:         20260730,
+			})
+		}
+	}
+	return cfgs
+}
+
+func TestScenarioGolden(t *testing.T) {
+	var results []ScenarioResult
+	for _, cfg := range goldenConfigs() {
+		res, err := MeasureScenario(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", cfg.Scenario, cfg.Policy, err)
+		}
+		results = append(results, res)
+	}
+	got, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d scenarios)", goldenPath, len(results))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scenario outcomes drifted from %s (run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}

@@ -1,0 +1,335 @@
+// Scenario driver: named time-varying channel workloads through the
+// multi-flow link engine, with goodput and outage accounting. This is
+// where the paper's rateless claim meets the conditions it was made for —
+// channels whose SNR moves while a message is in flight.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/link"
+)
+
+// FlowChannel adapts a stateful channel.Model — plus optional whole-share
+// erasure — to link.Channel. It is the one adapter between the channel
+// tier and the link engine: scenarios, the multi-flow workload driver and
+// spinalcat all use it instead of growing private copies.
+type FlowChannel struct {
+	model   channel.Model
+	erasure float64
+	rng     *rand.Rand
+}
+
+// NewFlowChannel wraps model; erasure is the probability a flow's whole
+// share of a frame is lost, drawn from seed.
+func NewFlowChannel(model channel.Model, erasure float64, seed int64) *FlowChannel {
+	return &FlowChannel{
+		model:   model,
+		erasure: erasure,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Apply implements link.Channel.
+func (f *FlowChannel) Apply(sym []complex128) []complex128 {
+	if f.erasure > 0 && f.rng.Float64() < f.erasure {
+		return nil
+	}
+	return f.model.Transmit(sym)
+}
+
+// StateDB reports the wrapped model's instantaneous SNR.
+func (f *FlowChannel) StateDB() float64 { return f.model.StateDB() }
+
+// ScenarioConfig drives MeasureScenario.
+type ScenarioConfig struct {
+	Params core.Params
+	// Scenario names the channel workload: "burst" (Gilbert–Elliott
+	// good/bad Markov states), "walk" (bounded SNR random walk),
+	// "trace:<file>" (replayed SNR-vs-time series), or "churn" (mixed
+	// channel models with flow arrivals replacing departures).
+	Scenario string
+	// Policy names the per-flow rate policy: "fixed" or "fixed:<n>",
+	// "capacity" or "capacity:<estDB>", "tracking" or "tracking:<estDB>".
+	// Empty means "tracking". Estimates default to the scenario's nominal
+	// (long-run) SNR — deliberately stale on time-varying channels.
+	Policy string
+	// Flows is the total number of datagrams (0 ⇒ 16).
+	Flows int
+	// Concurrency caps flows in flight (0 ⇒ min(Flows, 8)).
+	Concurrency int
+	// MinBytes/MaxBytes bound datagram sizes (defaults 64/160).
+	MinBytes, MaxBytes int
+	// Erasure is the probability a flow's share of a frame is lost.
+	Erasure float64
+	// MaxRounds is the per-flow give-up budget in scheduling rounds
+	// (0 ⇒ 64) — the outage deadline.
+	MaxRounds int
+	// MaxBlockBits, FrameSymbols and Shards pass through to the engine.
+	MaxBlockBits int
+	FrameSymbols int
+	Shards       int
+	Seed         int64
+}
+
+// ScenarioResult aggregates a scenario run. It is flat and map-free so
+// encoding/json renders it byte-for-byte reproducibly (the golden tests
+// depend on that).
+type ScenarioResult struct {
+	Scenario  string `json:"scenario"`
+	Policy    string `json:"policy"`
+	Flows     int    `json:"flows"`
+	Delivered int    `json:"delivered"`
+	// Outages counts flows that exhausted their round budget (or were
+	// delivered corrupt — never observed, but counted against goodput).
+	Outages int   `json:"outages"`
+	Bytes   int64 `json:"bytes"`   // payload bytes delivered
+	Symbols int64 `json:"symbols"` // channel symbols spent, failed flows included
+	Rounds  int   `json:"rounds"`  // engine scheduling rounds consumed
+	// Goodput is delivered payload bits per channel symbol spent — the
+	// airtime-honest rate (outage symbols count, outage bits do not).
+	Goodput float64 `json:"goodput_bits_per_symbol"`
+	// OutageRate is Outages / Flows.
+	OutageRate float64 `json:"outage_rate"`
+	// MeanStateDB is the round-averaged mean of the active flows' channel
+	// states — the SNR trajectory the scenario actually exercised,
+	// observed through channel.Model's StateDB.
+	MeanStateDB float64 `json:"mean_state_db"`
+}
+
+func (r ScenarioResult) String() string {
+	return fmt.Sprintf("%s/%s: %d/%d delivered, %.3f b/sym goodput, %.0f%% outage, %d rounds, %d symbols, mean state %.1f dB",
+		r.Scenario, r.Policy, r.Delivered, r.Flows, r.Goodput, 100*r.OutageRate, r.Rounds, r.Symbols, r.MeanStateDB)
+}
+
+// Scenarios lists the named scenarios (trace scenarios additionally take
+// a file argument).
+func Scenarios() []string { return []string{"burst", "walk", "trace:<file>", "churn"} }
+
+// scenarioChannels builds the per-flow channel factory for the named
+// scenario; the returned function yields flow i's model and the nominal
+// SNR estimate a sender would start from. Trace files are read once here,
+// not once per flow.
+func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, float64), error) {
+	flowSeed := func(i int) int64 { return seed + int64(i)*7919 }
+	burst := func(i int) (channel.Model, float64) {
+		// ≈250-symbol bad bursts, 20% stationary bad fraction: deep enough
+		// to straddle whole blocks, rare enough that the good state sets
+		// the long-run estimate.
+		return channel.NewGilbertElliott(18, 2, 0.001, 0.004, flowSeed(i)), 18
+	}
+	walk := func(i int) (channel.Model, float64) {
+		return channel.NewWalk(15, 3, 25, 1, 192, flowSeed(i)), 15
+	}
+	switch {
+	case name == "burst":
+		return burst, nil
+	case name == "walk":
+		return walk, nil
+	case strings.HasPrefix(name, "trace:"):
+		segs, err := channel.LoadTrace(strings.TrimPrefix(name, "trace:"))
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) (channel.Model, float64) {
+			tr := channel.NewTrace(segs, flowSeed(i))
+			return tr, tr.MeanDB()
+		}, nil
+	case name == "churn":
+		// Mixed media across the flow population.
+		return func(i int) (channel.Model, float64) {
+			switch i % 3 {
+			case 0:
+				return burst(i)
+			case 1:
+				return walk(i)
+			default:
+				snr := []float64{8, 12, 18, 25}[(i/3)%4]
+				return channel.NewAWGN(snr, flowSeed(i)), snr
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown scenario %q (want burst, walk, trace:<file> or churn)", name)
+}
+
+// NewPolicy builds a fresh RatePolicy from its spec (see
+// ScenarioConfig.Policy); hintDB seeds estimate-based policies when the
+// spec does not carry its own. Tracking policies are stateful, so every
+// flow gets its own value.
+func NewPolicy(spec string, hintDB float64) (link.RatePolicy, error) {
+	if spec == "" {
+		spec = "tracking"
+	}
+	name, arg, hasArg := strings.Cut(spec, ":")
+	argF := func() (float64, error) {
+		if !hasArg {
+			return hintDB, nil
+		}
+		return strconv.ParseFloat(arg, 64)
+	}
+	switch name {
+	case "fixed":
+		n := 1
+		if hasArg {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("sim: bad fixed-rate subpass count %q", arg)
+			}
+			n = v
+		}
+		return link.FixedRate(n), nil
+	case "capacity":
+		est, err := argF()
+		if err != nil {
+			return nil, fmt.Errorf("sim: bad capacity estimate %q", arg)
+		}
+		return link.CapacityRate{SNREstimateDB: est}, nil
+	case "tracking":
+		est, err := argF()
+		if err != nil {
+			return nil, fmt.Errorf("sim: bad tracking estimate %q", arg)
+		}
+		return link.NewTrackingRate(est), nil
+	}
+	return nil, fmt.Errorf("sim: unknown rate policy %q (want fixed[:n], capacity[:db] or tracking[:db])", spec)
+}
+
+// MeasureScenario runs the named time-varying channel workload through a
+// link.Engine and aggregates goodput and outage statistics. Runs are
+// deterministic given Seed.
+func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	flows := cfg.Flows
+	if flows <= 0 {
+		flows = 16
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	if conc > flows {
+		conc = flows
+	}
+	minB, maxB := cfg.MinBytes, cfg.MaxBytes
+	if minB <= 0 {
+		minB = 64
+	}
+	if maxB <= 0 {
+		maxB = 160
+	}
+	if cfg.MinBytes <= 0 && maxB < minB {
+		minB = maxB // an explicit small MaxBytes wins over the default floor
+	}
+	if maxB < minB {
+		// Explicitly contradictory bounds pin the size at the minimum
+		// rather than silently reverting to the default span.
+		maxB = minB
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = "tracking"
+	}
+
+	res := ScenarioResult{Scenario: cfg.Scenario, Policy: policy, Flows: flows}
+
+	e := link.NewEngine(link.EngineConfig{
+		Params:       cfg.Params,
+		MaxBlockBits: cfg.MaxBlockBits,
+		Shards:       cfg.Shards,
+		FrameSymbols: cfg.FrameSymbols,
+		Seed:         cfg.Seed,
+		MaxRounds:    maxRounds,
+	})
+	defer e.Close()
+
+	newModel, err := scenarioChannels(cfg.Scenario, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	want := make(map[link.FlowID][]byte, conc)
+	// Active channels live in an ID-ordered slice, not a map: the
+	// per-round StateDB sum must visit flows in a fixed order or float
+	// rounding would leak map iteration order into the golden results.
+	type activeFlow struct {
+		id link.FlowID
+		fc *FlowChannel
+	}
+	var active []activeFlow
+	admitted := 0
+	admit := func() error {
+		model, hintDB := newModel(admitted)
+		rate, err := NewPolicy(policy, hintDB)
+		if err != nil {
+			return err
+		}
+		n := minB
+		if maxB > minB {
+			n += rng.Intn(maxB - minB + 1)
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		fc := NewFlowChannel(model, cfg.Erasure, cfg.Seed^int64(admitted))
+		id := e.AddFlow(data, link.FlowConfig{Channel: fc, Rate: rate})
+		want[id] = data
+		active = append(active, activeFlow{id, fc})
+		admitted++
+		return nil
+	}
+
+	for admitted < flows && e.Active() < conc {
+		if err := admit(); err != nil {
+			return res, err
+		}
+	}
+	var stateSum float64
+	var stateN int
+	for e.Active() > 0 {
+		finished := e.Step()
+		res.Rounds++
+		// Observe the SNR trajectory the active population is riding.
+		for _, af := range active {
+			stateSum += af.fc.StateDB()
+			stateN++
+		}
+		for _, r := range finished {
+			res.Symbols += int64(r.Stats.SymbolsSent)
+			if r.Err != nil || !bytes.Equal(r.Datagram, want[r.ID]) {
+				res.Outages++
+			} else {
+				res.Delivered++
+				res.Bytes += int64(len(r.Datagram))
+			}
+			delete(want, r.ID)
+			for i := range active {
+				if active[i].id == r.ID {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+			if admitted < flows {
+				if err := admit(); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	if res.Symbols > 0 {
+		res.Goodput = float64(res.Bytes*8) / float64(res.Symbols)
+	}
+	res.OutageRate = float64(res.Outages) / float64(flows)
+	if stateN > 0 {
+		res.MeanStateDB = stateSum / float64(stateN)
+	}
+	return res, nil
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spinal/internal/channel"
+	"spinal/internal/link"
+)
+
+// burstScenario is the Gilbert–Elliott operating point of the EXPERIMENTS
+// goodput table: multi-block datagrams under a 16-round delivery deadline,
+// so a policy that cannot traverse bad bursts in time shows up as outage.
+func burstScenario(policy string, seed int64) ScenarioConfig {
+	return ScenarioConfig{
+		Params:       multiFlowParams(),
+		Scenario:     "burst",
+		Policy:       policy,
+		Flows:        16,
+		Concurrency:  6,
+		MinBytes:     96,
+		MaxBytes:     192,
+		MaxRounds:    16,
+		MaxBlockBits: 192,
+		Shards:       2,
+		Seed:         seed,
+	}
+}
+
+// TestScenarioTrackingBeatsFixedOnBurst is the headline acceptance check:
+// on the bursty Gilbert–Elliott scenario, closed-loop TrackingRate
+// achieves strictly higher aggregate goodput than FixedRate pacing —
+// the fixed policy trickles one subpass per round, cannot cross bad
+// bursts before the delivery deadline, and burns symbols on flows that
+// then time out.
+func TestScenarioTrackingBeatsFixedOnBurst(t *testing.T) {
+	fixed, err := MeasureScenario(burstScenario("fixed", 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracking, err := MeasureScenario(burstScenario("tracking", 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracking.Goodput <= fixed.Goodput {
+		t.Fatalf("tracking goodput %.3f not strictly above fixed %.3f\nfixed: %v\ntracking: %v",
+			tracking.Goodput, fixed.Goodput, fixed, tracking)
+	}
+	if fixed.Outages == 0 {
+		t.Fatalf("scenario lost its teeth: fixed-rate pacing had no outages (%v)", fixed)
+	}
+	if tracking.Outages != 0 {
+		t.Fatalf("tracking pacing suffered outages: %v", tracking)
+	}
+}
+
+// TestScenarioDeterministic: identical seeds reproduce identical results,
+// field for field, despite the engine's internal parallelism.
+func TestScenarioDeterministic(t *testing.T) {
+	a, err := MeasureScenario(burstScenario("tracking", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureScenario(burstScenario("tracking", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic scenario:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestScenarioAllNamesDeliver: every named scenario (including a
+// trace-driven one from testdata) runs and delivers under relaxed
+// deadlines.
+func TestScenarioAllNamesDeliver(t *testing.T) {
+	for _, sc := range []string{
+		"burst", "walk", "churn",
+		"trace:../channel/testdata/stepdown.trace",
+		"trace:../channel/testdata/fade.trace",
+	} {
+		res, err := MeasureScenario(ScenarioConfig{
+			Params:       multiFlowParams(),
+			Scenario:     sc,
+			Policy:       "tracking",
+			Flows:        6,
+			Concurrency:  3,
+			MinBytes:     40,
+			MaxBytes:     80,
+			MaxRounds:    96,
+			MaxBlockBits: 192,
+			Shards:       2,
+			Seed:         11,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if res.Delivered != 6 || res.Outages != 0 {
+			t.Fatalf("%s: %v", sc, res)
+		}
+		if res.Goodput <= 0 || res.Rounds == 0 || res.Symbols == 0 {
+			t.Fatalf("%s: empty accounting: %v", sc, res)
+		}
+		if res.MeanStateDB == 0 {
+			t.Fatalf("%s: StateDB trajectory not observed: %v", sc, res)
+		}
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	base := burstScenario("tracking", 1)
+	base.Scenario = "no-such-scenario"
+	if _, err := MeasureScenario(base); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	base = burstScenario("warp-speed", 1)
+	if _, err := MeasureScenario(base); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	base = burstScenario("tracking", 1)
+	base.Scenario = "trace:../channel/testdata/missing.trace"
+	if _, err := MeasureScenario(base); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"", "*link.TrackingRate"},
+		{"tracking", "*link.TrackingRate"},
+		{"tracking:7.5", "*link.TrackingRate"},
+		{"fixed", "link.FixedRate"},
+		{"fixed:4", "link.FixedRate"},
+		{"capacity", "link.CapacityRate"},
+		{"capacity:12", "link.CapacityRate"},
+	}
+	for _, c := range cases {
+		p, err := NewPolicy(c.spec, 10)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if got := typeName(p); got != c.want {
+			t.Fatalf("%q built %s, want %s", c.spec, got, c.want)
+		}
+	}
+	if p, _ := NewPolicy("fixed:4", 0); p.(link.FixedRate) != 4 {
+		t.Fatal("fixed:4 lost its subpass count")
+	}
+	if p, _ := NewPolicy("capacity", 17); p.(link.CapacityRate).SNREstimateDB != 17 {
+		t.Fatal("capacity did not take the scenario hint")
+	}
+	if p, _ := NewPolicy("tracking:3", 17); math.Abs(p.(*link.TrackingRate).EstimateDB()-3) > 1e-9 {
+		t.Fatal("tracking:3 ignored its explicit estimate")
+	}
+	for _, bad := range []string{"fixed:0", "fixed:x", "capacity:x", "tracking:x", "bogus"} {
+		if _, err := NewPolicy(bad, 10); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *link.TrackingRate:
+		return "*link.TrackingRate"
+	case link.FixedRate:
+		return "link.FixedRate"
+	case link.CapacityRate:
+		return "link.CapacityRate"
+	}
+	return "?"
+}
+
+// TestFlowChannelErasure: the shared adapter erases whole shares at the
+// configured probability and exposes the wrapped model's state.
+func TestFlowChannelErasure(t *testing.T) {
+	fc := NewFlowChannel(channel.NewAWGN(20, 3), 0.3, 5)
+	if math.Abs(fc.StateDB()-20) > 1e-9 {
+		t.Fatalf("StateDB = %g", fc.StateDB())
+	}
+	lost := 0
+	const n = 20000
+	sym := make([]complex128, 2)
+	for i := 0; i < n; i++ {
+		if fc.Apply(sym) == nil {
+			lost++
+		}
+	}
+	if got := float64(lost) / n; math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("erasure rate %.3f, want 0.3", got)
+	}
+}
+
+// TestScenarioStringMentionsEverything keeps the human-readable summary
+// wired to the fields the CLI prints.
+func TestScenarioStringMentionsEverything(t *testing.T) {
+	s := ScenarioResult{Scenario: "burst", Policy: "tracking", Flows: 4, Delivered: 3,
+		Outages: 1, Goodput: 2.5, OutageRate: 0.25, Rounds: 9, Symbols: 1234, MeanStateDB: 15.5}.String()
+	for _, want := range []string{"burst", "tracking", "3/4", "2.500", "25%", "1234", "15.5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

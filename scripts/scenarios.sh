@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerate the time-varying-scenario artifacts:
+#   1. the scenario-goodput table (paste into EXPERIMENTS.md when it
+#      changes materially), and
+#   2. the golden scenario outcomes pinned by internal/sim's regression
+#      test (only when a change to channels/link/sim is *supposed* to
+#      move them — the test exists to catch the opposite).
+#
+# Usage: scripts/scenarios.sh [-update]
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/spinalsim -exp scenario-goodput
+
+if [ "${1:-}" = "-update" ]; then
+    go test ./internal/sim -run TestScenarioGolden -update -v | grep -v '^=== \|^--- '
+    echo "golden scenario outcomes rewritten: internal/sim/testdata/scenarios.golden.json"
+fi
