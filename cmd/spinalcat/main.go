@@ -8,16 +8,19 @@
 // sharded codec workers — and reassembled in order on stdout.
 //
 // With -scenario NAME no stdin is read: the multi-flow engine runs the
-// named time-varying channel workload (burst, walk, trace:<file>, churn)
-// under the -policy rate policy and prints goodput/outage statistics —
-// the spinal code exercised against the changing channels it was built
-// for.
+// named workload — a time-varying channel (burst, walk, trace:<file>,
+// churn) or an impaired ARQ feedback path (feedback-delay,
+// feedback-loss) — under the -policy rate policy and prints
+// goodput/outage/retransmission statistics: the spinal code exercised
+// against the changing channels, and the imperfect reverse channels, it
+// was built for.
 //
 //	echo "hello" | spinalcat -snr 8
 //	spinalcat -snr 5 -b 16 < somefile > copy && cmp somefile copy
 //	spinalcat -snr 10 -flows 8 < somefile > copy && cmp somefile copy
 //	spinalcat -scenario burst -policy tracking
 //	spinalcat -scenario trace:internal/channel/testdata/fade.trace -flows 24
+//	spinalcat -scenario feedback-loss -policy tracking
 package main
 
 import (
@@ -42,7 +45,7 @@ func main() {
 		beam     = flag.Int("b", 256, "decoder beam width B")
 		seed     = flag.Int64("seed", 1, "channel noise seed")
 		flows    = flag.Int("flows", 1, "split the input across N concurrent link-engine flows")
-		scenario = flag.String("scenario", "", "run a time-varying channel scenario instead of piping stdin: burst, walk, trace:<file>, churn")
+		scenario = flag.String("scenario", "", "run a named scenario instead of piping stdin: burst, walk, trace:<file>, churn, feedback-delay, feedback-loss")
 		policy   = flag.String("policy", "tracking", "scenario rate policy: fixed[:n], capacity[:db], tracking[:db]")
 	)
 	flag.Parse()

@@ -106,6 +106,7 @@ var All = []Experiment{
 	{"ablation-attempts", "Decode-attempt granularity ablation (engine design choice)", AttemptAblation},
 	{"ge-channel", "Bursty Gilbert-Elliott channel: rateless vs best fixed rate", GEChannel},
 	{"scenario-goodput", "Time-varying channel scenario: link goodput by rate policy", ScenarioGoodput},
+	{"feedback-goodput", "Realistic ARQ feedback: goodput under ack delay/loss, chase vs discard", FeedbackGoodput},
 }
 
 // ByID finds an experiment by id, or nil.

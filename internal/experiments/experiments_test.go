@@ -345,6 +345,29 @@ func TestScenarioGoodputOrdering(t *testing.T) {
 	}
 }
 
+func TestFeedbackGoodputOrdering(t *testing.T) {
+	tables := FeedbackGoodput(DefaultConfig())
+	byRow := map[string][]string{}
+	for _, r := range tables[0].Rows {
+		byRow[r[0]+"/"+r[1]] = r
+	}
+	fixed8, _ := parse(t, byRow["delay 8/fixed"][4])
+	tracking8, _ := parse(t, byRow["delay 8/tracking"][4])
+	if tracking8 <= fixed8 {
+		t.Fatalf("at 8-round ack delay, tracking goodput %.3f not strictly above fixed %.3f:\n%s",
+			tracking8, fixed8, tables[0])
+	}
+	discard8, _ := parse(t, byRow["delay 8, discard/tracking"][4])
+	if tracking8 <= discard8 {
+		t.Fatalf("chase combining goodput %.3f not strictly above discard-and-retry %.3f:\n%s",
+			tracking8, discard8, tables[0])
+	}
+	if lossy := byRow["loss 30% (delay 2)/tracking"]; lossy[6] == "0" || lossy[7] == "0" {
+		t.Fatalf("lossy-ack row shows no ARQ activity (retx=%s, acks lost=%s):\n%s",
+			lossy[6], lossy[7], tables[0])
+	}
+}
+
 func TestGEChannelReliability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy; run without -short")

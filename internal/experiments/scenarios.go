@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spinal/internal/core"
+	"spinal/internal/link"
 	"spinal/internal/sim"
 )
 
@@ -51,6 +52,69 @@ func ScenarioGoodput(cfg Config) []*Table {
 		t.AddRow(pol, fmt.Sprintf("%d/%d", res.Delivered, res.Flows),
 			fmt.Sprintf("%.0f%%", 100*res.OutageRate), f3(res.Goodput),
 			fmt.Sprint(res.Symbols), fmt.Sprint(res.Rounds))
+	}
+	return []*Table{t}
+}
+
+// FeedbackGoodput compares rate policies under realistic ARQ feedback
+// (sim.MeasureScenario "feedback-delay"/"feedback-loss"): mixed-SNR AWGN
+// flows where only the reverse path varies. The sweep crosses tracking
+// and fixed pacing with 0-, 2- and 8-round ack delays, then adds the
+// named lossy-ack scenario and the discard-and-retry (type-I ARQ)
+// receiver at the 8-round point — the chase-combining default must beat
+// it, which TestFeedbackChaseBeatsDiscard asserts at engine level.
+func FeedbackGoodput(cfg Config) []*Table {
+	flows := 24
+	p := core.Params{K: 4, B: 16, D: 1, C: 6, Tail: 2, Ways: 8}
+	if cfg.Quick {
+		flows = 8
+	} else {
+		p.B = 64
+	}
+	base := func(scenario, policy string) sim.ScenarioConfig {
+		return sim.ScenarioConfig{
+			Params:       p,
+			Scenario:     scenario,
+			Policy:       policy,
+			Flows:        flows,
+			Concurrency:  4,
+			MinBytes:     40,
+			MaxBytes:     90,
+			MaxRounds:    96,
+			MaxBlockBits: 192,
+			Shards:       2,
+			Seed:         cfg.Seed*1_000_003 + 20260730,
+		}
+	}
+	t := &Table{
+		Name:   "feedback-goodput",
+		Title:  "ARQ feedback: goodput by rate policy and ack impairment (mixed 7/10/14 dB AWGN)",
+		Header: []string{"feedback", "policy", "delivered", "outage", "goodput(b/sym)", "rounds", "retx", "acks lost"},
+	}
+	type row struct {
+		label string
+		cfg   sim.ScenarioConfig
+	}
+	var rows []row
+	for _, delay := range []int{0, 2, 8} {
+		for _, pol := range []string{"fixed", "tracking"} {
+			c := base("feedback-delay", pol)
+			c.Feedback = &link.FeedbackConfig{DelayRounds: delay}
+			rows = append(rows, row{fmt.Sprintf("delay %d", delay), c})
+		}
+	}
+	rows = append(rows, row{"loss 30% (delay 2)", base("feedback-loss", "tracking")})
+	discard := base("feedback-delay", "tracking")
+	discard.Feedback = &link.FeedbackConfig{DelayRounds: 8, Discard: true}
+	rows = append(rows, row{"delay 8, discard", discard})
+	for _, r := range rows {
+		res, err := sim.MeasureScenario(r.cfg)
+		if err != nil {
+			panic(err) // static scenario names; cannot fail
+		}
+		t.AddRow(r.label, res.Policy, fmt.Sprintf("%d/%d", res.Delivered, res.Flows),
+			fmt.Sprintf("%.0f%%", 100*res.OutageRate), f3(res.Goodput),
+			fmt.Sprint(res.Rounds), fmt.Sprint(res.Retransmissions), fmt.Sprint(res.AcksLost))
 	}
 	return []*Table{t}
 }

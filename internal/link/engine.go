@@ -8,6 +8,7 @@ import (
 
 	"spinal/internal/capacity"
 	"spinal/internal/core"
+	"spinal/internal/framing"
 )
 
 // FlowID identifies one datagram in flight through an Engine.
@@ -106,6 +107,13 @@ type EngineConfig struct {
 	// MaxRounds is the default per-flow give-up budget in scheduling
 	// rounds (0 ⇒ 512); FlowConfig can override it per flow.
 	MaxRounds int
+	// Feedback, when non-nil, replaces §6's instant perfect per-block ACK
+	// with an explicit reverse channel: every flow's acks cross a
+	// FeedbackChannel with the configured delay/jitter/loss, and the
+	// sender paces each block with retransmission timers, exponential
+	// backoff and a bounded in-flight window. nil keeps the legacy
+	// instant-feedback behaviour bit for bit.
+	Feedback *FeedbackConfig
 }
 
 func (c EngineConfig) frameSymbols() int {
@@ -156,6 +164,11 @@ type engineFlow struct {
 	maxRounds int
 	frames    int
 	bytes     int
+
+	// ARQ state, present only when the engine runs with a FeedbackConfig.
+	fb  *FeedbackChannel
+	arq []retxTimer
+	rx  bool // received something on the air this round (ack due)
 }
 
 // identityChannel is the noiseless default medium.
@@ -228,6 +241,13 @@ func (e *Engine) AddFlow(datagram []byte, fc FlowConfig) FlowID {
 	if fl.maxRounds <= 0 {
 		fl.maxRounds = e.cfg.maxRounds()
 	}
+	if fb := e.cfg.Feedback; fb != nil {
+		fl.fb = NewFeedbackChannel(*fb, e.cfg.Seed^(int64(fl.id)*0x5851f42d4c957f2d+0x5f))
+		fl.arq = make([]retxTimer, fl.snd.Blocks())
+		for i := range fl.arq {
+			fl.arq[i] = newRetxTimer(fb.rto(), fb.maxRTO())
+		}
+	}
 	// The engine feeds the receiver batches directly, so adopt the block
 	// layout now instead of waiting for a first frame.
 	layout := make([]int, fl.snd.Blocks())
@@ -290,7 +310,12 @@ func (e *Engine) Step() []FlowResult {
 
 	// Schedule: round-robin from the fairness cursor, one batch of fresh
 	// symbol IDs per outstanding block, until the shared frame's symbol
-	// budget is spent. Flows left out neither transmit nor age.
+	// budget is spent. Flows left out neither transmit nor age. Under a
+	// FeedbackConfig a block additionally transmits only when its ARQ
+	// timer grants it — first pass (window permitting), nack continuation,
+	// or timeout retransmission — because the sender cannot see decodes,
+	// only delayed acks.
+	round := int(e.seq)
 	e.items = e.items[:0]
 	budget := e.cfg.frameSymbols()
 	symbols := 0
@@ -301,16 +326,44 @@ func (e *Engine) Step() []FlowResult {
 		fl.rounds++
 		offered++
 		inFrame := false
+		window, inflight := 0, 0
+		if fl.fb != nil {
+			window = e.cfg.Feedback.window()
+			for b := range fl.snd.blocks {
+				if !fl.snd.acked[b] && fl.arq[b].inflight {
+					inflight++
+				}
+			}
+		}
 		for b := range fl.snd.blocks {
 			if fl.snd.acked[b] {
 				continue
+			}
+			arqTimeout := false
+			if fl.fb != nil {
+				st := &fl.arq[b]
+				if !st.inflight && inflight >= window {
+					continue // in-flight window full; this block waits
+				}
+				send, timeout := st.advance()
+				if !send {
+					continue
+				}
+				arqTimeout = timeout
 			}
 			sched := fl.snd.scheds[b]
 			sub := maxInt(sched.SymbolsPerPass()/sched.Subpasses(), 1)
 			blockBits := fl.snd.blocks[b].NumBits()
 			want := fl.rate.SubpassBudget(blockBits, sub, fl.snd.symbolsFor(b))
 			if want < 1 {
-				continue
+				continue // policy veto: an ARQ grant stays due, uncommitted
+			}
+			if fl.fb != nil {
+				st := &fl.arq[b]
+				if !st.inflight {
+					inflight++
+				}
+				st.commit(round, arqTimeout)
 			}
 			batch := fl.snd.batchIDs(b, want)
 			fl.snd.countSymbols(len(batch.IDs))
@@ -362,6 +415,7 @@ func (e *Engine) Step() []FlowResult {
 			continue
 		}
 		it.batch.Symbols = rx
+		it.fl.rx = true // the receiver saw this round; it owes an ack
 	}
 
 	// Decode: one job per surviving batch. Items are unique per
@@ -377,6 +431,11 @@ func (e *Engine) Step() []FlowResult {
 		e.pool.Submit(shardOf(it.fl.id, it.batch.Block), func(c *core.Codec) {
 			defer wg.Done()
 			rcv := it.fl.rcv
+			if e.cfg.Feedback != nil && e.cfg.Feedback.Discard && len(it.batch.IDs) > 0 {
+				// Type-I ARQ: decode each retry standalone instead of
+				// chase-combining with observations that already failed.
+				rcv.dropStale(it.batch.Block)
+			}
 			if ok, err := rcv.accumulate(&it.batch); !ok || err != nil {
 				return
 			}
@@ -388,19 +447,38 @@ func (e *Engine) Step() []FlowResult {
 	}
 	wg.Wait()
 
-	// ACK: instantaneous per-block feedback — §6's one-bit-per-block ACK
-	// over a perfect reverse channel, applied in its compressed form (the
-	// decoded block index is already in hand). Then resolve finished and
-	// exhausted flows.
-	for k := range e.items {
-		it := &e.items[k]
-		if it.decoded {
-			it.fl.snd.acked[it.batch.Block] = true
-			// Closed-loop rate policies learn from each decoded block's
-			// total symbol spend (TrackingRate's channel estimator).
-			if ob, ok := it.fl.rate.(RateObserver); ok {
-				ob.ObserveDecode(it.fl.snd.blocks[it.batch.Block].NumBits(),
-					it.fl.snd.symbolsFor(it.batch.Block))
+	// ACK. Without a FeedbackConfig: instantaneous per-block feedback —
+	// §6's one-bit-per-block ACK over a perfect reverse channel, applied
+	// in its compressed form (the decoded block index is already in
+	// hand). With one: each flow that received anything sends its ack
+	// bitmap into its feedback queue, every queue advances one round, and
+	// only delivered acks touch sender state — so the sender (and any
+	// RateObserver) sees delayed, possibly-missing reports. Then resolve
+	// finished and exhausted flows.
+	if e.cfg.Feedback == nil {
+		for k := range e.items {
+			it := &e.items[k]
+			it.fl.rx = false
+			if it.decoded {
+				it.fl.snd.acked[it.batch.Block] = true
+				// Closed-loop rate policies learn from each decoded block's
+				// total symbol spend (TrackingRate's channel estimator).
+				if ob, ok := it.fl.rate.(RateObserver); ok {
+					ob.ObserveDecode(it.fl.snd.blocks[it.batch.Block].NumBits(),
+						it.fl.snd.symbolsFor(it.batch.Block))
+				}
+			}
+		}
+	} else {
+		for _, fl := range e.flows {
+			if fl.rx {
+				fl.rx = false
+				fl.fb.Send(fl.rcv.ack(uint32(round)))
+			}
+			// Time passes for every flow's reverse channel, including
+			// flows backpressured out of this round's frame.
+			for _, a := range fl.fb.Advance() {
+				e.applyAck(fl, a)
 			}
 		}
 	}
@@ -425,12 +503,45 @@ func (e *Engine) Step() []FlowResult {
 	return results
 }
 
+// applyAck folds one delivered ack into sender-side flow state: newly
+// acknowledged blocks stop transmitting and feed the rate policy's
+// observer (with the symbol spend as of now — retransmissions sent while
+// the ack was in flight are honestly included); blocks the receiver
+// still lacked after seeing their latest pass get a fast nack
+// continuation instead of waiting out the retransmission timer.
+func (e *Engine) applyAck(fl *engineFlow, a framing.Ack) {
+	ob, hasOb := fl.rate.(RateObserver)
+	for i, decoded := range a.Decoded {
+		if i >= len(fl.snd.acked) {
+			break
+		}
+		if decoded {
+			if !fl.snd.acked[i] {
+				fl.snd.acked[i] = true
+				if hasOb {
+					ob.ObserveDecode(fl.snd.blocks[i].NumBits(), fl.snd.symbolsFor(i))
+				}
+			}
+			continue
+		}
+		if st := &fl.arq[i]; st.inflight && int(a.Seq) >= st.lastTx {
+			st.nack()
+		}
+	}
+}
+
 // resolve builds a flow's final result.
 func (e *Engine) resolve(fl *engineFlow, ferr error) FlowResult {
 	st := Stats{
 		Frames:      fl.frames,
 		SymbolsSent: fl.snd.SymbolsSent(),
 		Blocks:      fl.snd.Blocks(),
+	}
+	if fl.fb != nil {
+		for i := range fl.arq {
+			st.Retransmissions += fl.arq[i].retx
+		}
+		st.AcksSent, st.AcksLost, _ = fl.fb.Counters()
 	}
 	if st.SymbolsSent > 0 {
 		st.Rate = float64(fl.bytes*8) / float64(st.SymbolsSent)

@@ -1,0 +1,228 @@
+// The feedback path: spinal codes are rateless because the sender keeps
+// emitting passes until the receiver says stop, so the reverse (ACK)
+// channel is part of the code's operating point. This file models it
+// honestly instead of assuming §6's perfect instantaneous feedback: acks
+// cross a FeedbackChannel with configurable delay, jitter and loss
+// (wire-encoded both ways, so the ack codec sits on the live path), and
+// the sender reacts through per-block retransmission timers with
+// exponential backoff, a bounded in-flight block window, and fast
+// continuation when an explicit "still missing" report arrives.
+package link
+
+import (
+	"math/rand"
+
+	"spinal/internal/framing"
+)
+
+// FeedbackConfig describes the reverse (ACK) path and the sender's ARQ
+// reaction to it. The zero value with DelayRounds 0 models an ideal but
+// still explicit feedback loop: acks cross the queue and arrive the same
+// round they were sent.
+type FeedbackConfig struct {
+	// DelayRounds is the base ack delivery delay in engine rounds.
+	DelayRounds int
+	// JitterRounds adds a uniform extra delay in [0, JitterRounds].
+	JitterRounds int
+	// Loss is the probability an individual ack is dropped in transit.
+	Loss float64
+	// RTO is the initial per-block retransmission timeout in rounds
+	// (0 ⇒ DelayRounds + 2, just past the earliest possible ack).
+	RTO int
+	// MaxRTO bounds the exponential backoff (0 ⇒ 8·RTO). A cap below the
+	// effective RTO is meaningless — backoff starts there — and clamps
+	// up to it.
+	MaxRTO int
+	// Window bounds the blocks a flow may have transmitted-but-unacked at
+	// once (0 ⇒ 8). Blocks beyond it wait their turn.
+	Window int
+	// Discard selects type-I ARQ at the receiver: each retry is decoded
+	// standalone, accumulated symbols from failed attempts are dropped.
+	// The default (false) is chase combining — observations accumulate
+	// across retransmitted passes.
+	Discard bool
+}
+
+func (c FeedbackConfig) rto() int {
+	if c.RTO > 0 {
+		return c.RTO
+	}
+	return c.DelayRounds + 2
+}
+
+func (c FeedbackConfig) maxRTO() int {
+	if c.MaxRTO >= c.rto() {
+		return c.MaxRTO
+	}
+	if c.MaxRTO > 0 {
+		return c.rto() // a cap below the base timeout clamps to it
+	}
+	return 8 * c.rto()
+}
+
+func (c FeedbackConfig) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 8
+}
+
+// pendingAck is one ack in flight on the reverse channel, in its wire
+// encoding (the codec is exercised on the live path, not just in tests).
+type pendingAck struct {
+	due  int
+	wire []byte
+}
+
+// FeedbackChannel carries acks from a receiver back to its sender with
+// delay, jitter and loss. It is single-threaded, like the engine API that
+// drives it: Send enqueues, Advance ticks one round and delivers what is
+// due. Acks are wire-encoded on Send and decoded on delivery; an ack that
+// fails to decode is counted lost (defense in depth — the queue itself
+// never corrupts bytes).
+type FeedbackChannel struct {
+	cfg   FeedbackConfig
+	rng   *rand.Rand
+	now   int
+	queue []pendingAck
+
+	sent, lost, delivered int
+}
+
+// NewFeedbackChannel creates a feedback channel; seed drives the loss and
+// jitter randomness.
+func NewFeedbackChannel(cfg FeedbackConfig, seed int64) *FeedbackChannel {
+	return &FeedbackChannel{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed ^ 0x666565646261636b)), // "feedback"
+	}
+}
+
+// Send enqueues an ack for future delivery, or drops it with probability
+// Loss. The ack is serialized immediately: what travels is wire bytes.
+func (f *FeedbackChannel) Send(a framing.Ack) {
+	f.sent++
+	if f.cfg.Loss > 0 && f.rng.Float64() < f.cfg.Loss {
+		f.lost++
+		return
+	}
+	delay := f.cfg.DelayRounds
+	if f.cfg.JitterRounds > 0 {
+		delay += f.rng.Intn(f.cfg.JitterRounds + 1)
+	}
+	f.queue = append(f.queue, pendingAck{due: f.now + delay, wire: EncodeAck(a)})
+}
+
+// Advance ticks one engine round and returns the acks due for delivery,
+// in send order among those due. With DelayRounds 0 an ack sent this
+// round is delivered by the same round's Advance.
+func (f *FeedbackChannel) Advance() []framing.Ack {
+	var out []framing.Ack
+	live := f.queue[:0]
+	for _, p := range f.queue {
+		if p.due > f.now {
+			live = append(live, p)
+			continue
+		}
+		a, err := DecodeAck(p.wire)
+		if err != nil {
+			f.lost++
+			continue
+		}
+		f.delivered++
+		out = append(out, a)
+	}
+	f.queue = live
+	f.now++
+	return out
+}
+
+// Counters reports lifetime telemetry: acks sent into the channel, lost
+// in transit, and delivered.
+func (f *FeedbackChannel) Counters() (sent, lost, delivered int) {
+	return f.sent, f.lost, f.delivered
+}
+
+// retxTimer is one code block's ARQ state at the sender: when to
+// (re)transmit under silence, with exponential backoff bounded by
+// [base, maxRTO], and fast continuation when live feedback reports the
+// block still missing (a nack resets the backoff — the reverse channel is
+// evidently working, so silence-style caution is wrong).
+//
+// Advancing and committing are split so the engine can consult the rate
+// policy between them: advance() only moves time and reports whether a
+// transmission is due; nothing is armed, backed off or counted until
+// commit() confirms symbols actually flew. A rate policy that vetoes the
+// round (SubpassBudget 0) therefore leaves no phantom ARQ state behind —
+// the grant simply stays due.
+type retxTimer struct {
+	base, rto, maxRTO int
+	timer             int
+	lastTx            int  // round of the most recent committed transmission
+	inflight          bool // transmitted at least once, ack still pending
+	nacked            bool // latest feedback saw lastTx and lacked the block
+	retx              int  // committed timeout retransmissions
+}
+
+func newRetxTimer(base, maxRTO int) retxTimer {
+	if base < 1 {
+		base = 1
+	}
+	if maxRTO < base {
+		maxRTO = base
+	}
+	return retxTimer{base: base, rto: base, maxRTO: maxRTO}
+}
+
+// advance moves one visited round and reports whether the block may
+// transmit now, and whether that grant is a timeout retransmission
+// (feedback silence) as opposed to a first pass or a nack continuation.
+// It commits nothing: an unconsumed grant stays due next round.
+func (t *retxTimer) advance() (send, timeout bool) {
+	if !t.inflight {
+		return true, false
+	}
+	if t.timer > 0 {
+		t.timer--
+	}
+	if t.timer > 0 {
+		return false, false
+	}
+	return true, !t.nacked
+}
+
+// commit records that an advance() grant was actually transmitted at
+// round: the timer re-arms, a timeout doubles the backoff (bounded by
+// maxRTO), and a consumed nack resets it to base — live feedback
+// requested that pass, so silence-style caution would be wrong.
+func (t *retxTimer) commit(round int, timeout bool) {
+	t.inflight = true
+	if timeout {
+		t.retx++
+		t.rto *= 2
+		if t.rto > t.maxRTO {
+			t.rto = t.maxRTO
+		}
+	} else if t.nacked {
+		t.nacked = false
+		t.rto = t.base
+	}
+	t.timer = t.rto
+	t.lastTx = round
+}
+
+// nack handles feedback that postdates lastTx yet still lacks the block:
+// the current pass demonstrably did not suffice, so the next one should
+// go out on the next round instead of waiting out the timer. The flag is
+// recorded even when the countdown is already about to fire — the grant
+// was requested by live feedback, and classifying it as a timeout would
+// wrongly double the backoff and count a phantom retransmission.
+func (t *retxTimer) nack() {
+	if !t.inflight {
+		return
+	}
+	if t.timer > 1 {
+		t.timer = 1
+	}
+	t.nacked = true
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spinal/internal/core"
+	"spinal/internal/framing"
 )
 
 // fuzzParams keeps per-iteration decoder construction cheap.
@@ -69,6 +70,51 @@ func FuzzFrameDecode(f *testing.F) {
 		// Byte-level comparison sidesteps NaN != NaN in the symbols.
 		if !bytes.Equal(out, EncodeFrame(fr2)) {
 			t.Fatal("encode/decode is not a fixed point")
+		}
+	})
+}
+
+// FuzzAckDecode fuzzes the ack wire codec and the sender's ack handling:
+// arbitrary bytes must never panic; accepted bytes must re-encode to the
+// identical wire form (the parser is strict, so encode∘decode is the
+// identity); and any decoded ack — malformed-in-spirit, oversized,
+// duplicate — must be safe to apply to a live sender twice over, with
+// idempotent effect (a block once acknowledged stays acknowledged, §6's
+// stale-ACK rule).
+func FuzzAckDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeAck(framing.Ack{}))
+	f.Add(EncodeAck(framing.Ack{Seq: 1, Decoded: []bool{true}}))
+	f.Add(EncodeAck(framing.Ack{Seq: 7, Decoded: []bool{true, false, true, false, false, true, true, true, false}}))
+	f.Add(EncodeAck(framing.Ack{Seq: 1 << 31, Decoded: make([]bool, 64)}))
+	f.Add([]byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0x03}) // hostile block count
+	f.Add([]byte{1, 2, 3})                                        // truncated header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAck(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadAckWire) {
+				t.Fatalf("DecodeAck returned untyped error %v", err)
+			}
+			return
+		}
+		out := EncodeAck(a)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted ack is not a wire fixed point:\n in: %x\nout: %x", data, out)
+		}
+		// Apply the ack (twice — duplicates arrive in real ARQ) to a
+		// sender with fewer blocks than the ack may claim; the extra
+		// bits must be ignored, not index out of range.
+		snd := NewSender([]byte("ack fuzz target payload"), fuzzParams(), 64)
+		snd.HandleAck(a)
+		before := append([]bool(nil), snd.acked...)
+		snd.HandleAck(a)
+		for i := range snd.acked {
+			if snd.acked[i] != before[i] {
+				t.Fatal("duplicate ack changed sender state")
+			}
+			if snd.acked[i] && (i >= len(a.Decoded) || !a.Decoded[i]) {
+				t.Fatal("sender acknowledged a block the ack never claimed")
+			}
 		}
 	})
 }

@@ -320,6 +320,21 @@ func (r *Receiver) attempt(i int, dec *core.Decoder) bool {
 	return true
 }
 
+// dropStale implements discard-and-retry (type-I ARQ): forget block i's
+// accumulated symbols once a decode attempt over them has failed, so the
+// next attempt sees only the fresh retry. The chase-combining default
+// never calls this — observations accumulate across retransmitted passes.
+// Symbols not yet attempted (dirty) are kept: they are part of the
+// current retry, not the failed one.
+func (r *Receiver) dropStale(i int) {
+	blk := &r.blocks[i]
+	if blk.got || blk.dirty || len(blk.ids) == 0 {
+		return
+	}
+	blk.ids = blk.ids[:0]
+	blk.syms = blk.syms[:0]
+}
+
 // ownDecoder returns the receiver's reset decoder for nBits-bit blocks,
 // built on first use (standalone path only).
 func (r *Receiver) ownDecoder(nBits int) *core.Decoder {
@@ -420,6 +435,14 @@ type Stats struct {
 	Frames      int
 	SymbolsSent int
 	Blocks      int
+	// Retransmissions counts timeout-triggered retransmissions across the
+	// flow's blocks — passes sent into feedback silence. Nack
+	// continuations are ordinary rateless progress and are not counted.
+	// Zero under the instant perfect-feedback default.
+	Retransmissions int
+	// AcksSent/AcksLost count reverse-channel traffic when the engine
+	// runs with a FeedbackConfig (zero otherwise).
+	AcksSent, AcksLost int
 	// Rate is datagram bits per channel symbol, CRC overhead included in
 	// the denominator's favour (it counts only payload bits).
 	Rate float64

@@ -2,6 +2,7 @@ package link
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -66,6 +67,156 @@ func TestTrackingRateIgnoresDegenerateObservations(t *testing.T) {
 	tr.ObserveDecode(192, -3)
 	if tr.EstimateDB() != 12 {
 		t.Fatalf("degenerate observations moved the estimate to %.1f", tr.EstimateDB())
+	}
+}
+
+// TestRetxTimerBackoffBounds is the ARQ backoff property: under any
+// interleaving of round advances, nacks, and rate-policy vetoes
+// (granted transmissions the policy declines to fill), the
+// retransmission timeout stays within [base, maxRTO], the countdown
+// never exceeds the current timeout, retransmissions are counted only
+// for committed timeouts, and a vetoed grant stays due — it leaves no
+// phantom timer state behind.
+func TestRetxTimerBackoffBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 2000; trial++ {
+		base := 1 + rng.Intn(10)
+		maxRTO := base + rng.Intn(60)
+		tm := newRetxTimer(base, maxRTO)
+		retxSeen := 0
+		vetoed := false
+		for step := 0; step < 200; step++ {
+			if rng.Intn(4) == 0 {
+				tm.nack()
+			}
+			send, timeout := tm.advance()
+			if tm.rto < base || tm.rto > maxRTO {
+				t.Fatalf("rto %d outside [%d, %d] at step %d", tm.rto, base, maxRTO, step)
+			}
+			if tm.timer < 0 || tm.timer > tm.rto {
+				t.Fatalf("timer %d outside [0, rto=%d] at step %d", tm.timer, tm.rto, step)
+			}
+			if timeout && !send {
+				t.Fatal("timeout reported without a grant")
+			}
+			if vetoed && !send {
+				t.Fatalf("vetoed grant vanished at step %d", step)
+			}
+			vetoed = false
+			if send {
+				if rng.Intn(3) == 0 {
+					vetoed = true // policy said SubpassBudget 0: nothing flew
+				} else {
+					tm.commit(step, timeout)
+					if timeout {
+						retxSeen++
+					}
+					if tm.timer != tm.rto {
+						t.Fatalf("commit did not re-arm: timer %d, rto %d", tm.timer, tm.rto)
+					}
+					if tm.lastTx != step {
+						t.Fatalf("commit recorded round %d, want %d", tm.lastTx, step)
+					}
+				}
+			}
+			if tm.retx != retxSeen {
+				t.Fatalf("retx counter %d, observed %d committed timeouts", tm.retx, retxSeen)
+			}
+		}
+	}
+}
+
+// TestChaseCombiningNeverWorse is the HARQ property: at an equal symbol
+// budget, chase combining (accumulate observations across passes) never
+// decreases decode probability versus discard-and-retry (decode each
+// retry standalone) — and at an SNR where single passes are marginal,
+// it is strictly better. Both receivers see byte-identical noisy passes.
+func TestChaseCombiningNeverWorse(t *testing.T) {
+	p := linkParams()
+	const trials = 40
+	const passes = 24
+	chaseWins, discardWins := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(900 + trial)))
+		data := flowPayload(rng, 12)
+		ch := channel.NewAWGN(8, int64(7000+trial)) // marginal: one pass never suffices
+		snd := NewSender(data, p, 0)
+		chase := NewReceiver(p)
+		discard := NewReceiver(p)
+		for pass := 0; pass < passes; pass++ {
+			f := snd.NextFrame()
+			if f == nil {
+				break
+			}
+			rx := ch.Transmit(f.Symbols())
+			f.Batches = rebatch(f.Batches, rx)
+			if _, err := chase.HandleFrame(f); err != nil && !errors.Is(err, ErrStaleFrame) {
+				t.Fatal(err)
+			}
+			// The discard receiver forgets symbols that already failed an
+			// attempt before each new pass, exactly as the engine's
+			// Discard mode does.
+			for b := range discard.blocks {
+				discard.dropStale(b)
+			}
+			if _, err := discard.HandleFrame(f); err != nil && !errors.Is(err, ErrStaleFrame) {
+				t.Fatal(err)
+			}
+		}
+		if chase.Complete() {
+			chaseWins++
+			got, err := chase.Datagram()
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("trial %d: chase delivered corrupt data", trial)
+			}
+		}
+		if discard.Complete() {
+			discardWins++
+		}
+	}
+	if chaseWins < discardWins {
+		t.Fatalf("chase combining decoded %d/%d, discard-and-retry %d/%d — combining made things worse",
+			chaseWins, trials, discardWins, trials)
+	}
+	if chaseWins == discardWins {
+		t.Fatalf("no separation at a marginal SNR (both %d/%d) — the comparison has no teeth", chaseWins, trials)
+	}
+}
+
+// TestTrackingRateConvergesUnderFeedbackDelay: with a fixed 4-round ack
+// delay, every RateObserver report arrives late (and none arrives at
+// decode time, the instant-feedback assumption) — yet a TrackingRate
+// seeded 15 dB below the true channel must still climb toward it while
+// every datagram arrives intact.
+func TestTrackingRateConvergesUnderFeedbackDelay(t *testing.T) {
+	cfg := engineParams()
+	// Window 1 serializes the blocks, so each burst is provisioned from
+	// the estimate as updated by the previous block's (delayed) report —
+	// the cleanest view of the closed loop running a full RTT behind.
+	cfg.Feedback = &FeedbackConfig{DelayRounds: 4, Window: 1}
+	cfg.Seed = 71
+	e := NewEngine(cfg)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(73))
+	tr := NewTrackingRate(0) // true channel: 15 dB
+	// Three consecutive datagrams from one sender station: the policy is
+	// per-station state and keeps learning across them.
+	for round := 0; round < 3; round++ {
+		data := flowPayload(rng, 154) // 7 blocks → 7 delayed observations each
+		e.AddFlow(data, FlowConfig{
+			Channel: newAWGNChannel(15, 0, int64(300+round)),
+			Rate:    tr,
+		})
+		res := e.Drain(0)
+		if len(res) != 1 || res[0].Err != nil {
+			t.Fatalf("round %d: %+v", round, res)
+		}
+		if !bytes.Equal(res[0].Datagram, data) {
+			t.Fatalf("round %d: corrupted", round)
+		}
+	}
+	if est := tr.EstimateDB(); est < 8 {
+		t.Fatalf("estimate stuck at %.1f dB after 21 delayed observations of a 15 dB channel", est)
 	}
 }
 

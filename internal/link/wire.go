@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"spinal/internal/core"
+	"spinal/internal/framing"
 )
 
 // Wire format for frames: a compact binary codec so transports (and the
@@ -30,8 +31,20 @@ import (
 // ErrBadWire reports bytes that do not parse as a frame.
 var ErrBadWire = errors.New("link: malformed wire frame")
 
+// ErrBadAckWire reports bytes that do not parse as an ack.
+var ErrBadAckWire = errors.New("link: malformed wire ack")
+
 // wireMaxList bounds per-frame list lengths accepted by DecodeFrame.
 const wireMaxList = 1 << 16
+
+// ackMaxBlocks bounds the block count accepted by DecodeAck. Acks ride
+// the live engine path (FeedbackChannel wire-encodes every one), so the
+// cap must exceed any feasible flow's block count or acks silently stop
+// decoding and the flow can only die of ErrFlowBudget; 2^24 blocks is
+// ~2 GiB of datagram at the default 1024-bit framing. Memory stays
+// bounded by the input regardless: claiming n blocks requires ⌈n/8⌉
+// bytes on the wire, so the decoded []bool is at most 8× the input size.
+const ackMaxBlocks = 1 << 24
 
 // EncodeFrame serializes a frame to its wire form.
 func EncodeFrame(f *Frame) []byte {
@@ -100,22 +113,113 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	return f, nil
 }
 
+// Wire format for acks, the feedback path's frame: §6's one bit per code
+// block behind a protected sequence number.
+//
+//	u32  seq (little endian)
+//	uvarint  len(Decoded), then ceil(len/8) bitmap bytes, LSB-first
+//	         (block i lives in byte i/8, bit i%8)
+//
+// The parser is strict: the block count is bounded against the remaining
+// input, padding bits in the final bitmap byte must be zero, and trailing
+// bytes are rejected — so EncodeAck∘DecodeAck is the identity on every
+// accepted input, a property FuzzAckDecode leans on.
+
+// EncodeAck serializes an ack to its wire form.
+func EncodeAck(a framing.Ack) []byte {
+	buf := make([]byte, 4, 12+len(a.Decoded)/8)
+	binary.LittleEndian.PutUint32(buf, a.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(a.Decoded)))
+	var cur byte
+	for i, d := range a.Decoded {
+		if d {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, cur)
+			cur = 0
+		}
+	}
+	if len(a.Decoded)%8 != 0 {
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// DecodeAck parses a wire-format ack. Truncations, implausible block
+// counts, nonzero padding bits and trailing bytes all yield ErrBadAckWire;
+// the input is never trusted for allocation sizing.
+func DecodeAck(data []byte) (framing.Ack, error) {
+	d := wireReader{buf: data, sentinel: ErrBadAckWire}
+	seq := d.u32()
+	before := d.off
+	n := d.uvarint()
+	if d.err == nil && d.off-before != uvarintLen(n) {
+		// binary.Uvarint accepts padded encodings like 0x80 0x00; a strict
+		// parser must not, or encode∘decode stops being the identity
+		// (found by FuzzAckDecode, reproducer in testdata/fuzz).
+		d.fail("non-canonical block count")
+	}
+	if d.err == nil && n > ackMaxBlocks {
+		d.fail("implausible block count")
+	}
+	nBytes := int(n+7) / 8
+	if d.err == nil && nBytes > len(d.buf)-d.off {
+		d.fail("truncated ack bitmap")
+	}
+	if d.err != nil {
+		return framing.Ack{}, d.err
+	}
+	a := framing.Ack{Seq: seq}
+	if n > 0 {
+		a.Decoded = make([]bool, n)
+		for i := range a.Decoded {
+			a.Decoded[i] = d.buf[d.off+i/8]&(1<<(i%8)) != 0
+		}
+		if pad := int(n) % 8; pad != 0 && d.buf[d.off+nBytes-1]>>pad != 0 {
+			return framing.Ack{}, fmt.Errorf("%w: nonzero padding bits", ErrBadAckWire)
+		}
+		d.off += nBytes
+	}
+	if len(d.buf) != d.off {
+		return framing.Ack{}, fmt.Errorf("%w: %d trailing bytes", ErrBadAckWire, len(d.buf)-d.off)
+	}
+	return a, nil
+}
+
+// uvarintLen reports the canonical (minimal) encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
 func appendZigzag(buf []byte, v int) []byte {
 	x := int64(v)
 	return binary.AppendUvarint(buf, uint64((x<<1)^(x>>63)))
 }
 
 // wireReader is a bounds-checked cursor over the wire bytes; the first
-// error sticks and every later read returns zero.
+// error sticks and every later read returns zero. sentinel selects the
+// typed error failures wrap (nil ⇒ ErrBadWire), so the ack parser
+// reports ack errors rather than frame errors.
 type wireReader struct {
-	buf []byte
-	off int
-	err error
+	buf      []byte
+	off      int
+	err      error
+	sentinel error
 }
 
 func (d *wireReader) fail(what string) {
 	if d.err == nil {
-		d.err = fmt.Errorf("%w: %s at offset %d", ErrBadWire, what, d.off)
+		s := d.sentinel
+		if s == nil {
+			s = ErrBadWire
+		}
+		d.err = fmt.Errorf("%w: %s at offset %d", s, what, d.off)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +18,9 @@ var update = flag.Bool("update", false, "rewrite golden scenario outcome files")
 const goldenPath = "testdata/scenarios.golden.json"
 
 // goldenConfigs pins the deterministic scenario matrix: two checked-in
-// SNR traces and the bursty Markov channel, across the three rate-policy
+// SNR traces, the bursty Markov channel, and the two ARQ feedback
+// impairments (delayed acks, lossy acks — retransmission and ack-loss
+// counts are part of the pinned outcome), across the three rate-policy
 // families. Every outcome — messages delivered, symbols spent, rounds,
 // goodput — must reproduce byte for byte.
 func goldenConfigs() []ScenarioConfig {
@@ -26,9 +29,11 @@ func goldenConfigs() []ScenarioConfig {
 		"trace:../channel/testdata/stepdown.trace",
 		"trace:../channel/testdata/fade.trace",
 		"burst",
+		"feedback-delay",
+		"feedback-loss",
 	} {
 		for _, pol := range []string{"fixed", "capacity", "tracking"} {
-			cfgs = append(cfgs, ScenarioConfig{
+			cfg := ScenarioConfig{
 				Params:       multiFlowParams(),
 				Scenario:     sc,
 				Policy:       pol,
@@ -40,7 +45,13 @@ func goldenConfigs() []ScenarioConfig {
 				MaxBlockBits: 192,
 				Shards:       2,
 				Seed:         20260730,
-			})
+			}
+			if strings.HasPrefix(sc, "feedback-") {
+				// ARQ epochs are an RTT long; give the deadline headroom
+				// so the goldens pin steady behaviour, not outage noise.
+				cfg.MaxRounds = 96
+			}
+			cfgs = append(cfgs, cfg)
 		}
 	}
 	return cfgs

@@ -52,8 +52,11 @@ type ScenarioConfig struct {
 	Params core.Params
 	// Scenario names the channel workload: "burst" (Gilbert–Elliott
 	// good/bad Markov states), "walk" (bounded SNR random walk),
-	// "trace:<file>" (replayed SNR-vs-time series), or "churn" (mixed
-	// channel models with flow arrivals replacing departures).
+	// "trace:<file>" (replayed SNR-vs-time series), "churn" (mixed
+	// channel models with flow arrivals replacing departures),
+	// "feedback-delay" (mixed-SNR AWGN with acks delayed 8 engine
+	// rounds), or "feedback-loss" (acks delayed 2 rounds and 30% lost —
+	// the sender's retransmission timers carry the transfer).
 	Scenario string
 	// Policy names the per-flow rate policy: "fixed" or "fixed:<n>",
 	// "capacity" or "capacity:<estDB>", "tracking" or "tracking:<estDB>".
@@ -76,6 +79,12 @@ type ScenarioConfig struct {
 	FrameSymbols int
 	Shards       int
 	Seed         int64
+	// Feedback overrides the scenario's ARQ feedback impairment: nil
+	// means the scenario default — instant perfect acks for the channel
+	// scenarios, the named impairment for the feedback-* scenarios. The
+	// experiments' delay sweeps and the chase-vs-discard comparison set
+	// it explicitly.
+	Feedback *link.FeedbackConfig
 }
 
 // ScenarioResult aggregates a scenario run. It is flat and map-free so
@@ -101,22 +110,35 @@ type ScenarioResult struct {
 	// states — the SNR trajectory the scenario actually exercised,
 	// observed through channel.Model's StateDB.
 	MeanStateDB float64 `json:"mean_state_db"`
+	// Retransmissions counts timeout-triggered retransmissions across all
+	// flows; AcksSent/AcksLost count reverse-channel traffic. All three
+	// are zero under instant perfect feedback.
+	Retransmissions int64 `json:"retransmissions"`
+	AcksSent        int64 `json:"acks_sent"`
+	AcksLost        int64 `json:"acks_lost"`
 }
 
 func (r ScenarioResult) String() string {
-	return fmt.Sprintf("%s/%s: %d/%d delivered, %.3f b/sym goodput, %.0f%% outage, %d rounds, %d symbols, mean state %.1f dB",
+	s := fmt.Sprintf("%s/%s: %d/%d delivered, %.3f b/sym goodput, %.0f%% outage, %d rounds, %d symbols, mean state %.1f dB",
 		r.Scenario, r.Policy, r.Delivered, r.Flows, r.Goodput, 100*r.OutageRate, r.Rounds, r.Symbols, r.MeanStateDB)
+	if r.AcksSent > 0 {
+		s += fmt.Sprintf(", %d retx, %d/%d acks lost", r.Retransmissions, r.AcksLost, r.AcksSent)
+	}
+	return s
 }
 
 // Scenarios lists the named scenarios (trace scenarios additionally take
 // a file argument).
-func Scenarios() []string { return []string{"burst", "walk", "trace:<file>", "churn"} }
+func Scenarios() []string {
+	return []string{"burst", "walk", "trace:<file>", "churn", "feedback-delay", "feedback-loss"}
+}
 
 // scenarioChannels builds the per-flow channel factory for the named
-// scenario; the returned function yields flow i's model and the nominal
-// SNR estimate a sender would start from. Trace files are read once here,
-// not once per flow.
-func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, float64), error) {
+// scenario plus the scenario's default feedback impairment (nil for the
+// channel scenarios — instant perfect acks); the returned function yields
+// flow i's model and the nominal SNR estimate a sender would start from.
+// Trace files are read once here, not once per flow.
+func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, float64), *link.FeedbackConfig, error) {
 	flowSeed := func(i int) int64 { return seed + int64(i)*7919 }
 	burst := func(i int) (channel.Model, float64) {
 		// ≈250-symbol bad bursts, 20% stationary bad fraction: deep enough
@@ -127,20 +149,29 @@ func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, floa
 	walk := func(i int) (channel.Model, float64) {
 		return channel.NewWalk(15, 3, 25, 1, 192, flowSeed(i)), 15
 	}
+	// The feedback scenarios hold the forward channel steady — per-flow
+	// AWGN at mixed SNRs, low enough that blocks routinely need more than
+	// one pass — so every goodput difference is attributable to the
+	// reverse path: ack delay, ack loss, and the ARQ machinery they
+	// exercise (timers, backoff, chase combining).
+	feedbackMix := func(i int) (channel.Model, float64) {
+		snr := []float64{7, 10, 14}[i%3]
+		return channel.NewAWGN(snr, flowSeed(i)), snr
+	}
 	switch {
 	case name == "burst":
-		return burst, nil
+		return burst, nil, nil
 	case name == "walk":
-		return walk, nil
+		return walk, nil, nil
 	case strings.HasPrefix(name, "trace:"):
 		segs, err := channel.LoadTrace(strings.TrimPrefix(name, "trace:"))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		return func(i int) (channel.Model, float64) {
 			tr := channel.NewTrace(segs, flowSeed(i))
 			return tr, tr.MeanDB()
-		}, nil
+		}, nil, nil
 	case name == "churn":
 		// Mixed media across the flow population.
 		return func(i int) (channel.Model, float64) {
@@ -153,9 +184,13 @@ func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, floa
 				snr := []float64{8, 12, 18, 25}[(i/3)%4]
 				return channel.NewAWGN(snr, flowSeed(i)), snr
 			}
-		}, nil
+		}, nil, nil
+	case name == "feedback-delay":
+		return feedbackMix, &link.FeedbackConfig{DelayRounds: 8}, nil
+	case name == "feedback-loss":
+		return feedbackMix, &link.FeedbackConfig{DelayRounds: 2, Loss: 0.3}, nil
 	}
-	return nil, fmt.Errorf("sim: unknown scenario %q (want burst, walk, trace:<file> or churn)", name)
+	return nil, nil, fmt.Errorf("sim: unknown scenario %q (want burst, walk, trace:<file>, churn, feedback-delay or feedback-loss)", name)
 }
 
 // NewPolicy builds a fresh RatePolicy from its spec (see
@@ -241,6 +276,14 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 
 	res := ScenarioResult{Scenario: cfg.Scenario, Policy: policy, Flows: flows}
 
+	newModel, feedback, err := scenarioChannels(cfg.Scenario, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	if cfg.Feedback != nil {
+		feedback = cfg.Feedback
+	}
+
 	e := link.NewEngine(link.EngineConfig{
 		Params:       cfg.Params,
 		MaxBlockBits: cfg.MaxBlockBits,
@@ -248,13 +291,9 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		FrameSymbols: cfg.FrameSymbols,
 		Seed:         cfg.Seed,
 		MaxRounds:    maxRounds,
+		Feedback:     feedback,
 	})
 	defer e.Close()
-
-	newModel, err := scenarioChannels(cfg.Scenario, cfg.Seed)
-	if err != nil {
-		return res, err
-	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	want := make(map[link.FlowID][]byte, conc)
@@ -304,9 +343,19 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		}
 		for _, r := range finished {
 			res.Symbols += int64(r.Stats.SymbolsSent)
-			if r.Err != nil || !bytes.Equal(r.Datagram, want[r.ID]) {
+			res.Retransmissions += int64(r.Stats.Retransmissions)
+			res.AcksSent += int64(r.Stats.AcksSent)
+			res.AcksLost += int64(r.Stats.AcksLost)
+			// Each resolved flow counts exactly once, as an outage or a
+			// delivery: a budget-exhausted flow (ErrFlowBudget) carries a
+			// nil datagram, so folding the error and corruption checks
+			// into one increment keeps it from being double-counted in
+			// the outage fraction (TestScenarioChurnOutageAccounting pins
+			// Delivered + Outages == Flows).
+			switch {
+			case r.Err != nil, !bytes.Equal(r.Datagram, want[r.ID]):
 				res.Outages++
-			} else {
+			default:
 				res.Delivered++
 				res.Bytes += int64(len(r.Datagram))
 			}

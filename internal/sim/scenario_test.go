@@ -79,6 +79,7 @@ func TestScenarioAllNamesDeliver(t *testing.T) {
 		"burst", "walk", "churn",
 		"trace:../channel/testdata/stepdown.trace",
 		"trace:../channel/testdata/fade.trace",
+		"feedback-delay", "feedback-loss",
 	} {
 		res, err := MeasureScenario(ScenarioConfig{
 			Params:       multiFlowParams(),
@@ -105,6 +106,124 @@ func TestScenarioAllNamesDeliver(t *testing.T) {
 		if res.MeanStateDB == 0 {
 			t.Fatalf("%s: StateDB trajectory not observed: %v", sc, res)
 		}
+	}
+}
+
+// feedbackScenario is the operating point of the feedback golden entries
+// and the EXPERIMENTS feedback table: mixed-SNR AWGN flows (7/10/14 dB,
+// multiple passes per block the norm) where only the reverse path varies.
+func feedbackScenario(scenario, policy string, seed int64) ScenarioConfig {
+	return ScenarioConfig{
+		Params:       multiFlowParams(),
+		Scenario:     scenario,
+		Policy:       policy,
+		Flows:        8,
+		Concurrency:  4,
+		MinBytes:     40,
+		MaxBytes:     90,
+		MaxRounds:    96,
+		MaxBlockBits: 192,
+		Shards:       2,
+		Seed:         seed,
+	}
+}
+
+// TestFeedbackGoodputOrdering pins the impairment ordering on identical
+// forward channels: instant feedback ≥ 8-round-delayed feedback ≥ lossy
+// feedback in goodput, with delay additionally costing wall-clock rounds
+// even when it costs no symbols (acks are free to wait for; lost acks
+// are not — the retransmission timers burn real symbols).
+func TestFeedbackGoodputOrdering(t *testing.T) {
+	const seed = 20260730
+	ideal := feedbackScenario("feedback-delay", "tracking", seed)
+	ideal.Feedback = &link.FeedbackConfig{DelayRounds: 0}
+	base, err := MeasureScenario(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := MeasureScenario(feedbackScenario("feedback-delay", "tracking", seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := MeasureScenario(feedbackScenario("feedback-loss", "tracking", seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Goodput < delayed.Goodput || delayed.Goodput < lossy.Goodput {
+		t.Fatalf("goodput ordering violated: ideal %.3f, delay %.3f, loss %.3f",
+			base.Goodput, delayed.Goodput, lossy.Goodput)
+	}
+	if base.Goodput <= lossy.Goodput {
+		t.Fatalf("ack loss cost nothing: ideal %.3f vs lossy %.3f", base.Goodput, lossy.Goodput)
+	}
+	if base.Rounds >= delayed.Rounds {
+		t.Fatalf("an 8-round ack delay cost no rounds: ideal %d vs delayed %d", base.Rounds, delayed.Rounds)
+	}
+	if lossy.Retransmissions == 0 || lossy.AcksLost == 0 {
+		t.Fatalf("lossy scenario shows no ARQ activity: %v", lossy)
+	}
+}
+
+// TestFeedbackChaseBeatsDiscard is the HARQ acceptance check at system
+// level: at an 8-round feedback delay, chase combining (the default)
+// achieves strictly higher goodput than discard-and-retry on the same
+// workload — retries alone are too small to decode standalone, so the
+// discarding receiver strands symbols and times flows out.
+func TestFeedbackChaseBeatsDiscard(t *testing.T) {
+	const seed = 20260730
+	chase, err := MeasureScenario(feedbackScenario("feedback-delay", "tracking", seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := feedbackScenario("feedback-delay", "tracking", seed)
+	cfg.Feedback = &link.FeedbackConfig{DelayRounds: 8, Discard: true}
+	discard, err := MeasureScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chase.Goodput <= discard.Goodput {
+		t.Fatalf("chase combining goodput %.3f not strictly above discard-and-retry %.3f\nchase: %v\ndiscard: %v",
+			chase.Goodput, discard.Goodput, chase, discard)
+	}
+	if chase.Outages > discard.Outages {
+		t.Fatalf("chase combining suffered more outages (%d) than discarding (%d)", chase.Outages, discard.Outages)
+	}
+}
+
+// TestScenarioChurnOutageAccounting pins the outage bookkeeping under
+// churn with real budget exhaustion: every resolved flow — including the
+// ones abandoned via ErrFlowBudget, whose nil datagram also fails the
+// corruption comparison — counts exactly once, so Delivered + Outages
+// must equal Flows and the outage fraction must be exactly their ratio.
+// (The audit behind this test: the error and corruption checks share one
+// increment; splitting them would double-count abandoned flows.)
+func TestScenarioChurnOutageAccounting(t *testing.T) {
+	cfg := ScenarioConfig{
+		Params:       multiFlowParams(),
+		Scenario:     "churn",
+		Policy:       "fixed", // trickle pacing under a tight deadline forces outages
+		Flows:        12,
+		Concurrency:  4,
+		MinBytes:     80,
+		MaxBytes:     160,
+		MaxRounds:    10,
+		MaxBlockBits: 192,
+		Shards:       2,
+		Seed:         99,
+	}
+	res, err := MeasureScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outages == 0 {
+		t.Fatalf("deadline never bit — the regression test has no teeth: %v", res)
+	}
+	if res.Delivered+res.Outages != res.Flows {
+		t.Fatalf("flows double- or under-counted: %d delivered + %d outages != %d flows",
+			res.Delivered, res.Outages, res.Flows)
+	}
+	if want := float64(res.Outages) / float64(res.Flows); res.OutageRate != want {
+		t.Fatalf("outage fraction %.6f, want exactly %.6f", res.OutageRate, want)
 	}
 }
 

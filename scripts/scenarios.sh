@@ -11,6 +11,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 go run ./cmd/spinalsim -exp scenario-goodput
+go run ./cmd/spinalsim -exp feedback-goodput
 
 if [ "${1:-}" = "-update" ]; then
     go test ./internal/sim -run TestScenarioGolden -update -v | grep -v '^=== \|^--- '
