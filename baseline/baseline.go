@@ -1,0 +1,34 @@
+// Package baseline exposes the library's baseline codes and modems for
+// comparison experiments: the Raptor (LT + LDPC precode) rateless
+// baseline of §8 and the dense-QAM modulation it rides on.
+//
+// Like spinal/sim, this package is an experiment surface with weaker
+// stability guarantees than spinal, spinal/channel and spinal/link (see
+// docs/API.md).
+package baseline
+
+import (
+	"spinal/internal/modem"
+	"spinal/internal/raptor"
+)
+
+// RaptorCode is a Raptor code over k message bits.
+type RaptorCode = raptor.Code
+
+// RaptorDecoder is the belief-propagation peeling decoder for a
+// RaptorCode.
+type RaptorDecoder = raptor.Decoder
+
+// NewRaptor creates a Raptor code for k message bits with the given
+// construction seed.
+func NewRaptor(k int, seed int64) *RaptorCode { return raptor.New(k, seed) }
+
+// NewRaptorDecoder creates a decoder for c.
+func NewRaptorDecoder(c *RaptorCode) *RaptorDecoder { return raptor.NewDecoder(c) }
+
+// QAM is a square Gray-mapped QAM constellation.
+type QAM = modem.QAM
+
+// NewQAM creates a QAM constellation with the given number of points
+// (a power of 4).
+func NewQAM(points int) *QAM { return modem.NewQAM(points) }

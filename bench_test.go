@@ -1,4 +1,4 @@
-package spinal
+package spinal_test
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation. Each benchmark regenerates its artifact at quick scale and
@@ -9,6 +9,7 @@ package spinal
 import (
 	"testing"
 
+	"spinal"
 	"spinal/internal/experiments"
 )
 
@@ -88,12 +89,12 @@ func BenchmarkHashAblation(b *testing.B) { runExperiment(b, "hash-ablation") }
 // one output buffer via AppendSymbols so the timing reflects encoding,
 // not allocator noise.
 func BenchmarkEncoder(b *testing.B) {
-	p := DefaultParams()
+	p := spinal.DefaultParams()
 	msg := make([]byte, 32)
 	for i := range msg {
 		msg[i] = byte(i * 37)
 	}
-	enc := NewEncoder(msg, 256, p)
+	enc := spinal.NewEncoder(msg, 256, p)
 	sched := enc.NewSchedule()
 	ids := sched.NextSubpass()
 	buf := make([]complex128, 0, len(ids))
@@ -113,13 +114,13 @@ func BenchmarkEncoder(b *testing.B) {
 // with two passes of symbols at the default parameters. Steady-state
 // decodes reuse the decoder's scratch and perform no allocations.
 func BenchmarkDecode(b *testing.B) {
-	p := DefaultParams()
+	p := spinal.DefaultParams()
 	msg := make([]byte, 32)
 	for i := range msg {
 		msg[i] = byte(i*73 + 11)
 	}
-	enc := NewEncoder(msg, 256, p)
-	dec := NewDecoder(256, p)
+	enc := spinal.NewEncoder(msg, 256, p)
+	dec := spinal.NewDecoder(256, p)
 	sched := enc.NewSchedule()
 	for sub := 0; sub < 16; sub++ {
 		ids := sched.NextSubpass()

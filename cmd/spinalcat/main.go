@@ -1,19 +1,19 @@
 // Command spinalcat pipes stdin through a spinal code: it segments the
 // input into §6 code blocks, transmits each rateless over a simulated
 // AWGN channel until its CRC verifies, and writes the decoded bytes to
-// stdout. Statistics go to stderr.
+// stdout. Statistics go to stderr. It is built entirely on the public
+// spinal, spinal/channel, spinal/link and spinal/sim packages.
 //
 // With -flows N > 1 the input is split into N datagrams carried as
-// concurrent flows through the multi-flow link engine — shared frames,
-// sharded codec workers — and reassembled in order on stdout.
+// concurrent flows through one link.Session — shared frames, sharded
+// codec workers — and reassembled in order on stdout.
 //
-// With -scenario NAME no stdin is read: the multi-flow engine runs the
-// named workload — a time-varying channel (burst, walk, trace:<file>,
-// churn) or an impaired ARQ feedback path (feedback-delay,
-// feedback-loss) — under the -policy rate policy and prints
-// goodput/outage/retransmission statistics: the spinal code exercised
-// against the changing channels, and the imperfect reverse channels, it
-// was built for.
+// With -scenario NAME no stdin is read: the session runs the named
+// workload — a time-varying channel (burst, walk, trace:<file>, churn)
+// or an impaired ARQ feedback path (feedback-delay, feedback-loss) —
+// under the -policy rate policy and prints goodput/outage/retransmission
+// statistics: the spinal code exercised against the changing channels,
+// and the imperfect reverse channels, it was built for.
 //
 //	echo "hello" | spinalcat -snr 8
 //	spinalcat -snr 5 -b 16 < somefile > copy && cmp somefile copy
@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,10 +32,9 @@ import (
 	"os"
 
 	"spinal"
-	"spinal/internal/channel"
-	"spinal/internal/framing"
-	"spinal/internal/link"
-	"spinal/internal/sim"
+	"spinal/channel"
+	"spinal/link"
+	"spinal/sim"
 )
 
 func main() {
@@ -44,7 +44,7 @@ func main() {
 		snrDB    = flag.Float64("snr", 10, "simulated AWGN SNR in dB")
 		beam     = flag.Int("b", 256, "decoder beam width B")
 		seed     = flag.Int64("seed", 1, "channel noise seed")
-		flows    = flag.Int("flows", 1, "split the input across N concurrent link-engine flows")
+		flows    = flag.Int("flows", 1, "split the input across N concurrent link-session flows")
 		scenario = flag.String("scenario", "", "run a named scenario instead of piping stdin: burst, walk, trace:<file>, churn, feedback-delay, feedback-loss")
 		policy   = flag.String("policy", "tracking", "scenario rate policy: fixed[:n], capacity[:db], tracking[:db]")
 	)
@@ -66,42 +66,10 @@ func main() {
 
 	p := spinal.DefaultParams()
 	p.B = *beam
-
-	if *flows > 1 {
-		runFlows(data, p, *snrDB, *seed, *flows)
-		return
+	if *flows < 1 {
+		*flows = 1
 	}
-
-	ch := channel.NewAWGN(*snrDB, *seed)
-	blocks := framing.Segment(data, 0)
-	totalSymbols := 0
-	out := os.Stdout
-	for bi, blk := range blocks {
-		bits := blk.Bits()
-		nBits := blk.NumBits()
-		enc := spinal.NewEncoder(bits, nBits, p)
-		dec := spinal.NewDecoder(nBits, p)
-		sched := enc.NewSchedule()
-		decoded := false
-		for sub := 0; sub < 128*sched.Subpasses() && !decoded; sub++ {
-			ids := sched.NextSubpass()
-			dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
-			totalSymbols += len(ids)
-			got, _ := dec.Decode()
-			if payload, ok := framing.Verify(got); ok {
-				if _, err := out.Write(payload); err != nil {
-					log.Fatal(err)
-				}
-				decoded = true
-			}
-		}
-		if !decoded {
-			log.Fatalf("block %d failed to decode within 128 passes at %.1f dB", bi, *snrDB)
-		}
-	}
-	fmt.Fprintf(os.Stderr, "spinalcat: %d bytes, %d blocks, %d symbols (%.2f bits/symbol) at %.1f dB\n",
-		len(data), len(blocks), totalSymbols,
-		float64(len(data)*8)/float64(totalSymbols), *snrDB)
+	runFlows(data, p, *snrDB, *seed, *flows)
 }
 
 // flagSet reports whether the named flag appeared on the command line,
@@ -142,39 +110,49 @@ func runScenario(scenario, policy string, flows, beam int, seed int64, beamExpli
 }
 
 // runFlows splits data into n contiguous datagrams and drives them as
-// concurrent flows through the link engine.
+// concurrent flows through one link.Session.
 func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int) {
-	e := link.NewEngine(link.EngineConfig{Params: p})
-	defer e.Close()
+	s, err := link.NewSession(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
 
 	chunk := (len(data) + n - 1) / n
 	if chunk == 0 {
 		chunk = 1
 	}
 	order := make(map[link.FlowID]int, n)
-	parts := make([][]byte, 0, n)
+	parts := make([][]byte, n)
 	for off, i := 0, 0; i < n; i++ {
 		end := off + chunk
 		if end > len(data) {
 			end = len(data)
 		}
-		id := e.AddFlow(data[off:end], link.FlowConfig{
-			Channel: sim.NewFlowChannel(channel.NewAWGN(snrDB, seed+int64(i)), 0, 0),
-			Rate:    link.CapacityRate{SNREstimateDB: snrDB},
-		})
+		id, err := s.Send(data[off:end],
+			link.WithChannel(channel.NewAWGN(snrDB, seed+int64(i))),
+			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: snrDB}))
+		if err != nil {
+			log.Fatal(err)
+		}
 		order[id] = i
-		parts = append(parts, nil)
 		off = end
 	}
 
+	results, err := s.Drain(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	totalSymbols := 0
+	blocks := 0
 	rounds := 0
-	for _, r := range e.Drain(0) {
+	for _, r := range results {
 		if r.Err != nil {
 			log.Fatalf("flow %d failed: %v", r.ID, r.Err)
 		}
 		parts[order[r.ID]] = r.Datagram
 		totalSymbols += r.Stats.SymbolsSent
+		blocks += r.Stats.Blocks
 		if r.Stats.Frames > rounds {
 			rounds = r.Stats.Frames
 		}
@@ -183,6 +161,12 @@ func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int) {
 		if _, err := os.Stdout.Write(part); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if n == 1 {
+		fmt.Fprintf(os.Stderr, "spinalcat: %d bytes, %d blocks, %d symbols (%.2f bits/symbol) at %.1f dB\n",
+			len(data), blocks, totalSymbols,
+			float64(len(data)*8)/float64(totalSymbols), snrDB)
+		return
 	}
 	fmt.Fprintf(os.Stderr, "spinalcat: %d bytes over %d flows in %d shared frames, %d symbols (%.2f bits/symbol aggregate) at %.1f dB\n",
 		len(data), n, rounds, totalSymbols,

@@ -1,4 +1,5 @@
-// Command spinalsim regenerates the paper's tables and figures.
+// Command spinalsim regenerates the paper's tables and figures through
+// the public spinal/sim experiment registry.
 //
 // Usage:
 //
@@ -18,7 +19,7 @@ import (
 	"os"
 	"time"
 
-	"spinal/internal/experiments"
+	"spinal/sim"
 )
 
 func main() {
@@ -31,19 +32,19 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed}
+	cfg := sim.ExperimentConfig{Quick: !*full, Seed: *seed}
 
 	switch {
 	case *list:
-		for _, e := range experiments.All {
+		for _, e := range sim.Experiments() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
 	case *all:
-		for _, e := range experiments.All {
+		for _, e := range sim.Experiments() {
 			run(e, cfg)
 		}
 	case *exp != "":
-		e := experiments.ByID(*exp)
+		e := sim.ExperimentByID(*exp)
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
 			os.Exit(2)
@@ -55,7 +56,7 @@ func main() {
 	}
 }
 
-func run(e experiments.Experiment, cfg experiments.Config) {
+func run(e sim.Experiment, cfg sim.ExperimentConfig) {
 	start := time.Now()
 	tables := e.Run(cfg)
 	for _, t := range tables {

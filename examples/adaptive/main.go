@@ -26,8 +26,7 @@ import (
 	"math/rand"
 
 	"spinal"
-	"spinal/internal/capacity"
-	"spinal/internal/channel"
+	"spinal/channel"
 )
 
 const nBits = 256
@@ -99,7 +98,7 @@ func runReactive(p spinal.Params, snrs []float64) (bits, syms int) {
 		rng.Read(msg)
 		// Rate table: pick the symbol budget a capacity-85% code would
 		// need at the estimated SNR, at subpass granularity.
-		target := 0.85 * capacity.AWGNdB(est)
+		target := 0.85 * channel.CapacityAWGNdB(est)
 		for attempt := 0; attempt < 6; attempt++ {
 			budget := int(float64(nBits)/target) + 1
 			enc := spinal.NewEncoder(msg, nBits, p)

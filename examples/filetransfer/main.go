@@ -1,4 +1,8 @@
-// Filetransfer: the §6 link-layer protocol over a real UDP socket pair.
+// Filetransfer: the §6 link-layer protocol over a real UDP socket pair,
+// built on the public spinal/link Sender/Receiver state machines and
+// their wire codec — the same bytes a real transport would carry
+// (EncodeFrame/DecodeFrame forward, EncodeAck/DecodeAck back), not a
+// simulation-only serialization.
 //
 // A sender process-half segments each datagram into CRC-protected code
 // blocks, spinal-encodes them, and streams frames over UDP to a receiver
@@ -20,7 +24,7 @@ package main
 
 import (
 	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,9 +35,8 @@ import (
 	"time"
 
 	"spinal"
-	"spinal/internal/channel"
-	"spinal/internal/framing"
-	"spinal/internal/link"
+	"spinal/channel"
+	"spinal/link"
 )
 
 func main() {
@@ -57,13 +60,25 @@ func main() {
 	runSender(rxAddr, datagrams)
 }
 
-// wire is the gob-encoded UDP payload: a flow ID plus either a data frame
-// or an ACK.
-type wire struct {
-	Flow  int
-	Frame *link.Frame
-	Ack   *framing.Ack
-	From  string // sender's ACK return address
+// UDP payload layout: one kind byte (frame or ack), a little-endian u32
+// flow ID, then the link wire codec's bytes.
+const (
+	kindFrame = 0
+	kindAck   = 1
+)
+
+func pack(kind byte, flow int, wire []byte) []byte {
+	buf := make([]byte, 5, 5+len(wire))
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:], uint32(flow))
+	return append(buf, wire...)
+}
+
+func unpack(buf []byte) (kind byte, flow int, wire []byte, ok bool) {
+	if len(buf) < 5 {
+		return 0, 0, nil, false
+	}
+	return buf[0], int(binary.LittleEndian.Uint32(buf[1:])), buf[5:], true
 }
 
 func udpSocket() (*net.UDPConn, *net.UDPAddr) {
@@ -78,29 +93,6 @@ func udpSocket() (*net.UDPConn, *net.UDPAddr) {
 	return conn, conn.LocalAddr().(*net.UDPAddr)
 }
 
-func send(conn *net.UDPConn, to *net.UDPAddr, w wire) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := conn.WriteToUDP(buf.Bytes(), to); err != nil {
-		log.Fatal(err)
-	}
-}
-
-func recv(conn *net.UDPConn) wire {
-	buf := make([]byte, 1<<20)
-	n, _, err := conn.ReadFromUDP(buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var w wire
-	if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&w); err != nil {
-		log.Fatal(err)
-	}
-	return w
-}
-
 func startReceiver(snrDB, loss float64, want [][]byte) *net.UDPAddr {
 	conn, addr := udpSocket()
 	go func() {
@@ -112,36 +104,43 @@ func startReceiver(snrDB, loss float64, want [][]byte) *net.UDPAddr {
 		}
 		air := channel.NewAWGN(snrDB, 99)
 		drop := rand.New(rand.NewSource(100))
+		buf := make([]byte, 1<<20)
 		for {
-			w := recv(conn)
-			if w.Frame == nil || w.Flow < 0 || w.Flow >= len(rcvs) {
-				continue
-			}
-			ret, err := net.ResolveUDPAddr("udp", w.From)
+			n, from, err := conn.ReadFromUDP(buf)
 			if err != nil {
 				log.Fatal(err)
+			}
+			kind, flow, wire, ok := unpack(buf[:n])
+			if !ok || kind != kindFrame || flow < 0 || flow >= len(rcvs) {
+				continue
+			}
+			f, err := link.DecodeFrame(wire)
+			if err != nil {
+				continue // hostile or truncated datagram; drop it
 			}
 			// Simulate the radio: whole-frame loss, then per-symbol noise.
 			if drop.Float64() < loss {
 				continue // erased frame; no ACK either
 			}
-			rcv := rcvs[w.Flow]
-			noisy := *w.Frame
-			noisy.Batches = applyNoise(w.Frame.Batches, air)
+			rcv := rcvs[flow]
+			noisy := *f
+			noisy.Batches = applyNoise(f.Batches, air)
 			ack, herr := rcv.HandleFrame(&noisy)
 			if herr != nil && !errors.Is(herr, link.ErrStaleFrame) {
 				continue
 			}
-			send(conn, ret, wire{Flow: w.Flow, Ack: &ack})
-			if !verified[w.Flow] && rcv.Complete() {
+			if _, err := conn.WriteToUDP(pack(kindAck, flow, link.EncodeAck(ack)), from); err != nil {
+				log.Fatal(err)
+			}
+			if !verified[flow] && rcv.Complete() {
 				got, err := rcv.Datagram()
 				if err != nil {
 					log.Fatal(err)
 				}
-				if !bytes.Equal(got, want[w.Flow]) {
-					log.Fatalf("receiver: flow %d datagram corrupted", w.Flow)
+				if !bytes.Equal(got, want[flow]) {
+					log.Fatalf("receiver: flow %d datagram corrupted", flow)
 				}
-				verified[w.Flow] = true
+				verified[flow] = true
 			}
 		}
 	}()
@@ -161,14 +160,14 @@ func applyNoise(batches []link.Batch, air *channel.AWGN) []link.Batch {
 func deadline() time.Time { return time.Now().Add(200 * time.Millisecond) }
 
 func runSender(rx *net.UDPAddr, datagrams [][]byte) {
-	conn, myAddr := udpSocket()
+	conn, _ := udpSocket()
 	p := spinal.DefaultParams()
 
 	// One goroutine demultiplexes ACKs to per-flow channels; flow workers
 	// interleave their frames over the shared socket.
-	acks := make([]chan framing.Ack, len(datagrams))
+	acks := make([]chan link.Ack, len(datagrams))
 	for i := range acks {
-		acks[i] = make(chan framing.Ack, 8)
+		acks[i] = make(chan link.Ack, 8)
 	}
 	go func() {
 		buf := make([]byte, 1<<16)
@@ -177,15 +176,17 @@ func runSender(rx *net.UDPAddr, datagrams [][]byte) {
 			if err != nil {
 				return // socket closed: transfer done
 			}
-			var w wire
-			if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&w); err != nil || w.Ack == nil {
+			kind, flow, wire, ok := unpack(buf[:n])
+			if !ok || kind != kindAck || flow < 0 || flow >= len(acks) {
 				continue
 			}
-			if w.Flow >= 0 && w.Flow < len(acks) {
-				select {
-				case acks[w.Flow] <- *w.Ack:
-				default: // slow flow; a fresher ACK will follow
-				}
+			ack, err := link.DecodeAck(wire)
+			if err != nil {
+				continue // corrupt ack; a fresher one will follow
+			}
+			select {
+			case acks[flow] <- ack:
+			default: // slow flow; a fresher ACK will follow
 			}
 		}
 	}()
@@ -206,7 +207,9 @@ func runSender(rx *net.UDPAddr, datagrams [][]byte) {
 					break
 				}
 				frames++
-				send(conn, rx, wire{Flow: fi, Frame: f, From: myAddr.String()})
+				if _, err := conn.WriteToUDP(pack(kindFrame, fi, link.EncodeFrame(f)), rx); err != nil {
+					log.Fatal(err)
+				}
 				// Pause for feedback (§6): wait briefly for an ACK; resume
 				// on timeout (the frame or its ACK may have been lost).
 				timer := time.NewTimer(time.Until(deadline()))

@@ -20,8 +20,8 @@ import (
 	"os"
 
 	"spinal"
-	"spinal/internal/channel"
-	"spinal/internal/phy"
+	"spinal/channel"
+	"spinal/phy"
 )
 
 func main() {

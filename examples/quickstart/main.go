@@ -14,8 +14,7 @@ import (
 	"os"
 
 	"spinal"
-	"spinal/internal/capacity"
-	"spinal/internal/channel"
+	"spinal/channel"
 )
 
 func main() {
@@ -55,7 +54,7 @@ done:
 	rate := float64(nBits) / float64(symbols)
 	fmt.Printf("message:   %q (%d bits)\n", decoded, nBits)
 	fmt.Printf("channel:   AWGN at %.1f dB (capacity %.2f bits/symbol)\n",
-		*snrDB, capacity.AWGNdB(*snrDB))
+		*snrDB, channel.CapacityAWGNdB(*snrDB))
 	fmt.Printf("decoded after %d symbols → rate %.2f bits/symbol (%.0f%% of capacity)\n",
-		symbols, rate, 100*capacity.FractionOfCapacity(rate, *snrDB))
+		symbols, rate, 100*channel.FractionOfCapacity(rate, *snrDB))
 }

@@ -18,10 +18,8 @@ import (
 	"math/rand"
 
 	"spinal"
-	"spinal/internal/capacity"
-	"spinal/internal/channel"
-	"spinal/internal/modem"
-	"spinal/internal/raptor"
+	"spinal/baseline"
+	"spinal/channel"
 )
 
 func main() {
@@ -35,7 +33,7 @@ func main() {
 	spinalSyms := runSpinal(nBits, *snrDB, *packets)
 	raptorSyms := runRaptor(nBits, *snrDB, *packets)
 
-	ideal := float64(nBits) / capacity.AWGNdB(*snrDB)
+	ideal := float64(nBits) / channel.CapacityAWGNdB(*snrDB)
 	fmt.Printf("%d packets of %d bytes at %.0f dB (Shannon minimum %.0f symbols/packet)\n\n",
 		*packets, packetBytes, *snrDB, ideal)
 	fmt.Printf("%-18s %14s %16s\n", "code", "symbols/packet", "fraction of cap.")
@@ -70,16 +68,16 @@ func runSpinal(nBits int, snrDB float64, packets int) (symbols int) {
 }
 
 func runRaptor(nBits int, snrDB float64, packets int) (symbols int) {
-	qam := modem.NewQAM(256)
+	qam := baseline.NewQAM(256)
 	bps := qam.BitsPerSymbol()
 	for pkt := 0; pkt < packets; pkt++ {
 		rng := rand.New(rand.NewSource(int64(200 + pkt)))
-		code := raptor.New(nBits, int64(300+pkt))
+		code := baseline.NewRaptor(nBits, int64(300+pkt))
 		msg := make([]byte, nBits)
 		for i := range msg {
 			msg[i] = byte(rng.Intn(2))
 		}
-		dec := raptor.NewDecoder(code)
+		dec := baseline.NewRaptorDecoder(code)
 		ch := channel.NewAWGN(snrDB, int64(400+pkt))
 		t0 := 0
 		for batch := 0; batch < 400; batch++ {

@@ -366,6 +366,19 @@ func TestFeedbackGoodputOrdering(t *testing.T) {
 		t.Fatalf("lossy-ack row shows no ARQ activity (retx=%s, acks lost=%s):\n%s",
 			lossy[6], lossy[7], tables[0])
 	}
+	// Half-duplex accounting charges reverse airtime: the row must show
+	// ack symbols and a goodput strictly below its free-ack twin at the
+	// same 2-round delay.
+	hd := byRow["delay 2, half-duplex/tracking"]
+	if hd[8] == "0" {
+		t.Fatalf("half-duplex row charged no ack symbols:\n%s", tables[0])
+	}
+	hdGoodput, _ := parse(t, hd[4])
+	free2, _ := parse(t, byRow["delay 2/tracking"][4])
+	if hdGoodput >= free2 {
+		t.Fatalf("half-duplex goodput %.3f not below free-ack %.3f at delay 2:\n%s",
+			hdGoodput, free2, tables[0])
+	}
 }
 
 func TestGEChannelReliability(t *testing.T) {

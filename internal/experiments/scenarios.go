@@ -89,7 +89,7 @@ func FeedbackGoodput(cfg Config) []*Table {
 	t := &Table{
 		Name:   "feedback-goodput",
 		Title:  "ARQ feedback: goodput by rate policy and ack impairment (mixed 7/10/14 dB AWGN)",
-		Header: []string{"feedback", "policy", "delivered", "outage", "goodput(b/sym)", "rounds", "retx", "acks lost"},
+		Header: []string{"feedback", "policy", "delivered", "outage", "goodput(b/sym)", "rounds", "retx", "acks lost", "ack sym"},
 	}
 	type row struct {
 		label string
@@ -107,6 +107,14 @@ func FeedbackGoodput(cfg Config) []*Table {
 	discard := base("feedback-delay", "tracking")
 	discard.Feedback = &link.FeedbackConfig{DelayRounds: 8, Discard: true}
 	rows = append(rows, row{"delay 8, discard", discard})
+	// Half-duplex accounting: the same delay-2 exchange, but ack airtime
+	// is charged against goodput (link.WithHalfDuplex) — the ROADMAP's
+	// shared-medium follow-on, and the knob the IBFD WLAN literature says
+	// a link API must surface rather than bury.
+	halfDuplex := base("feedback-delay", "tracking")
+	halfDuplex.Feedback = &link.FeedbackConfig{DelayRounds: 2}
+	halfDuplex.HalfDuplex = true
+	rows = append(rows, row{"delay 2, half-duplex", halfDuplex})
 	for _, r := range rows {
 		res, err := sim.MeasureScenario(r.cfg)
 		if err != nil {
@@ -114,7 +122,8 @@ func FeedbackGoodput(cfg Config) []*Table {
 		}
 		t.AddRow(r.label, res.Policy, fmt.Sprintf("%d/%d", res.Delivered, res.Flows),
 			fmt.Sprintf("%.0f%%", 100*res.OutageRate), f3(res.Goodput),
-			fmt.Sprint(res.Rounds), fmt.Sprint(res.Retransmissions), fmt.Sprint(res.AcksLost))
+			fmt.Sprint(res.Rounds), fmt.Sprint(res.Retransmissions), fmt.Sprint(res.AcksLost),
+			fmt.Sprint(res.AckSymbols))
 	}
 	return []*Table{t}
 }

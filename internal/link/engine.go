@@ -114,6 +114,36 @@ type EngineConfig struct {
 	// backoff and a bounded in-flight window. nil keeps the legacy
 	// instant-feedback behaviour bit for bit.
 	Feedback *FeedbackConfig
+	// HalfDuplex, when non-nil, charges reverse-channel airtime to the
+	// flows that cause it: on a shared half-duplex medium the receiver's
+	// acks occupy the channel too, so each ack's wire bytes are converted
+	// to symbols (at AckBitsPerSymbol) and accumulated in
+	// Stats.AckSymbols, and Stats.Rate divides by forward plus ack
+	// symbols. nil keeps §6's idealization of free acks. Accounting only:
+	// ack airtime never consumes the forward frame's symbol budget.
+	HalfDuplex *HalfDuplexConfig
+	// Observer, when non-nil, receives feedback-path telemetry: one event
+	// when a receiver emits an ack that crosses to its sender (AckSent)
+	// and one when the sender applies it (AckDelivered). Purely
+	// observational — the engine ignores anything the observer does.
+	Observer FeedbackObserver
+}
+
+// HalfDuplexConfig prices reverse-channel (ack) airtime on a shared
+// half-duplex medium.
+type HalfDuplexConfig struct {
+	// AckBitsPerSymbol is the reverse link's modulation density used to
+	// convert ack wire bytes into channel symbols (0 ⇒ 2, QPSK-like).
+	AckBitsPerSymbol int
+}
+
+// airtime converts an ack's wire size into charged channel symbols.
+func (h *HalfDuplexConfig) airtime(wireBytes int) int {
+	bps := h.AckBitsPerSymbol
+	if bps <= 0 {
+		bps = 2
+	}
+	return (8*wireBytes + bps - 1) / bps
 }
 
 func (c EngineConfig) frameSymbols() int {
@@ -138,6 +168,14 @@ type FlowConfig struct {
 	Channel Channel
 	// Rate paces the flow (nil ⇒ FixedRate(1)).
 	Rate RatePolicy
+	// Pause, when non-nil, paces the flow's feedback turnarounds for a
+	// half-duplex medium: the sender transmits policy-sized bursts of
+	// rounds and only learns the receiver's per-block state at each
+	// burst's end (or immediately once the whole datagram decodes — the
+	// receiver can preempt, cf. §6's ACK timing discussion). nil keeps
+	// instant per-block acks. Mutually exclusive with
+	// EngineConfig.Feedback, which models a full-duplex reverse channel.
+	Pause PausePolicy
 	// MaxRounds overrides the engine's give-up budget (0 ⇒ inherit).
 	MaxRounds int
 }
@@ -169,6 +207,14 @@ type engineFlow struct {
 	fb  *FeedbackChannel
 	arq []retxTimer
 	rx  bool // received something on the air this round (ack due)
+
+	// Pause-policy state, present only when FlowConfig.Pause is set: the
+	// sender hears acks only at burst boundaries.
+	pause      PausePolicy
+	burstLeft  int  // rounds left before the next feedback turnaround
+	pauses     int  // turnarounds consumed
+	tx         bool // transmitted this round (a burst round was consumed)
+	ackSymbols int  // half-duplex reverse-channel airtime charged so far
 }
 
 // identityChannel is the noiseless default medium.
@@ -223,12 +269,20 @@ func NewEngine(cfg EngineConfig) *Engine {
 // datagram is legal (a single CRC-only block). The flow starts
 // transmitting on the next Step.
 func (e *Engine) AddFlow(datagram []byte, fc FlowConfig) FlowID {
+	if fc.Pause != nil && e.cfg.Feedback != nil {
+		// A pause policy models a half-duplex turnaround schedule with
+		// instant acks at each pause; a FeedbackConfig models a
+		// full-duplex delayed reverse channel. Combining them has no
+		// coherent semantics, so fail loudly rather than pick one.
+		panic("link: FlowConfig.Pause and EngineConfig.Feedback are mutually exclusive")
+	}
 	fl := &engineFlow{
 		id:        e.next,
 		snd:       NewSender(datagram, e.cfg.Params, e.cfg.MaxBlockBits),
 		rcv:       NewReceiver(e.cfg.Params),
 		ch:        fc.Channel,
 		rate:      fc.Rate,
+		pause:     fc.Pause,
 		maxRounds: fc.MaxRounds,
 		bytes:     len(datagram),
 	}
@@ -365,6 +419,17 @@ func (e *Engine) Step() []FlowResult {
 				}
 				st.commit(round, arqTimeout)
 			}
+			if !inFrame && fl.pause != nil && fl.burstLeft == 0 {
+				// A pause-paced flow opens a new burst the moment it is
+				// about to transmit: the policy sizes it from the symbols
+				// sent so far, and each burst ends in exactly one feedback
+				// turnaround (counted here, applied in the ACK stage).
+				fl.burstLeft = maxInt(fl.pause.BurstFrames(
+					fl.snd.blocks[0].NumBits(),
+					maxInt(perFrameSymbols(fl.snd), 1),
+					fl.snd.SymbolsSent()), 1)
+				fl.pauses++
+			}
 			batch := fl.snd.batchIDs(b, want)
 			fl.snd.countSymbols(len(batch.IDs))
 			fl.snd.countSymbolsFor(b, len(batch.IDs))
@@ -377,6 +442,7 @@ func (e *Engine) Step() []FlowResult {
 		}
 		if inFrame {
 			fl.frames++
+			fl.tx = true
 		}
 	}
 	e.rr = (e.rr + offered) % maxInt(len(e.flows), 1)
@@ -458,8 +524,7 @@ func (e *Engine) Step() []FlowResult {
 	if e.cfg.Feedback == nil {
 		for k := range e.items {
 			it := &e.items[k]
-			it.fl.rx = false
-			if it.decoded {
+			if it.decoded && it.fl.pause == nil {
 				it.fl.snd.acked[it.batch.Block] = true
 				// Closed-loop rate policies learn from each decoded block's
 				// total symbol spend (TrackingRate's channel estimator).
@@ -469,16 +534,39 @@ func (e *Engine) Step() []FlowResult {
 				}
 			}
 		}
+		for _, fl := range e.flows {
+			switch {
+			case fl.pause != nil && fl.tx:
+				// A burst round was consumed; the sender pauses to listen
+				// once the burst is spent — or immediately when the whole
+				// datagram has verified (the receiver preempts).
+				fl.burstLeft--
+				if fl.burstLeft <= 0 || fl.rcv.Complete() {
+					e.applyPauseAck(fl, round)
+					fl.burstLeft = 0
+				}
+			case fl.pause == nil && fl.rx && e.cfg.HalfDuplex != nil:
+				// §6's instant compressed ack still occupies the shared
+				// medium when half-duplex accounting is on.
+				fl.ackSymbols += e.cfg.HalfDuplex.airtime(ackWireLen(fl.rcv.ack(uint32(round))))
+			}
+			fl.tx, fl.rx = false, false
+		}
 	} else {
 		for _, fl := range e.flows {
 			if fl.rx {
 				fl.rx = false
-				fl.fb.Send(fl.rcv.ack(uint32(round)))
+				a := fl.rcv.ack(uint32(round))
+				if e.cfg.HalfDuplex != nil {
+					fl.ackSymbols += e.cfg.HalfDuplex.airtime(ackWireLen(a))
+				}
+				e.observe(fl, round, AckSent, a)
+				fl.fb.Send(a)
 			}
 			// Time passes for every flow's reverse channel, including
 			// flows backpressured out of this round's frame.
 			for _, a := range fl.fb.Advance() {
-				e.applyAck(fl, a)
+				e.applyAck(fl, a, round)
 			}
 		}
 	}
@@ -509,7 +597,8 @@ func (e *Engine) Step() []FlowResult {
 // the ack was in flight are honestly included); blocks the receiver
 // still lacked after seeing their latest pass get a fast nack
 // continuation instead of waiting out the retransmission timer.
-func (e *Engine) applyAck(fl *engineFlow, a framing.Ack) {
+func (e *Engine) applyAck(fl *engineFlow, a framing.Ack, round int) {
+	e.observe(fl, round, AckDelivered, a)
 	ob, hasOb := fl.rate.(RateObserver)
 	for i, decoded := range a.Decoded {
 		if i >= len(fl.snd.acked) {
@@ -530,12 +619,64 @@ func (e *Engine) applyAck(fl *engineFlow, a framing.Ack) {
 	}
 }
 
+// applyPauseAck is the feedback turnaround of a pause-paced flow: the
+// receiver's per-block state crosses to the sender in one ack (charged as
+// reverse airtime under half-duplex accounting), newly acknowledged
+// blocks stop transmitting and feed the rate policy's observer.
+//
+// The turnaround happens even when the burst's forward frames were all
+// erased on the air: the sender pauses on its own schedule and the
+// receiver answers the silence, so the ack reflects whatever state the
+// receiver holds. (The reverse channel itself is modeled as reliable
+// here; an unreliable one is FeedbackConfig's job.) This deliberately
+// differs from the pre-engine TransferWithPolicy loop, where the ack
+// could only piggyback on a burst's last surviving frame.
+func (e *Engine) applyPauseAck(fl *engineFlow, round int) {
+	a := fl.rcv.ack(uint32(round))
+	if e.cfg.HalfDuplex != nil {
+		fl.ackSymbols += e.cfg.HalfDuplex.airtime(ackWireLen(a))
+	}
+	e.observe(fl, round, AckSent, a)
+	e.observe(fl, round, AckDelivered, a)
+	ob, hasOb := fl.rate.(RateObserver)
+	for i, decoded := range a.Decoded {
+		if decoded && !fl.snd.acked[i] {
+			fl.snd.acked[i] = true
+			if hasOb {
+				ob.ObserveDecode(fl.snd.blocks[i].NumBits(), fl.snd.symbolsFor(i))
+			}
+		}
+	}
+}
+
+// observe forwards a feedback-path event to the configured observer.
+func (e *Engine) observe(fl *engineFlow, round int, kind FeedbackEventKind, a framing.Ack) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	decoded := 0
+	for _, d := range a.Decoded {
+		if d {
+			decoded++
+		}
+	}
+	e.cfg.Observer.ObserveFeedback(FeedbackEvent{
+		Flow:    fl.id,
+		Round:   round,
+		Kind:    kind,
+		Blocks:  len(a.Decoded),
+		Decoded: decoded,
+	})
+}
+
 // resolve builds a flow's final result.
 func (e *Engine) resolve(fl *engineFlow, ferr error) FlowResult {
 	st := Stats{
 		Frames:      fl.frames,
 		SymbolsSent: fl.snd.SymbolsSent(),
 		Blocks:      fl.snd.Blocks(),
+		AckSymbols:  fl.ackSymbols,
+		Pauses:      fl.pauses,
 	}
 	if fl.fb != nil {
 		for i := range fl.arq {
@@ -543,8 +684,10 @@ func (e *Engine) resolve(fl *engineFlow, ferr error) FlowResult {
 		}
 		st.AcksSent, st.AcksLost, _ = fl.fb.Counters()
 	}
-	if st.SymbolsSent > 0 {
-		st.Rate = float64(fl.bytes*8) / float64(st.SymbolsSent)
+	if air := st.SymbolsSent + st.AckSymbols; air > 0 {
+		// Under half-duplex accounting AckSymbols is nonzero and the rate
+		// is airtime-honest; otherwise this is the plain forward rate.
+		st.Rate = float64(fl.bytes*8) / float64(air)
 	}
 	res := FlowResult{ID: fl.id, Stats: st, Err: ferr}
 	if ferr == nil {

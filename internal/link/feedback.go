@@ -67,6 +67,51 @@ func (c FeedbackConfig) window() int {
 	return 8
 }
 
+// FeedbackEventKind distinguishes the observable moments of an ack's life.
+type FeedbackEventKind int
+
+const (
+	// AckSent reports a receiver emitting an ack toward its sender.
+	AckSent FeedbackEventKind = iota + 1
+	// AckDelivered reports the sender applying a received ack.
+	AckDelivered
+)
+
+// String names the kind for logs.
+func (k FeedbackEventKind) String() string {
+	switch k {
+	case AckSent:
+		return "ack-sent"
+	case AckDelivered:
+		return "ack-delivered"
+	}
+	return "unknown"
+}
+
+// FeedbackEvent is one observation of a flow's reverse (ACK) path.
+// Under a FeedbackConfig, AckSent and AckDelivered for the same ack are
+// separated by the channel's delay, and lost acks never deliver; a
+// pause-paced flow fires both in the turnaround round. The engine's
+// instant per-block default has no explicit acks and emits no events.
+type FeedbackEvent struct {
+	// Flow is the flow whose ack this is.
+	Flow FlowID
+	// Round is the engine round of the event.
+	Round int
+	// Kind is what happened.
+	Kind FeedbackEventKind
+	// Blocks is the flow's code-block count; Decoded how many of them the
+	// ack reports decoded.
+	Blocks, Decoded int
+}
+
+// FeedbackObserver receives feedback-path telemetry from an Engine
+// (EngineConfig.Observer). Implementations must not call back into the
+// engine; they are invoked synchronously from its single-threaded Step.
+type FeedbackObserver interface {
+	ObserveFeedback(FeedbackEvent)
+}
+
 // pendingAck is one ack in flight on the reverse channel, in its wire
 // encoding (the codec is exercised on the live path, not just in tests).
 type pendingAck struct {

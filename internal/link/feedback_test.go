@@ -2,6 +2,7 @@ package link
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -24,7 +25,11 @@ func TestAckWireRoundTrip(t *testing.T) {
 				a.Decoded[i] = rng.Intn(2) == 0
 			}
 		}
-		got, err := DecodeAck(EncodeAck(a))
+		w := EncodeAck(a)
+		if got := ackWireLen(a); got != len(w) {
+			t.Fatalf("n=%d: ackWireLen %d, encoded %d bytes", n, got, len(w))
+		}
+		got, err := DecodeAck(w)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -290,5 +295,91 @@ func TestEngineFeedbackDiscardDelivers(t *testing.T) {
 	}
 	if !bytes.Equal(res[0].Datagram, data) {
 		t.Fatal("datagram corrupted")
+	}
+}
+
+// TestAckWireSelectiveVariant: sparse (or nearly complete) acks take the
+// run-length selective variant, which beats the bitmap by an order of
+// magnitude and still round-trips exactly.
+func TestAckWireSelectiveVariant(t *testing.T) {
+	dec := make([]bool, 512)
+	dec[3], dec[4], dec[200] = true, true, true
+	a := framing.Ack{Seq: 9, Decoded: dec}
+	w := EncodeAck(a)
+	if bitmap := 4 + 2 + (512+7)/8; len(w) >= bitmap {
+		t.Fatalf("sparse 512-block ack took %d bytes, bitmap would be %d", len(w), bitmap)
+	}
+	got, err := DecodeAck(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != a.Seq || len(got.Decoded) != len(a.Decoded) {
+		t.Fatalf("structure mismatch: %+v", got)
+	}
+	for i := range dec {
+		if got.Decoded[i] != dec[i] {
+			t.Fatalf("bit %d flipped", i)
+		}
+	}
+	if !bytes.Equal(EncodeAck(got), w) {
+		t.Fatal("selective encode∘decode is not the identity")
+	}
+
+	// The inverse-sparse case (all but a few decoded) is two runs.
+	for i := range dec {
+		dec[i] = true
+	}
+	dec[100] = false
+	if w := EncodeAck(framing.Ack{Decoded: dec}); len(w) > 12 {
+		t.Fatalf("nearly-complete 512-block ack took %d bytes", len(w))
+	}
+}
+
+// TestAckWireSelectiveStrict: the selective parser rejects the encodings
+// a strict canonical codec must never accept — the variant the encoder
+// would not choose, non-maximal runs, runs past the block count, and
+// padded varints inside the payload.
+func TestAckWireSelectiveStrict(t *testing.T) {
+	le := func(seq uint32) []byte {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, seq)
+		return b
+	}
+	uv := func(vs ...uint64) []byte {
+		var b []byte
+		for _, v := range vs {
+			b = binary.AppendUvarint(b, v)
+		}
+		return b
+	}
+	bigBitmap := append(le(1), uv(512<<1)...)
+	bigBitmap = append(bigBitmap, 0x01)
+	bigBitmap = append(bigBitmap, make([]byte, 63)...)
+	cases := map[string][]byte{
+		// 512 blocks as an explicit 64-byte bitmap although the selective
+		// form is smaller (one run at block 0): non-canonical variant.
+		"non-canonical bitmap": bigBitmap,
+		// 512 blocks, runs {0..0} and {1..1}: adjacent runs must merge.
+		"non-maximal runs": append(le(1), uv(512<<1|1, 2, 0, 0, 0, 0)...),
+		// 512 blocks, one run reaching past the end.
+		"run past count": append(le(1), uv(512<<1|1, 1, 500, 60)...),
+		// selective variant claiming more blocks than its cap.
+		"selective too large": append(le(1), uv((1<<20)<<1|1, 0)...),
+		// padded varint inside the payload (run count 0 as 0x80 0x00).
+		"padded varint": append(append(le(1), uv(512<<1|1)...), 0x80, 0x00),
+	}
+	for name, w := range cases {
+		if _, err := DecodeAck(w); !errors.Is(err, ErrBadAckWire) {
+			t.Errorf("%s: err = %v, want ErrBadAckWire", name, err)
+		}
+	}
+	// Sanity: the canonical selective form of the first case is accepted.
+	ok := append(le(1), uv(512<<1|1, 1, 0, 0)...)
+	a, err := DecodeAck(ok)
+	if err != nil {
+		t.Fatalf("canonical selective rejected: %v", err)
+	}
+	if !a.Decoded[0] || a.Decoded[1] {
+		t.Fatal("canonical selective decoded wrong bits")
 	}
 }

@@ -87,6 +87,14 @@ func FuzzAckDecode(f *testing.F) {
 	f.Add(EncodeAck(framing.Ack{Seq: 1, Decoded: []bool{true}}))
 	f.Add(EncodeAck(framing.Ack{Seq: 7, Decoded: []bool{true, false, true, false, false, true, true, true, false}}))
 	f.Add(EncodeAck(framing.Ack{Seq: 1 << 31, Decoded: make([]bool, 64)}))
+	sparse := make([]bool, 256)
+	sparse[0], sparse[77], sparse[255] = true, true, true
+	f.Add(EncodeAck(framing.Ack{Seq: 3, Decoded: sparse})) // selective variant, 3 runs
+	nearly := make([]bool, 128)
+	for i := range nearly {
+		nearly[i] = i != 64
+	}
+	f.Add(EncodeAck(framing.Ack{Seq: 4, Decoded: nearly}))        // selective variant, 2 runs
 	f.Add([]byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0x03}) // hostile block count
 	f.Add([]byte{1, 2, 3})                                        // truncated header
 	f.Fuzz(func(t *testing.T, data []byte) {

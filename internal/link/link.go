@@ -443,8 +443,16 @@ type Stats struct {
 	// AcksSent/AcksLost count reverse-channel traffic when the engine
 	// runs with a FeedbackConfig (zero otherwise).
 	AcksSent, AcksLost int
+	// AckSymbols is the reverse-channel airtime charged to the flow, in
+	// symbols, under half-duplex accounting
+	// (EngineConfig.HalfDuplex; zero otherwise).
+	AckSymbols int
+	// Pauses counts the feedback turnarounds of a pause-paced flow
+	// (FlowConfig.Pause; zero otherwise).
+	Pauses int
 	// Rate is datagram bits per channel symbol, CRC overhead included in
-	// the denominator's favour (it counts only payload bits).
+	// the denominator's favour (it counts only payload bits). Under
+	// half-duplex accounting the denominator also includes AckSymbols.
 	Rate float64
 }
 

@@ -1,7 +1,6 @@
 package link
 
 import (
-	"errors"
 	"math"
 
 	"spinal/internal/capacity"
@@ -74,6 +73,11 @@ func (EveryFrame) BurstFrames(int, int, int) int { return 1 }
 // sender transmits policy-sized bursts of frames and processes one ACK
 // per burst. It returns the received datagram, statistics, and the
 // number of pauses (feedback turnarounds) used.
+//
+// It is a thin veneer over the Engine's pause-paced flow path
+// (FlowConfig.Pause) — one flow, an unbounded frame budget, the same
+// burst/turnaround semantics the multi-flow scheduler applies — so the
+// half-duplex pacing logic exists exactly once.
 func TransferWithPolicy(datagram []byte, p core.Params, maxBlockBits int, ch Channel, policy PausePolicy, maxFrames int) ([]byte, Stats, int, error) {
 	if maxFrames == 0 {
 		maxFrames = 10000
@@ -81,57 +85,17 @@ func TransferWithPolicy(datagram []byte, p core.Params, maxBlockBits int, ch Cha
 	if policy == nil {
 		policy = EveryFrame{}
 	}
-	snd := NewSender(datagram, p, maxBlockBits)
-	rcv := NewReceiver(p)
-	var st Stats
-	st.Blocks = len(snd.blocks)
-	pauses := 0
-	frames := 0
-
-	blockBits := snd.blocks[0].NumBits()
-	for frames < maxFrames && !snd.Done() {
-		burst := policy.BurstFrames(blockBits, maxInt(perFrameSymbols(snd), 1), snd.SymbolsSent())
-		for b := 0; b < burst && frames < maxFrames; b++ {
-			f := snd.NextFrame()
-			if f == nil {
-				break
-			}
-			frames++
-			rx := ch.Apply(f.Symbols())
-			if rx == nil {
-				continue // frame erased on the air
-			}
-			f2 := *f
-			f2.Batches = rebatch(f.Batches, rx)
-			// The receiver processes every frame it hears, but the
-			// half-duplex sender only learns the ACK at the pause (or
-			// immediately if everything just decoded — the receiver can
-			// preempt, cf. the ACK timing discussion in §6). A stale frame
-			// (all batches for decoded blocks, possible mid-burst) still
-			// yields the ACK the sender needs.
-			ack, herr := rcv.HandleFrame(&f2)
-			if herr != nil && !errors.Is(herr, ErrStaleFrame) {
-				continue
-			}
-			if b == burst-1 || ack.AllDecoded() {
-				snd.HandleAck(ack)
-				if snd.Done() {
-					break
-				}
-			}
-		}
-		pauses++
-	}
-	st.Frames = frames
-	st.SymbolsSent = snd.SymbolsSent()
-	got, err := rcv.Datagram()
-	if err != nil {
-		return nil, st, pauses, err
-	}
-	if st.SymbolsSent > 0 {
-		st.Rate = float64(len(datagram)*8) / float64(st.SymbolsSent)
-	}
-	return got, st, pauses, nil
+	e := NewEngine(EngineConfig{
+		Params:       p,
+		MaxBlockBits: maxBlockBits,
+		// A lone flow must never be backpressured out of its own frame.
+		FrameSymbols: 1 << 30,
+		MaxRounds:    maxFrames,
+	})
+	defer e.Close()
+	e.AddFlow(datagram, FlowConfig{Channel: ch, Pause: policy})
+	r := e.Drain(0)[0]
+	return r.Datagram, r.Stats, r.Stats.Pauses, r.Err
 }
 
 // perFrameSymbols estimates the symbols the next frame will carry (one

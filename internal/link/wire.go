@@ -114,22 +114,54 @@ func DecodeFrame(data []byte) (*Frame, error) {
 }
 
 // Wire format for acks, the feedback path's frame: §6's one bit per code
-// block behind a protected sequence number.
+// block behind a protected sequence number, in one of two variants:
 //
 //	u32  seq (little endian)
-//	uvarint  len(Decoded), then ceil(len/8) bitmap bytes, LSB-first
-//	         (block i lives in byte i/8, bit i%8)
+//	uvarint  header = len(Decoded)<<1 | variant
+//	variant 0 (bitmap):    ceil(len/8) bitmap bytes, LSB-first
+//	                       (block i lives in byte i/8, bit i%8)
+//	variant 1 (selective): uvarint run count k, then k runs of decoded
+//	                       blocks as (gap, runLen-1) uvarint pairs —
+//	                       gap is the undecoded distance from the end of
+//	                       the previous run (the start index for the
+//	                       first run) and must be ≥ 1 between runs, so
+//	                       runs are maximal by construction
 //
-// The parser is strict: the block count is bounded against the remaining
-// input, padding bits in the final bitmap byte must be zero, and trailing
-// bytes are rejected — so EncodeAck∘DecodeAck is the identity on every
-// accepted input, a property FuzzAckDecode leans on.
+// The selective variant is the per-block selective-ack format: a few
+// decoded (or a few missing) blocks out of many encode in a handful of
+// bytes instead of a full bitmap — which matters once ack airtime is
+// charged against goodput (EngineConfig.HalfDuplex). EncodeAck picks
+// whichever variant is strictly smaller (ties go to the bitmap), and
+// DecodeAck rejects the variant the encoder would not have chosen, so
+// the codec keeps a canonical form.
+//
+// The parser is strict: block and run counts are bounded against the
+// remaining input, padding bits in the final bitmap byte must be zero,
+// every varint must be minimal, runs must be maximal and in range, and
+// trailing bytes are rejected — so EncodeAck∘DecodeAck is the identity
+// on every accepted input, a property FuzzAckDecode leans on.
 
-// EncodeAck serializes an ack to its wire form.
+// ackSelectiveMaxBlocks bounds the block count accepted in the selective
+// variant. Unlike the bitmap — whose ⌈n/8⌉ payload bytes tie the decoded
+// []bool's size to the input's — a selective ack is legitimately tiny for
+// any block count, so without a cap a hostile few-byte input could claim
+// ackMaxBlocks blocks and allocate 16 MiB. 2^16 blocks (~8 MiB of
+// datagram at the default 1024-bit framing) keeps the amplification in
+// line with wireMaxList; larger flows fall back to the bitmap variant.
+const ackSelectiveMaxBlocks = 1 << 16
+
+// EncodeAck serializes an ack to its wire form, choosing the smaller of
+// the bitmap and selective variants.
 func EncodeAck(a framing.Ack) []byte {
-	buf := make([]byte, 4, 12+len(a.Decoded)/8)
+	n := len(a.Decoded)
+	bitmapLen := (n + 7) / 8
+	buf := make([]byte, 4, 12+bitmapLen)
 	binary.LittleEndian.PutUint32(buf, a.Seq)
-	buf = binary.AppendUvarint(buf, uint64(len(a.Decoded)))
+	if n <= ackSelectiveMaxBlocks && selectiveAckLen(a.Decoded) < bitmapLen {
+		buf = binary.AppendUvarint(buf, uint64(n)<<1|1)
+		return appendSelectiveAck(buf, a.Decoded)
+	}
+	buf = binary.AppendUvarint(buf, uint64(n)<<1)
 	var cur byte
 	for i, d := range a.Decoded {
 		if d {
@@ -140,46 +172,150 @@ func EncodeAck(a framing.Ack) []byte {
 			cur = 0
 		}
 	}
-	if len(a.Decoded)%8 != 0 {
+	if n%8 != 0 {
 		buf = append(buf, cur)
 	}
 	return buf
 }
 
-// DecodeAck parses a wire-format ack. Truncations, implausible block
-// counts, nonzero padding bits and trailing bytes all yield ErrBadAckWire;
-// the input is never trusted for allocation sizing.
+// ackWireLen reports the size EncodeAck would produce without building
+// the bytes — half-duplex airtime accounting prices every ack with it,
+// so the hot path allocates nothing.
+func ackWireLen(a framing.Ack) int {
+	n := len(a.Decoded)
+	bitmapLen := (n + 7) / 8
+	header := uint64(n) << 1
+	payload := bitmapLen
+	if n <= ackSelectiveMaxBlocks {
+		if sel := selectiveAckLen(a.Decoded); sel < bitmapLen {
+			header |= 1
+			payload = sel
+		}
+	}
+	return 4 + uvarintLen(header) + payload
+}
+
+// ackRuns visits the maximal runs of decoded blocks as (gap, runLen)
+// pairs, gap being the undecoded distance from the previous run's end.
+func ackRuns(decoded []bool, visit func(gap, runLen int)) (runs int) {
+	prevEnd := 0
+	for i := 0; i < len(decoded); {
+		if !decoded[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(decoded) && decoded[j] {
+			j++
+		}
+		visit(i-prevEnd, j-i)
+		prevEnd = j
+		runs++
+		i = j
+	}
+	return runs
+}
+
+// selectiveAckLen reports the selective variant's payload size in bytes
+// without building it.
+func selectiveAckLen(decoded []bool) int {
+	size := 0
+	runs := ackRuns(decoded, func(gap, runLen int) {
+		size += uvarintLen(uint64(gap)) + uvarintLen(uint64(runLen-1))
+	})
+	return uvarintLen(uint64(runs)) + size
+}
+
+// appendSelectiveAck appends the selective variant's payload.
+func appendSelectiveAck(buf []byte, decoded []bool) []byte {
+	var body []byte
+	runs := ackRuns(decoded, func(gap, runLen int) {
+		body = binary.AppendUvarint(body, uint64(gap))
+		body = binary.AppendUvarint(body, uint64(runLen-1))
+	})
+	buf = binary.AppendUvarint(buf, uint64(runs))
+	return append(buf, body...)
+}
+
+// DecodeAck parses a wire-format ack in either variant. Truncations,
+// implausible block or run counts, nonzero padding bits, padded varints,
+// non-maximal or out-of-range runs, the non-canonical variant choice and
+// trailing bytes all yield ErrBadAckWire; the input is never trusted for
+// allocation sizing beyond the documented selective cap.
 func DecodeAck(data []byte) (framing.Ack, error) {
 	d := wireReader{buf: data, sentinel: ErrBadAckWire}
 	seq := d.u32()
-	before := d.off
-	n := d.uvarint()
-	if d.err == nil && d.off-before != uvarintLen(n) {
-		// binary.Uvarint accepts padded encodings like 0x80 0x00; a strict
-		// parser must not, or encode∘decode stops being the identity
-		// (found by FuzzAckDecode, reproducer in testdata/fuzz).
-		d.fail("non-canonical block count")
-	}
+	header := d.cuvarint()
+	n, selective := header>>1, header&1 == 1
 	if d.err == nil && n > ackMaxBlocks {
 		d.fail("implausible block count")
-	}
-	nBytes := int(n+7) / 8
-	if d.err == nil && nBytes > len(d.buf)-d.off {
-		d.fail("truncated ack bitmap")
 	}
 	if d.err != nil {
 		return framing.Ack{}, d.err
 	}
 	a := framing.Ack{Seq: seq}
-	if n > 0 {
+	bitmapLen := int(n+7) / 8
+	switch {
+	case selective:
+		if n > ackSelectiveMaxBlocks {
+			d.fail("implausible selective block count")
+			return framing.Ack{}, d.err
+		}
+		k := d.cuvarint()
+		// Each run costs at least two payload bytes.
+		if d.err == nil && k > uint64(len(d.buf)-d.off)/2 {
+			d.fail("implausible run count")
+		}
+		if d.err != nil {
+			return framing.Ack{}, d.err
+		}
+		payloadStart := d.off - uvarintLen(k)
 		a.Decoded = make([]bool, n)
-		for i := range a.Decoded {
-			a.Decoded[i] = d.buf[d.off+i/8]&(1<<(i%8)) != 0
+		pos := 0
+		for j := uint64(0); j < k; j++ {
+			gap := d.cuvarint()
+			runM := d.cuvarint() // runLen-1
+			if d.err != nil {
+				return framing.Ack{}, d.err
+			}
+			if j > 0 && gap == 0 {
+				// Adjacent runs would have been one maximal run.
+				return framing.Ack{}, fmt.Errorf("%w: non-maximal run at offset %d", ErrBadAckWire, d.off)
+			}
+			if gap > n || runM >= n || uint64(pos)+gap+runM+1 > n {
+				return framing.Ack{}, fmt.Errorf("%w: run past block count at offset %d", ErrBadAckWire, d.off)
+			}
+			start := pos + int(gap)
+			end := start + int(runM) + 1
+			for i := start; i < end; i++ {
+				a.Decoded[i] = true
+			}
+			pos = end
 		}
-		if pad := int(n) % 8; pad != 0 && d.buf[d.off+nBytes-1]>>pad != 0 {
-			return framing.Ack{}, fmt.Errorf("%w: nonzero padding bits", ErrBadAckWire)
+		if d.off-payloadStart >= bitmapLen {
+			// The encoder uses the selective variant only when it is
+			// strictly smaller; accepting the other choice would break
+			// the codec's canonical form.
+			return framing.Ack{}, fmt.Errorf("%w: non-canonical selective variant", ErrBadAckWire)
 		}
-		d.off += nBytes
+	default:
+		if bitmapLen > len(d.buf)-d.off {
+			d.fail("truncated ack bitmap")
+			return framing.Ack{}, d.err
+		}
+		if n > 0 {
+			a.Decoded = make([]bool, n)
+			for i := range a.Decoded {
+				a.Decoded[i] = d.buf[d.off+i/8]&(1<<(i%8)) != 0
+			}
+			if pad := int(n) % 8; pad != 0 && d.buf[d.off+bitmapLen-1]>>pad != 0 {
+				return framing.Ack{}, fmt.Errorf("%w: nonzero padding bits", ErrBadAckWire)
+			}
+			d.off += bitmapLen
+		}
+		if int(n) <= ackSelectiveMaxBlocks && selectiveAckLen(a.Decoded) < bitmapLen {
+			return framing.Ack{}, fmt.Errorf("%w: non-canonical bitmap variant", ErrBadAckWire)
+		}
 	}
 	if len(d.buf) != d.off {
 		return framing.Ack{}, fmt.Errorf("%w: %d trailing bytes", ErrBadAckWire, len(d.buf)-d.off)
@@ -246,6 +382,19 @@ func (d *wireReader) uvarint() uint64 {
 		return 0
 	}
 	d.off += n
+	return v
+}
+
+// cuvarint reads a canonically (minimally) encoded uvarint; padded
+// encodings like 0x80 0x00 are rejected, which strict codecs need to
+// keep encode∘decode an identity (found by FuzzAckDecode, reproducer in
+// testdata/fuzz).
+func (d *wireReader) cuvarint() uint64 {
+	before := d.off
+	v := d.uvarint()
+	if d.err == nil && d.off-before != uvarintLen(v) {
+		d.fail("non-canonical varint")
+	}
 	return v
 }
 

@@ -54,6 +54,16 @@ func goldenConfigs() []ScenarioConfig {
 			cfgs = append(cfgs, cfg)
 		}
 	}
+	// Half-duplex accounting rides the same feedback scenario once: the
+	// pinned outcome adds ack_symbols and a goodput whose denominator
+	// includes them — the forward trajectory is identical to the
+	// feedback-delay/tracking row above (accounting is observational).
+	hd := cfgs[len(cfgs)-4] // feedback-delay / tracking
+	if hd.Scenario != "feedback-delay" || hd.Policy != "tracking" {
+		panic("golden matrix order changed; re-anchor the half-duplex config")
+	}
+	hd.HalfDuplex = true
+	cfgs = append(cfgs, hd)
 	return cfgs
 }
 

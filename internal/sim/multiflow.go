@@ -2,11 +2,12 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 
-	"spinal/internal/channel"
+	"spinal/channel"
 	"spinal/internal/core"
-	"spinal/internal/link"
+	"spinal/link"
 )
 
 // MultiFlowConfig drives the §6 link engine at workload scale: many
@@ -72,15 +73,20 @@ func MeasureMultiFlow(cfg MultiFlowConfig) MultiFlowResult {
 		snrs = []float64{8, 12, 18, 25}
 	}
 
-	e := link.NewEngine(link.EngineConfig{
-		Params:       cfg.Params,
-		MaxBlockBits: cfg.MaxBlockBits,
-		Shards:       cfg.Shards,
-		FrameSymbols: cfg.FrameSymbols,
-		FrameLoss:    cfg.FrameLoss,
-		Seed:         cfg.Seed,
-	})
-	defer e.Close()
+	s, err := link.NewSession(cfg.Params,
+		link.WithMaxBlockBits(cfg.MaxBlockBits),
+		link.WithCodecPool(cfg.Shards),
+		link.WithFrameSymbols(cfg.FrameSymbols),
+		link.WithFrameLoss(cfg.FrameLoss),
+		link.WithSeed(cfg.Seed),
+	)
+	if err != nil {
+		// No option combination above is invalid; fail loudly if the API
+		// ever makes one so.
+		panic(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	want := make(map[link.FlowID][]byte, conc)
@@ -93,27 +99,32 @@ func MeasureMultiFlow(cfg MultiFlowConfig) MultiFlowResult {
 		data := make([]byte, n)
 		rng.Read(data)
 		snr := snrs[admitted%len(snrs)]
-		id := e.AddFlow(data, link.FlowConfig{
-			// Any channel.Model drops in here; this workload keeps the
-			// fixed-SNR AWGN mix (the scenario driver covers time-varying
-			// media).
-			Channel: NewFlowChannel(channel.NewAWGN(snr, cfg.Seed+int64(admitted)*7919),
-				cfg.Erasure, cfg.Seed^int64(admitted)),
-			Rate: link.CapacityRate{SNREstimateDB: snr},
-		})
+		// Any channel.Model drops in here; this workload keeps the
+		// fixed-SNR AWGN mix (the scenario driver covers time-varying
+		// media).
+		id, err := s.Send(data,
+			link.WithRawChannel(NewFlowChannel(channel.NewAWGN(snr, cfg.Seed+int64(admitted)*7919),
+				cfg.Erasure, cfg.Seed^int64(admitted))),
+			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: snr}))
+		if err != nil {
+			panic(err) // flow-scoped options only; cannot fail
+		}
 		want[id] = data
 		admitted++
 	}
 
 	var res MultiFlowResult
-	for admitted < cfg.Flows && e.Active() < conc {
+	for admitted < cfg.Flows && s.Active() < conc {
 		admit()
 	}
-	for e.Active() > 0 {
-		if a := e.Active(); a > res.PeakActive {
+	for s.Active() > 0 {
+		if a := s.Active(); a > res.PeakActive {
 			res.PeakActive = a
 		}
-		finished := e.Step()
+		finished, serr := s.Step(ctx)
+		if serr != nil {
+			panic(serr) // background context; cannot fail
+		}
 		res.Rounds++
 		for _, r := range finished {
 			res.Flows++

@@ -6,46 +6,28 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
 	"strings"
 
-	"spinal/internal/channel"
+	"spinal/channel"
 	"spinal/internal/core"
-	"spinal/internal/link"
+	"spinal/link"
 )
 
 // FlowChannel adapts a stateful channel.Model — plus optional whole-share
-// erasure — to link.Channel. It is the one adapter between the channel
-// tier and the link engine: scenarios, the multi-flow workload driver and
-// spinalcat all use it instead of growing private copies.
-type FlowChannel struct {
-	model   channel.Model
-	erasure float64
-	rng     *rand.Rand
-}
+// erasure — to the link tier's channel interface. It is an alias of the
+// public link.ModelChannel: the scenario driver consumes the public API
+// it helps pin, and no second adapter exists to drift.
+type FlowChannel = link.ModelChannel
 
 // NewFlowChannel wraps model; erasure is the probability a flow's whole
 // share of a frame is lost, drawn from seed.
 func NewFlowChannel(model channel.Model, erasure float64, seed int64) *FlowChannel {
-	return &FlowChannel{
-		model:   model,
-		erasure: erasure,
-		rng:     rand.New(rand.NewSource(seed)),
-	}
+	return link.NewModelChannel(model, erasure, seed)
 }
-
-// Apply implements link.Channel.
-func (f *FlowChannel) Apply(sym []complex128) []complex128 {
-	if f.erasure > 0 && f.rng.Float64() < f.erasure {
-		return nil
-	}
-	return f.model.Transmit(sym)
-}
-
-// StateDB reports the wrapped model's instantaneous SNR.
-func (f *FlowChannel) StateDB() float64 { return f.model.StateDB() }
 
 // ScenarioConfig drives MeasureScenario.
 type ScenarioConfig struct {
@@ -85,6 +67,11 @@ type ScenarioConfig struct {
 	// experiments' delay sweeps and the chase-vs-discard comparison set
 	// it explicitly.
 	Feedback *link.FeedbackConfig
+	// HalfDuplex charges reverse-channel (ack) airtime against goodput
+	// (link.WithHalfDuplex at the default reverse modulation density):
+	// the charged symbols are reported in ScenarioResult.AckSymbols and
+	// included in Goodput's denominator.
+	HalfDuplex bool
 }
 
 // ScenarioResult aggregates a scenario run. It is flat and map-free so
@@ -116,6 +103,11 @@ type ScenarioResult struct {
 	Retransmissions int64 `json:"retransmissions"`
 	AcksSent        int64 `json:"acks_sent"`
 	AcksLost        int64 `json:"acks_lost"`
+	// AckSymbols counts the reverse-channel airtime charged under
+	// half-duplex accounting (ScenarioConfig.HalfDuplex); it is part of
+	// Goodput's denominator, and omitted from the JSON when zero so the
+	// pre-half-duplex golden outcomes stay byte-identical.
+	AckSymbols int64 `json:"ack_symbols,omitempty"`
 }
 
 func (r ScenarioResult) String() string {
@@ -123,6 +115,9 @@ func (r ScenarioResult) String() string {
 		r.Scenario, r.Policy, r.Delivered, r.Flows, r.Goodput, 100*r.OutageRate, r.Rounds, r.Symbols, r.MeanStateDB)
 	if r.AcksSent > 0 {
 		s += fmt.Sprintf(", %d retx, %d/%d acks lost", r.Retransmissions, r.AcksLost, r.AcksSent)
+	}
+	if r.AckSymbols > 0 {
+		s += fmt.Sprintf(", %d ack symbols charged", r.AckSymbols)
 	}
 	return s
 }
@@ -284,16 +279,25 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		feedback = cfg.Feedback
 	}
 
-	e := link.NewEngine(link.EngineConfig{
-		Params:       cfg.Params,
-		MaxBlockBits: cfg.MaxBlockBits,
-		Shards:       cfg.Shards,
-		FrameSymbols: cfg.FrameSymbols,
-		Seed:         cfg.Seed,
-		MaxRounds:    maxRounds,
-		Feedback:     feedback,
-	})
-	defer e.Close()
+	opts := []link.Option{
+		link.WithMaxBlockBits(cfg.MaxBlockBits),
+		link.WithCodecPool(cfg.Shards),
+		link.WithFrameSymbols(cfg.FrameSymbols),
+		link.WithSeed(cfg.Seed),
+		link.WithMaxRounds(maxRounds),
+	}
+	if feedback != nil {
+		opts = append(opts, link.WithFeedback(*feedback))
+	}
+	if cfg.HalfDuplex {
+		opts = append(opts, link.WithHalfDuplex(0))
+	}
+	s, err := link.NewSession(cfg.Params, opts...)
+	if err != nil {
+		return res, err
+	}
+	defer s.Close()
+	ctx := context.Background()
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	want := make(map[link.FlowID][]byte, conc)
@@ -319,22 +323,28 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		data := make([]byte, n)
 		rng.Read(data)
 		fc := NewFlowChannel(model, cfg.Erasure, cfg.Seed^int64(admitted))
-		id := e.AddFlow(data, link.FlowConfig{Channel: fc, Rate: rate})
+		id, err := s.Send(data, link.WithRawChannel(fc), link.WithRatePolicy(rate))
+		if err != nil {
+			return err
+		}
 		want[id] = data
 		active = append(active, activeFlow{id, fc})
 		admitted++
 		return nil
 	}
 
-	for admitted < flows && e.Active() < conc {
+	for admitted < flows && s.Active() < conc {
 		if err := admit(); err != nil {
 			return res, err
 		}
 	}
 	var stateSum float64
 	var stateN int
-	for e.Active() > 0 {
-		finished := e.Step()
+	for s.Active() > 0 {
+		finished, err := s.Step(ctx)
+		if err != nil {
+			return res, err
+		}
 		res.Rounds++
 		// Observe the SNR trajectory the active population is riding.
 		for _, af := range active {
@@ -346,6 +356,7 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			res.Retransmissions += int64(r.Stats.Retransmissions)
 			res.AcksSent += int64(r.Stats.AcksSent)
 			res.AcksLost += int64(r.Stats.AcksLost)
+			res.AckSymbols += int64(r.Stats.AckSymbols)
 			// Each resolved flow counts exactly once, as an outage or a
 			// delivery: a budget-exhausted flow (ErrFlowBudget) carries a
 			// nil datagram, so folding the error and corruption checks
@@ -373,8 +384,10 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			}
 		}
 	}
-	if res.Symbols > 0 {
-		res.Goodput = float64(res.Bytes*8) / float64(res.Symbols)
+	if air := res.Symbols + res.AckSymbols; air > 0 {
+		// Airtime-honest goodput: under half-duplex accounting the acks'
+		// symbols count against it too.
+		res.Goodput = float64(res.Bytes*8) / float64(air)
 	}
 	res.OutageRate = float64(res.Outages) / float64(flows)
 	if stateN > 0 {

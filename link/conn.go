@@ -1,0 +1,131 @@
+package link
+
+import (
+	"context"
+	"io"
+
+	"spinal"
+	"spinal/channel"
+)
+
+// Conn is a streaming endpoint pair over a simulated medium: an
+// io.Reader/io.Writer whose writes cross the configured channel.Model as
+// rateless spinal datagrams and whose delivered bytes become readable.
+// It is message-oriented underneath — each Write is one datagram, and
+// bytes become readable in write order once their datagram's every code
+// block has verified — but the Read side presents a plain byte stream,
+// so a Conn drops into io.Copy and friends.
+//
+// Write is synchronous: it drives the link until the datagram delivers
+// or its round budget (WithMaxRounds) is exhausted, in which case it
+// returns the flow's error and nothing becomes readable. Read never
+// blocks; like bytes.Buffer it returns io.EOF when nothing is buffered.
+// A Conn is not safe for concurrent use.
+type Conn struct {
+	s         *Session
+	ctx       context.Context
+	buf       []byte
+	off       int
+	stats     Stats
+	delivered int // payload bytes delivered across the Conn's lifetime
+	closed    bool
+}
+
+// Dial opens a Conn over model with the given code parameters. Options
+// configure the underlying Session (rate policies, feedback, half-duplex
+// accounting, ...); model takes precedence over any WithChannel or
+// WithRawChannel among them.
+func Dial(p spinal.Params, model channel.Model, opts ...Option) (*Conn, error) {
+	return DialContext(context.Background(), p, model, opts...)
+}
+
+// DialContext is Dial with a context that bounds every transfer made
+// through the Conn: once ctx is done, in-progress and future Writes fail.
+func DialContext(ctx context.Context, p spinal.Params, model channel.Model, opts ...Option) (*Conn, error) {
+	opts = append(opts, WithChannel(model))
+	s, err := NewSession(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{s: s, ctx: ctx}, nil
+}
+
+// Write transmits p as one rateless datagram across the Conn's channel
+// and buffers the delivered bytes for Read. It reports len(p) on
+// delivery; on budget exhaustion or cancellation it reports 0 with the
+// flow's (or context's) error, and the link stays usable.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	// The engine retains the datagram while the flow is live; copy so the
+	// caller may reuse p immediately, as io.Writer allows.
+	id, err := c.s.Send(append([]byte(nil), p...))
+	if err != nil {
+		return 0, err
+	}
+	results, err := c.s.Drain(c.ctx)
+	var mine *Result
+	for i := range results {
+		r := &results[i]
+		// Every resolved flow's airtime counts toward Stats — including a
+		// prior canceled Write's flow resolving now — so Rate never
+		// overstates what the link spent.
+		c.stats.Frames += r.Stats.Frames
+		c.stats.SymbolsSent += r.Stats.SymbolsSent
+		c.stats.Blocks += r.Stats.Blocks
+		c.stats.Retransmissions += r.Stats.Retransmissions
+		c.stats.AcksSent += r.Stats.AcksSent
+		c.stats.AcksLost += r.Stats.AcksLost
+		c.stats.AckSymbols += r.Stats.AckSymbols
+		c.stats.Pauses += r.Stats.Pauses
+		if r.ID == id {
+			mine = r
+		}
+	}
+	if mine == nil {
+		if err == nil {
+			err = ErrIncomplete
+		}
+		return 0, err
+	}
+	if mine.Err != nil {
+		return 0, mine.Err
+	}
+	c.delivered += len(mine.Datagram)
+	c.buf = append(c.buf, mine.Datagram...)
+	return len(p), nil
+}
+
+// Read drains delivered bytes in write order. It returns io.EOF when
+// nothing is buffered (bytes.Buffer semantics — Write first, then Read).
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.off >= len(c.buf) {
+		c.buf, c.off = c.buf[:0], 0
+		return 0, io.EOF
+	}
+	n := copy(p, c.buf[c.off:])
+	c.off += n
+	return n, nil
+}
+
+// Stats reports the Conn's cumulative transfer statistics; Rate is
+// aggregate payload bits per channel symbol (ack symbols included under
+// half-duplex accounting).
+func (c *Conn) Stats() Stats {
+	st := c.stats
+	if air := st.SymbolsSent + st.AckSymbols; air > 0 {
+		st.Rate = float64(8*c.delivered) / float64(air)
+	}
+	return st
+}
+
+// Close releases the Conn's session. Buffered delivered bytes remain
+// readable.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.s.Close()
+}

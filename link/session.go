@@ -1,0 +1,326 @@
+package link
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"spinal"
+	"spinal/channel"
+	ilink "spinal/internal/link"
+)
+
+// ErrClosed reports an operation on a closed Session or Conn.
+var ErrClosed = errors.New("link: session closed")
+
+// config accumulates the effect of Options. One struct serves both
+// scopes: NewSession reads the engine fields and keeps the flow fields
+// as per-Send defaults; Send applies flow-scoped options on top of those
+// defaults and rejects session-scoped ones.
+type config struct {
+	engine ilink.EngineConfig
+	flow   flowConfig
+	// sessionOnly names the session-scoped options applied, so Send can
+	// reject them with a useful message.
+	sessionOnly []string
+}
+
+// flowConfig is the flow-scoped option state.
+type flowConfig struct {
+	channel   Channel
+	rate      RatePolicy
+	rateFn    func() RatePolicy
+	pause     PausePolicy
+	maxRounds int
+}
+
+// Option configures a Session (at NewSession) or one flow (at Send).
+// Each option documents its scope; Send returns an error when handed a
+// session-scoped option.
+type Option func(*config)
+
+// WithChannel routes flows through model, adapted to the link's Channel
+// interface at the boundary. Flow- or session-scoped (a session-scoped
+// model is shared by every flow that does not override it — fine for
+// stateless media, but per-flow models see an interleaved symbol stream;
+// pass per-flow channels at Send when that matters).
+func WithChannel(model channel.Model) Option {
+	return func(c *config) { c.flow.channel = NewModelChannel(model, 0, 0) }
+}
+
+// WithRawChannel routes flows through a raw Channel implementation —
+// a ModelChannel with erasures, or any custom medium. Flow- or
+// session-scoped.
+func WithRawChannel(ch Channel) Option {
+	return func(c *config) { c.flow.channel = ch }
+}
+
+// WithRatePolicy paces flows with p. Flow- or session-scoped; a
+// session-scoped policy is shared by every flow, which is only correct
+// for stateless policies (FixedRate, CapacityRate) — for stateful ones
+// like TrackingRate use WithRatePolicyFunc, or pass a fresh policy to
+// each Send.
+func WithRatePolicy(p RatePolicy) Option {
+	return func(c *config) { c.flow.rate, c.flow.rateFn = p, nil }
+}
+
+// WithRatePolicyFunc installs a session-wide rate-policy factory: every
+// flow admitted without its own WithRatePolicy gets f()'s fresh policy,
+// making stateful policies safe as a session default.
+func WithRatePolicyFunc(f func() RatePolicy) Option {
+	return func(c *config) { c.flow.rateFn, c.flow.rate = f, nil }
+}
+
+// WithPausePolicy paces a flow's half-duplex feedback turnarounds: the
+// sender transmits policy-sized bursts and hears the receiver's per-block
+// state only at each burst's end. Flow- or session-scoped. Incompatible
+// with WithFeedback (which models a full-duplex delayed reverse channel);
+// NewSession and Send report the conflict.
+func WithPausePolicy(p PausePolicy) Option {
+	return func(c *config) { c.flow.pause = p }
+}
+
+// WithMaxRounds bounds a flow's lifetime in scheduling rounds before it
+// resolves with ErrFlowBudget (0 keeps the engine default of 512). Flow-
+// or session-scoped.
+func WithMaxRounds(n int) Option {
+	return func(c *config) {
+		c.engine.MaxRounds = n
+		c.flow.maxRounds = n
+	}
+}
+
+// WithFeedback replaces §6's instant perfect per-block acks with an
+// explicit reverse channel: acks cross a queue with the configured
+// delay/jitter/loss and the sender paces blocks with retransmission
+// timers, backoff and a bounded in-flight window. Session-scoped.
+func WithFeedback(fc FeedbackConfig) Option {
+	return func(c *config) {
+		c.engine.Feedback = &fc
+		c.sessionOnly = append(c.sessionOnly, "WithFeedback")
+	}
+}
+
+// WithFeedbackObserver taps the session's reverse-channel telemetry:
+// o sees every ack a receiver emits and every ack a sender applies.
+// Session-scoped.
+func WithFeedbackObserver(o FeedbackObserver) Option {
+	return func(c *config) {
+		c.engine.Observer = o
+		c.sessionOnly = append(c.sessionOnly, "WithFeedbackObserver")
+	}
+}
+
+// WithHalfDuplex charges reverse-channel airtime against the flows that
+// cause it, as on a real shared half-duplex medium: each ack's wire
+// bytes are converted to symbols at bitsPerAckSymbol (0 ⇒ 2, QPSK-like),
+// reported in Stats.AckSymbols, and included in Stats.Rate's denominator.
+// Session-scoped.
+func WithHalfDuplex(bitsPerAckSymbol int) Option {
+	return func(c *config) {
+		c.engine.HalfDuplex = &ilink.HalfDuplexConfig{AckBitsPerSymbol: bitsPerAckSymbol}
+		c.sessionOnly = append(c.sessionOnly, "WithHalfDuplex")
+	}
+}
+
+// WithCodecPool sizes the session's sharded pool of persistent codec
+// workers (0 ⇒ GOMAXPROCS). Session-scoped.
+func WithCodecPool(shards int) Option {
+	return func(c *config) {
+		c.engine.Shards = shards
+		c.sessionOnly = append(c.sessionOnly, "WithCodecPool")
+	}
+}
+
+// WithMaxBlockBits bounds the code blocks datagrams are segmented into
+// (0 ⇒ the §6 default of 1024). Session-scoped.
+func WithMaxBlockBits(n int) Option {
+	return func(c *config) {
+		c.engine.MaxBlockBits = n
+		c.sessionOnly = append(c.sessionOnly, "WithMaxBlockBits")
+	}
+}
+
+// WithFrameSymbols sets the shared-frame symbol budget — the
+// backpressure point at which remaining flows wait for the next round
+// (0 ⇒ 4096). Session-scoped.
+func WithFrameSymbols(n int) Option {
+	return func(c *config) {
+		c.engine.FrameSymbols = n
+		c.sessionOnly = append(c.sessionOnly, "WithFrameSymbols")
+	}
+}
+
+// WithFrameLoss erases entire shared frames with probability p.
+// Session-scoped.
+func WithFrameLoss(p float64) Option {
+	return func(c *config) {
+		c.engine.FrameLoss = p
+		c.sessionOnly = append(c.sessionOnly, "WithFrameLoss")
+	}
+}
+
+// WithSeed seeds the session's randomness (frame loss, feedback jitter).
+// Session-scoped.
+func WithSeed(seed int64) Option {
+	return func(c *config) {
+		c.engine.Seed = seed
+		c.sessionOnly = append(c.sessionOnly, "WithSeed")
+	}
+}
+
+// Session is the public façade over the multi-flow link engine: datagrams
+// enter as flows via Send, rounds run via Step or Drain (both honoring
+// context cancellation), and each flow leaves exactly once as a Result.
+//
+// A Session is single-threaded at its API, like the engine beneath it:
+// Send, Step, Drain and Close must not be called concurrently.
+// Parallelism lives inside each round's codec work, on the session's
+// sharded worker pool.
+type Session struct {
+	eng      *ilink.Engine
+	def      flowConfig
+	feedback bool // the session runs an explicit reverse channel
+	closed   bool
+}
+
+// NewSession starts a link session for the given code parameters.
+// Options set the engine-wide configuration and the per-flow defaults
+// that Send inherits.
+func NewSession(p spinal.Params, opts ...Option) (*Session, error) {
+	var c config
+	c.engine.Params = p
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.flow.pause != nil && c.engine.Feedback != nil {
+		return nil, errors.New("link: WithPausePolicy and WithFeedback are mutually exclusive")
+	}
+	return &Session{
+		eng:      ilink.NewEngine(c.engine),
+		def:      c.flow,
+		feedback: c.engine.Feedback != nil,
+	}, nil
+}
+
+// Send admits a datagram as a new flow (transmitting from the next Step)
+// and returns its ID. Only flow-scoped options are legal here; they
+// override the session defaults for this flow. The datagram is not
+// copied — the caller must not mutate it until the flow resolves.
+func (s *Session) Send(datagram []byte, opts ...Option) (FlowID, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	c := config{flow: s.def}
+	for _, o := range opts {
+		o(&c)
+	}
+	if len(c.sessionOnly) > 0 {
+		return 0, fmt.Errorf("link: option %s is session-scoped; pass it to NewSession", c.sessionOnly[0])
+	}
+	rate := c.flow.rate
+	if rate == nil && c.flow.rateFn != nil {
+		rate = c.flow.rateFn()
+	}
+	if c.flow.pause != nil && s.feedback {
+		return 0, errors.New("link: WithPausePolicy conflicts with the session's WithFeedback")
+	}
+	return s.eng.AddFlow(datagram, ilink.FlowConfig{
+		Channel:   c.flow.channel,
+		Rate:      rate,
+		Pause:     c.flow.pause,
+		MaxRounds: c.flow.maxRounds,
+	}), nil
+}
+
+// Step runs one engine round — schedule, encode, air, decode, ack — and
+// returns the flows it resolved (nil most rounds). A canceled context
+// returns before the round runs.
+func (s *Session) Step(ctx context.Context) ([]Result, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return s.eng.Step(), nil
+}
+
+// Drain steps until every flow resolves, returning all results. On
+// cancellation it returns the results resolved so far together with the
+// context's error; the session stays usable.
+func (s *Session) Drain(ctx context.Context) ([]Result, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var out []Result
+	for s.eng.Active() > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return out, err
+		}
+		out = append(out, s.eng.Step()...)
+	}
+	return out, nil
+}
+
+// Active reports the number of unresolved flows.
+func (s *Session) Active() int { return s.eng.Active() }
+
+// SetChannel replaces an active flow's medium mid-flight (nil means
+// noiseless) and reports whether the flow was still active.
+func (s *Session) SetChannel(id FlowID, model channel.Model) bool {
+	var ch Channel
+	if model != nil {
+		ch = NewModelChannel(model, 0, 0)
+	}
+	return s.eng.SetFlowChannel(id, ch)
+}
+
+// Close releases the session's codec workers. The session must be idle;
+// further calls are no-ops.
+func (s *Session) Close() error {
+	if !s.closed {
+		s.closed = true
+		s.eng.Close()
+	}
+	return nil
+}
+
+// ctxErr reports a context's error, treating nil as background.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ModelChannel adapts a stateful channel.Model — plus optional
+// whole-share erasure — to the link's Channel interface. It is the one
+// adapter between the channel tier and the link engine.
+type ModelChannel struct {
+	model   channel.Model
+	erasure float64
+	rng     *rand.Rand
+}
+
+// NewModelChannel wraps model; erasure is the probability a flow's whole
+// share of a frame is lost, drawn from seed.
+func NewModelChannel(model channel.Model, erasure float64, seed int64) *ModelChannel {
+	return &ModelChannel{
+		model:   model,
+		erasure: erasure,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Apply implements Channel.
+func (c *ModelChannel) Apply(sym []complex128) []complex128 {
+	if c.erasure > 0 && c.rng.Float64() < c.erasure {
+		return nil
+	}
+	return c.model.Transmit(sym)
+}
+
+// StateDB reports the wrapped model's instantaneous SNR.
+func (c *ModelChannel) StateDB() float64 { return c.model.StateDB() }

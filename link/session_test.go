@@ -1,0 +1,311 @@
+package link_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spinal"
+	"spinal/channel"
+	"spinal/link"
+)
+
+func testParams() spinal.Params {
+	p := spinal.DefaultParams()
+	p.B = 32
+	return p
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 400)
+	rng.Read(data)
+
+	s, err := link.NewSession(testParams(),
+		link.WithChannel(channel.NewAWGN(12, 2)),
+		link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	id, err := s.Send(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != id {
+		t.Fatalf("unexpected results %+v", results)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !bytes.Equal(r.Datagram, data) {
+		t.Fatal("datagram corrupted")
+	}
+	if r.Stats.Rate <= 0 || r.Stats.SymbolsSent <= 0 {
+		t.Fatalf("implausible stats %+v", r.Stats)
+	}
+}
+
+func TestSessionPerFlowOverrides(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := link.NewSession(testParams(),
+		link.WithChannel(channel.NewAWGN(8, 3)), // session default: mediocre channel
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	a := make([]byte, 120)
+	b := make([]byte, 120)
+	rng.Read(a)
+	rng.Read(b)
+	idA, err := s.Send(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := s.Send(b,
+		link.WithChannel(channel.NewAWGN(25, 4)), // override: excellent channel
+		link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 25}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var symA, symB int
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		switch r.ID {
+		case idA:
+			symA = r.Stats.SymbolsSent
+		case idB:
+			symB = r.Stats.SymbolsSent
+		}
+	}
+	if symB >= symA {
+		t.Fatalf("25 dB flow spent %d symbols, 8 dB flow %d — override had no effect", symB, symA)
+	}
+}
+
+func TestSessionRejectsSessionScopedOptionsAtSend(t *testing.T) {
+	s, err := link.NewSession(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, opt := range []link.Option{
+		link.WithFeedback(link.FeedbackConfig{}),
+		link.WithHalfDuplex(0),
+		link.WithCodecPool(2),
+		link.WithMaxBlockBits(256),
+		link.WithFrameSymbols(1024),
+		link.WithFrameLoss(0.1),
+		link.WithSeed(7),
+		link.WithFeedbackObserver(nil),
+	} {
+		if _, err := s.Send([]byte("x"), opt); err == nil {
+			t.Fatal("Send accepted a session-scoped option")
+		} else if !strings.Contains(err.Error(), "session-scoped") {
+			t.Fatalf("unhelpful error %q", err)
+		}
+	}
+	if s.Active() != 0 {
+		t.Fatal("rejected sends leaked flows")
+	}
+}
+
+func TestSessionPauseFeedbackConflict(t *testing.T) {
+	if _, err := link.NewSession(testParams(),
+		link.WithFeedback(link.FeedbackConfig{DelayRounds: 2}),
+		link.WithPausePolicy(link.EveryFrame{}),
+	); err == nil {
+		t.Fatal("NewSession accepted WithPausePolicy + WithFeedback")
+	}
+	s, err := link.NewSession(testParams(), link.WithFeedback(link.FeedbackConfig{DelayRounds: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Send([]byte("x"), link.WithPausePolicy(link.EveryFrame{})); err == nil {
+		t.Fatal("Send accepted a pause policy on a feedback session")
+	}
+}
+
+func TestSessionContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 5000)
+	rng.Read(data)
+	s, err := link.NewSession(testParams(), link.WithChannel(channel.NewAWGN(6, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Send(data); err != nil {
+		t.Fatal(err)
+	}
+
+	// A canceled context stops Step before the round runs...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Step(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Step under canceled context: %v", err)
+	}
+	// ...and Drain returns the cancellation with the flow still active.
+	if _, err := s.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain under canceled context: %v", err)
+	}
+	if s.Active() != 1 {
+		t.Fatalf("cancellation resolved flows: %d active", s.Active())
+	}
+	// The session stays usable: a fresh context finishes the transfer.
+	results, err := s.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err != nil || !bytes.Equal(results[0].Datagram, data) {
+		t.Fatalf("post-cancel drain failed: %+v", results)
+	}
+}
+
+func TestSessionSetChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 600)
+	rng.Read(data)
+	s, err := link.NewSession(testParams(), link.WithChannel(channel.NewAWGN(3, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id, err := s.Send(data, link.WithMaxRounds(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mid-flight handoff to a far better medium.
+	if !s.SetChannel(id, channel.NewAWGN(25, 7)) {
+		t.Fatal("SetChannel lost the active flow")
+	}
+	results, err := s.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || !bytes.Equal(results[0].Datagram, data) {
+		t.Fatalf("handoff transfer failed: %v", results[0].Err)
+	}
+	if s.SetChannel(id, nil) {
+		t.Fatal("SetChannel found a resolved flow")
+	}
+}
+
+func TestSessionClosed(t *testing.T) {
+	s, err := link.NewSession(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close not a no-op")
+	}
+	if _, err := s.Send([]byte("x")); !errors.Is(err, link.ErrClosed) {
+		t.Fatalf("Send on closed session: %v", err)
+	}
+	if _, err := s.Step(context.Background()); !errors.Is(err, link.ErrClosed) {
+		t.Fatalf("Step on closed session: %v", err)
+	}
+	if _, err := s.Drain(context.Background()); !errors.Is(err, link.ErrClosed) {
+		t.Fatalf("Drain on closed session: %v", err)
+	}
+}
+
+// customRate is a user-provided RatePolicy implemented outside the
+// module's internals — the extension-interface contract in action.
+type customRate struct{ calls int }
+
+func (c *customRate) SubpassBudget(blockBits, subpassSymbols, symbolsSent int) int {
+	c.calls++
+	if symbolsSent == 0 {
+		return 4 // opening burst
+	}
+	return 1
+}
+
+func TestSessionCustomRatePolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 200)
+	rng.Read(data)
+	cr := &customRate{}
+	s, err := link.NewSession(testParams(), link.WithChannel(channel.NewAWGN(12, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Send(data, link.WithRatePolicy(cr)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || !bytes.Equal(results[0].Datagram, data) {
+		t.Fatal("custom-policy transfer failed")
+	}
+	if cr.calls == 0 {
+		t.Fatal("custom policy never consulted")
+	}
+}
+
+func TestSessionRatePolicyFactory(t *testing.T) {
+	made := 0
+	s, err := link.NewSession(testParams(),
+		link.WithChannel(channel.NewAWGN(15, 9)),
+		link.WithRatePolicyFunc(func() link.RatePolicy {
+			made++
+			return link.NewTrackingRate(15)
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3; i++ {
+		data := make([]byte, 80)
+		rng.Read(data)
+		if _, err := s.Send(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if made != 3 {
+		t.Fatalf("factory built %d policies for 3 flows", made)
+	}
+	results, err := s.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}

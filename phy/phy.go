@@ -1,0 +1,30 @@
+// Package phy is the public OFDM physical layer of the spinal-code
+// library: the Appendix B 802.11a/g-like stack that carries spinal
+// symbols on cyclic-prefixed OFDM frames over frequency-selective
+// channels, handing the decoder raw subcarrier observations with their
+// fading coefficients.
+//
+// Like spinal/sim, this package is an experiment surface with weaker
+// stability guarantees than spinal, spinal/channel and spinal/link (see
+// docs/API.md).
+package phy
+
+import iphy "spinal/internal/phy"
+
+// Modulate builds one OFDM frame (preamble plus cyclic-prefixed data
+// symbols) carrying the given data-subcarrier values.
+func Modulate(data []complex128) []complex128 { return iphy.Modulate(data) }
+
+// Demodulate recovers nData data-subcarrier observations y and their
+// estimated per-subcarrier channel coefficients h from received samples.
+func Demodulate(rx []complex128, nData int) (y, h []complex128) {
+	return iphy.Demodulate(rx, nData)
+}
+
+// FrameSamples reports the sample count of a frame carrying nData
+// data-subcarrier values.
+func FrameSamples(nData int) int { return iphy.FrameSamples(nData) }
+
+// SubcarrierSNRSpread reports the dB spread of per-subcarrier channel
+// gains — the frequency selectivity the fading-aware decoder absorbs.
+func SubcarrierSNRSpread(h []complex128) float64 { return iphy.SubcarrierSNRSpread(h) }

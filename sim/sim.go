@@ -1,0 +1,65 @@
+// Package sim is the public measurement harness of the spinal-code
+// library: workload-scale drivers over the link session (multi-flow
+// mixes, named time-varying channel scenarios) and the registry of the
+// paper's reproduction experiments.
+//
+// Unlike spinal, spinal/channel and spinal/link, this package is an
+// experiment surface, not a stability contract: configurations and
+// result fields may grow between versions as new scenarios are added
+// (see docs/API.md). Every run is deterministic given its seed.
+package sim
+
+import (
+	"spinal/internal/experiments"
+	isim "spinal/internal/sim"
+)
+
+// ScenarioConfig drives MeasureScenario: a named channel workload
+// ("burst", "walk", "trace:<file>", "churn", "feedback-delay",
+// "feedback-loss"), a rate-policy spec ("fixed[:n]", "capacity[:db]",
+// "tracking[:db]"), and the population/budget knobs.
+type ScenarioConfig = isim.ScenarioConfig
+
+// ScenarioResult aggregates a scenario run: delivery, goodput, outage,
+// reverse-channel and half-duplex accounting.
+type ScenarioResult = isim.ScenarioResult
+
+// MultiFlowConfig drives MeasureMultiFlow: many datagrams of mixed sizes
+// over channels of mixed SNRs, multiplexed with bounded concurrency.
+type MultiFlowConfig = isim.MultiFlowConfig
+
+// MultiFlowResult aggregates an engine workload.
+type MultiFlowResult = isim.MultiFlowResult
+
+// MeasureScenario runs the named time-varying channel workload through a
+// link session and aggregates goodput and outage statistics.
+func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	return isim.MeasureScenario(cfg)
+}
+
+// MeasureMultiFlow runs the configured workload through a link session
+// and aggregates delivery statistics.
+func MeasureMultiFlow(cfg MultiFlowConfig) MultiFlowResult {
+	return isim.MeasureMultiFlow(cfg)
+}
+
+// Scenarios lists the named scenarios MeasureScenario accepts.
+func Scenarios() []string { return isim.Scenarios() }
+
+// Experiment is one reproduction experiment: an ID, a title, and a Run
+// function regenerating its tables.
+type Experiment = experiments.Experiment
+
+// ExperimentConfig selects quick or full (paper-sized) scale and the
+// base seed.
+type ExperimentConfig = experiments.Config
+
+// Table is one experiment's formatted result table.
+type Table = experiments.Table
+
+// Experiments returns the registry of reproduction experiments, in
+// presentation order.
+func Experiments() []Experiment { return experiments.All }
+
+// ExperimentByID finds an experiment by its ID, or nil.
+func ExperimentByID(id string) *Experiment { return experiments.ByID(id) }

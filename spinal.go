@@ -17,8 +17,18 @@
 //		decoded = crcOK(got) // e.g. framing.Verify
 //	}
 //
-// Subsystems (channel models, baseline codes, the link-layer protocol,
-// the experiment harness) live under internal/; the runnable entry points
+// The composable system around the codec is public too:
+//
+//   - spinal/channel — channel models (AWGN, Gilbert–Elliott, random
+//     walk, trace replay, fading) behind one Model interface;
+//   - spinal/link — the §6 link layer: Session (multi-flow engine with
+//     functional options, rate policies, ARQ feedback, half-duplex
+//     accounting), Conn (io.Reader/io.Writer over any channel), and the
+//     Sender/Receiver state machines with their wire codec;
+//   - spinal/sim, spinal/phy, spinal/baseline — the measurement harness,
+//     OFDM PHY and baseline codes (experiment-tier surfaces).
+//
+// docs/API.md states the stability guarantees; the runnable entry points
 // are cmd/spinalsim, cmd/spinalcat and the examples/ directory.
 package spinal
 
