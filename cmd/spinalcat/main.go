@@ -15,12 +15,19 @@
 // statistics: the spinal code exercised against the changing channels,
 // and the imperfect reverse channels, it was built for.
 //
+// With -faults SPEC a deterministic fault injector attacks the wire in
+// either mode: frames and acks are reordered, duplicated, truncated,
+// bit-flipped and blacked out per the spec, and the stderr statistics
+// report what was injected. The link degrades; it does not fail.
+//
 //	echo "hello" | spinalcat -snr 8
 //	spinalcat -snr 5 -b 16 < somefile > copy && cmp somefile copy
 //	spinalcat -snr 10 -flows 8 < somefile > copy && cmp somefile copy
 //	spinalcat -scenario burst -policy tracking
 //	spinalcat -scenario trace:internal/channel/testdata/fade.trace -flows 24
 //	spinalcat -scenario feedback-loss -policy tracking
+//	spinalcat -snr 8 -flows 4 -faults reorder=4,dup=0.05,corrupt=0.01 < somefile > copy
+//	spinalcat -scenario churn -faults chaos=2
 package main
 
 import (
@@ -30,6 +37,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"spinal"
 	"spinal/channel"
@@ -45,17 +54,23 @@ func main() {
 		beam     = flag.Int("b", 256, "decoder beam width B")
 		seed     = flag.Int64("seed", 1, "channel noise seed")
 		flows    = flag.Int("flows", 1, "split the input across N concurrent link-session flows")
-		scenario = flag.String("scenario", "", "run a named scenario instead of piping stdin: burst, walk, trace:<file>, churn, feedback-delay, feedback-loss")
+		scenario = flag.String("scenario", "", "run a named scenario instead of piping stdin: burst, walk, trace:<file>, churn, feedback-delay, feedback-loss, chaos, chaos-feedback")
 		policy   = flag.String("policy", "tracking", "scenario rate policy: fixed[:n], capacity[:db], tracking[:db]")
+		faults   = flag.String("faults", "", "adversarial-link fault spec, e.g. reorder=4,dup=0.05,corrupt=0.01 or chaos=2 (see README)")
 	)
 	flag.Parse()
+
+	fc, err := parseFaults(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *scenario != "" {
 		nFlows := 0 // 0 ⇒ MeasureScenario's default population
 		if flagSet("flows") {
 			nFlows = *flows
 		}
-		runScenario(*scenario, *policy, nFlows, *beam, *seed, flagSet("b"))
+		runScenario(*scenario, *policy, nFlows, *beam, *seed, flagSet("b"), fc)
 		return
 	}
 
@@ -69,7 +84,76 @@ func main() {
 	if *flows < 1 {
 		*flows = 1
 	}
-	runFlows(data, p, *snrDB, *seed, *flows)
+	runFlows(data, p, *snrDB, *seed, *flows, fc)
+}
+
+// parseFaults parses the -faults grammar: comma-separated key=value
+// pairs mapping onto link.FaultConfig. Probabilities are per share /
+// per ack in [0,1]. Keys: reorder (a value ≥ 1 is a depth and implies
+// probability 0.15; < 1 is the probability), depth, dup, trunc,
+// corrupt, bits, blackout, blackoutlen, ackreorder, ackdup, acktrunc,
+// ackcorrupt, seed — and chaos[=scale], the golden chaos-feedback mix
+// scaled by the given factor, which later keys may then override.
+func parseFaults(spec string) (*link.FaultConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var fc link.FaultConfig
+	for _, field := range strings.Split(spec, ",") {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(field), "=")
+		num := 0.0
+		if hasVal {
+			var err error
+			num, err = strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-faults %s: %v", field, err)
+			}
+		}
+		switch key {
+		case "chaos":
+			scale := 1.0
+			if hasVal {
+				scale = num
+			}
+			fc = sim.ChaosFaults(true).Scale(scale)
+		case "reorder":
+			if num >= 1 {
+				fc.ReorderDepth = int(num)
+				if fc.FrameReorder == 0 {
+					fc.FrameReorder = 0.15
+				}
+			} else {
+				fc.FrameReorder = num
+			}
+		case "depth":
+			fc.ReorderDepth = int(num)
+		case "dup":
+			fc.FrameDup = num
+		case "trunc":
+			fc.FrameTruncate = num
+		case "corrupt":
+			fc.FrameCorrupt = num
+		case "bits":
+			fc.CorruptBits = int(num)
+		case "blackout":
+			fc.Blackout = num
+		case "blackoutlen":
+			fc.BlackoutRounds = int(num)
+		case "ackreorder":
+			fc.AckReorder = num
+		case "ackdup":
+			fc.AckDup = num
+		case "acktrunc":
+			fc.AckTruncate = num
+		case "ackcorrupt":
+			fc.AckCorrupt = num
+		case "seed":
+			fc.Seed = int64(num)
+		default:
+			return nil, fmt.Errorf("-faults: unknown key %q (want chaos, reorder, depth, dup, trunc, corrupt, bits, blackout, blackoutlen, ackreorder, ackdup, acktrunc, ackcorrupt, seed)", key)
+		}
+	}
+	return &fc, nil
 }
 
 // flagSet reports whether the named flag appeared on the command line,
@@ -86,7 +170,7 @@ func flagSet(name string) bool {
 }
 
 // runScenario drives sim.MeasureScenario and prints its statistics.
-func runScenario(scenario, policy string, flows, beam int, seed int64, beamExplicit bool) {
+func runScenario(scenario, policy string, flows, beam int, seed int64, beamExplicit bool, fc *link.FaultConfig) {
 	p := spinal.DefaultParams()
 	if beamExplicit {
 		p.B = beam
@@ -99,6 +183,7 @@ func runScenario(scenario, policy string, flows, beam int, seed int64, beamExpli
 		Policy:   policy,
 		Flows:    flows,
 		Seed:     seed,
+		Faults:   fc,
 	}
 	res, err := sim.MeasureScenario(cfg)
 	if err != nil {
@@ -111,8 +196,12 @@ func runScenario(scenario, policy string, flows, beam int, seed int64, beamExpli
 
 // runFlows splits data into n contiguous datagrams and drives them as
 // concurrent flows through one link.Session.
-func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int) {
-	s, err := link.NewSession(p)
+func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int, fc *link.FaultConfig) {
+	var sessOpts []link.Option
+	if fc != nil {
+		sessOpts = append(sessOpts, link.WithFaults(*fc))
+	}
+	s, err := link.NewSession(p, sessOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,6 +235,7 @@ func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int) {
 	totalSymbols := 0
 	blocks := 0
 	rounds := 0
+	frameFaults, ackFaults, rejected := 0, 0, 0
 	for _, r := range results {
 		if r.Err != nil {
 			log.Fatalf("flow %d failed: %v", r.ID, r.Err)
@@ -156,6 +246,10 @@ func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int) {
 		if r.Stats.Frames > rounds {
 			rounds = r.Stats.Frames
 		}
+		fs := r.Stats.Faults
+		frameFaults += fs.FramesReordered + fs.FramesDuplicated + fs.FramesTruncated + fs.FramesCorrupted + fs.FramesBlackedOut
+		ackFaults += fs.AcksReordered + fs.AcksDuplicated + fs.AcksTruncated + fs.AcksCorrupted
+		rejected += r.Stats.BatchesRejected
 	}
 	for _, part := range parts {
 		if _, err := os.Stdout.Write(part); err != nil {
@@ -166,9 +260,13 @@ func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int) {
 		fmt.Fprintf(os.Stderr, "spinalcat: %d bytes, %d blocks, %d symbols (%.2f bits/symbol) at %.1f dB\n",
 			len(data), blocks, totalSymbols,
 			float64(len(data)*8)/float64(totalSymbols), snrDB)
-		return
+	} else {
+		fmt.Fprintf(os.Stderr, "spinalcat: %d bytes over %d flows in %d shared frames, %d symbols (%.2f bits/symbol aggregate) at %.1f dB\n",
+			len(data), n, rounds, totalSymbols,
+			float64(len(data)*8)/float64(totalSymbols), snrDB)
 	}
-	fmt.Fprintf(os.Stderr, "spinalcat: %d bytes over %d flows in %d shared frames, %d symbols (%.2f bits/symbol aggregate) at %.1f dB\n",
-		len(data), n, rounds, totalSymbols,
-		float64(len(data)*8)/float64(totalSymbols), snrDB)
+	if fc != nil {
+		fmt.Fprintf(os.Stderr, "spinalcat: faults injected: %d frame, %d ack; %d corrupt batches rejected\n",
+			frameFaults, ackFaults, rejected)
+	}
 }

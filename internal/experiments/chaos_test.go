@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"spinal/internal/core"
+)
+
+// TestChaosDegradationSmooth asserts the shape of the adversarial-link
+// degradation sweep (the chaos-degradation experiment, quick scale): as
+// fault intensity rises from 0x through 4x the pinned chaos mix, goodput
+// falls monotonically-smoothly — each step may not rise more than noise
+// and may not fall off a cliff — and delivery never collapses to a 100%
+// outage. A hardened rateless link loses throughput to faults; it does
+// not lose the link.
+func TestChaosDegradationSmooth(t *testing.T) {
+	p := core.Params{K: 4, B: 16, D: 1, C: 6, Tail: 2, Ways: 8}
+	rows := chaosSweep(p, 8, 1)
+	if len(rows) < 3 {
+		t.Fatalf("sweep too short: %d points", len(rows))
+	}
+	for i, r := range rows {
+		if r.Goodput <= 0 {
+			t.Fatalf("scale %s: goodput %.3f, want positive at every intensity", r.label, r.Goodput)
+		}
+		if r.Delivered == 0 || r.OutageRate >= 1 {
+			t.Fatalf("scale %s: delivered %d/%d (outage %.0f%%) — the cliff the rateless design must not have",
+				r.label, r.Delivered, r.Flows, 100*r.OutageRate)
+		}
+		if i == 0 {
+			if r.FramesFaulted != 0 || r.AcksFaulted != 0 {
+				t.Fatalf("scale 0 injected faults: %d frame, %d ack", r.FramesFaulted, r.AcksFaulted)
+			}
+			continue
+		}
+		prev := rows[i-1]
+		// Monotone within noise: a higher intensity may not *gain* more
+		// than 5% goodput over the previous point...
+		if r.Goodput > prev.Goodput*1.05 {
+			t.Fatalf("goodput rose with fault intensity: %.3f at %s vs %.3f at %s",
+				r.Goodput, r.label, prev.Goodput, prev.label)
+		}
+		// ...and smooth: one step of the sweep may not destroy more than
+		// 75% of the remaining goodput (the observed worst step loses
+		// ~50%; a cliff would lose essentially all of it).
+		if r.Goodput < prev.Goodput*0.25 {
+			t.Fatalf("goodput fell off a cliff: %.3f at %s vs %.3f at %s",
+				r.Goodput, r.label, prev.Goodput, prev.label)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.FramesFaulted == 0 || last.AcksFaulted == 0 {
+		t.Fatalf("max intensity injected no faults: %d frame, %d ack — the sweep is not sweeping",
+			last.FramesFaulted, last.AcksFaulted)
+	}
+	if last.Goodput >= rows[0].Goodput {
+		t.Fatalf("max intensity did not cost goodput: %.3f at %s vs %.3f fault-free",
+			last.Goodput, last.label, rows[0].Goodput)
+	}
+}

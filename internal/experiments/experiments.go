@@ -107,6 +107,7 @@ var All = []Experiment{
 	{"ge-channel", "Bursty Gilbert-Elliott channel: rateless vs best fixed rate", GEChannel},
 	{"scenario-goodput", "Time-varying channel scenario: link goodput by rate policy", ScenarioGoodput},
 	{"feedback-goodput", "Realistic ARQ feedback: goodput under ack delay/loss, chase vs discard", FeedbackGoodput},
+	{"chaos-degradation", "Adversarial links: goodput degradation vs fault intensity (no cliff)", ChaosDegradation},
 }
 
 // ByID finds an experiment by id, or nil.

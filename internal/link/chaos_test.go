@@ -1,0 +1,252 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spinal/internal/framing"
+)
+
+// chaosFaultConfig draws one randomized fault schedule. Probabilities
+// are kept in ranges where transfers still mostly complete — the soak is
+// about surviving composition of faults, not about proving outage under
+// a dead link (the degradation experiment covers intensity sweeps).
+func chaosFaultConfig(rng *rand.Rand, ackFaults bool) FaultConfig {
+	fc := FaultConfig{
+		FrameReorder:   rng.Float64() * 0.3,
+		FrameDup:       rng.Float64() * 0.2,
+		FrameTruncate:  rng.Float64() * 0.1,
+		FrameCorrupt:   rng.Float64() * 0.1,
+		Blackout:       rng.Float64() * 0.05,
+		ReorderDepth:   1 + rng.Intn(6),
+		CorruptBits:    1 + rng.Intn(4),
+		BlackoutRounds: 1 + rng.Intn(6),
+		Seed:           rng.Int63(),
+	}
+	if ackFaults {
+		fc.AckReorder = rng.Float64() * 0.3
+		fc.AckDup = rng.Float64() * 0.2
+		fc.AckTruncate = rng.Float64() * 0.1
+		fc.AckCorrupt = rng.Float64() * 0.1
+	}
+	return fc
+}
+
+// TestChaosSoak drives thousands of frames through randomized fault
+// schedules — reorder, duplication, truncation, corruption and blackouts
+// composed with noisy channels, share erasure, and (on alternate
+// configurations) a delayed lossy reverse channel whose acks suffer the
+// same fault kinds — with the invariant checker asserting the engine's
+// conservation laws after every Step. The pass criterion is graceful
+// degradation: no panic, no deadlock (Drain terminates through the round
+// budgets), no invariant violation, and every delivered datagram
+// byte-identical to what was sent; outages under heavy faults are legal,
+// silent corruption is not.
+func TestChaosSoak(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	configs := 10
+	if testing.Short() {
+		configs = 2
+	}
+	totalFrames, delivered, outaged := 0, 0, 0
+	for c := 0; c < configs; c++ {
+		withFeedback := c%2 == 1
+		fc := chaosFaultConfig(rng, withFeedback)
+		var feedback *FeedbackConfig
+		if withFeedback {
+			feedback = &FeedbackConfig{
+				DelayRounds:  rng.Intn(3),
+				JitterRounds: rng.Intn(2),
+				Loss:         rng.Float64() * 0.2,
+				Discard:      c%4 == 3,
+			}
+		}
+		eng := NewEngine(EngineConfig{
+			Params:          linkParams(),
+			MaxBlockBits:    192,
+			Shards:          2,
+			MaxRounds:       120,
+			Seed:            int64(c)*1009 + 7,
+			Feedback:        feedback,
+			Faults:          &fc,
+			CheckInvariants: true,
+		})
+		payload := make(map[FlowID][]byte)
+		for i := 0; i < 14; i++ {
+			data := make([]byte, 20+rng.Intn(120))
+			rng.Read(data)
+			id := eng.AddFlow(data, FlowConfig{
+				Channel: newAWGNChannel(8+rng.Float64()*12, rng.Float64()*0.1, rng.Int63()),
+				Rate:    FixedRate(1 + rng.Intn(2)),
+			})
+			payload[id] = data
+		}
+		results := eng.Drain(0)
+		eng.Close()
+		if len(results) != len(payload) {
+			t.Fatalf("config %d: %d flows resolved, want %d", c, len(results), len(payload))
+		}
+		for _, r := range results {
+			totalFrames += r.Stats.Frames
+			if r.Err != nil {
+				outaged++
+				continue
+			}
+			delivered++
+			if !bytes.Equal(r.Datagram, payload[r.ID]) {
+				t.Fatalf("config %d flow %d: delivered datagram corrupted", c, r.ID)
+			}
+		}
+	}
+	t.Logf("soak: %d frames, %d delivered, %d outaged", totalFrames, delivered, outaged)
+	if !testing.Short() {
+		if totalFrames < 2000 {
+			t.Fatalf("soak undersized: only %d frames crossed the injector", totalFrames)
+		}
+		if delivered == 0 {
+			t.Fatal("soak delivered nothing — fault intensities are past graceful degradation")
+		}
+	}
+}
+
+// TestChaosDeterministic pins the injector's reproducibility: two engines
+// with identical configuration and flows resolve with bit-identical
+// results — datagrams, stats, and every fault counter.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() []FlowResult {
+		fc := chaosTestFaults()
+		eng := NewEngine(EngineConfig{
+			Params:          linkParams(),
+			MaxBlockBits:    192,
+			Shards:          2,
+			MaxRounds:       96,
+			Seed:            42,
+			Feedback:        &FeedbackConfig{DelayRounds: 1, Loss: 0.1},
+			Faults:          &fc,
+			CheckInvariants: true,
+		})
+		defer eng.Close()
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 6; i++ {
+			data := make([]byte, 40+rng.Intn(60))
+			rng.Read(data)
+			eng.AddFlow(data, FlowConfig{
+				Channel: newAWGNChannel(12, 0.05, int64(i)*17),
+				Rate:    FixedRate(1),
+			})
+		}
+		return eng.Drain(0)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("chaos runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+// chaosTestFaults is the all-faults-on mix the deterministic chaos tests
+// share.
+func chaosTestFaults() FaultConfig {
+	return FaultConfig{
+		FrameReorder: 0.2, FrameDup: 0.15, FrameTruncate: 0.08,
+		FrameCorrupt: 0.08, Blackout: 0.03,
+		ReorderDepth: 4, BlackoutRounds: 3,
+		AckReorder: 0.2, AckDup: 0.15, AckTruncate: 0.08, AckCorrupt: 0.08,
+	}
+}
+
+// TestDeliveryIdempotent is the replay property: delivering every frame
+// k times leaves the receiver in exactly the state of single delivery —
+// same acks after each round, same decoded payloads at the end — and
+// applying every ack k times leaves the sender in exactly the state of
+// single application. Only the dedup counters may differ.
+func TestDeliveryIdempotent(t *testing.T) {
+	p := linkParams()
+	rng := rand.New(rand.NewSource(77))
+	data := make([]byte, 300)
+	rng.Read(data)
+	for _, k := range []int{2, 5} {
+		sndOnce := NewSender(data, p, 256)
+		sndK := NewSender(data, p, 256)
+		rcvOnce := NewReceiver(p)
+		rcvK := NewReceiver(p)
+		chOnce := newAWGNChannel(12, 0, 9)
+		chK := newAWGNChannel(12, 0, 9)
+		for i := 0; i < 200 && !sndOnce.Done(); i++ {
+			f := sndOnce.NextFrame()
+			fk := sndK.NextFrame()
+			if f == nil || fk == nil {
+				break
+			}
+			noisy := func(f *Frame, rx []complex128) *Frame {
+				f2 := *f
+				f2.Batches = rebatch(f.Batches, rx)
+				return &f2
+			}
+			f2 := noisy(f, chOnce.Apply(f.Symbols()))
+			fk2 := noisy(fk, chK.Apply(fk.Symbols()))
+			ack1, _ := rcvOnce.HandleFrame(f2)
+			var ackK framing.Ack
+			for j := 0; j < k; j++ {
+				ackK, _ = rcvK.HandleFrame(fk2)
+			}
+			if !reflect.DeepEqual(ack1.Decoded, ackK.Decoded) {
+				t.Fatalf("k=%d round %d: replayed receiver diverged: %v vs %v",
+					k, i, ack1.Decoded, ackK.Decoded)
+			}
+			sndOnce.HandleAck(ack1)
+			for j := 0; j < k; j++ {
+				sndK.HandleAck(ackK)
+			}
+			if !reflect.DeepEqual(sndOnce.acked, sndK.acked) {
+				t.Fatalf("k=%d round %d: replayed acks diverged sender state", k, i)
+			}
+		}
+		gotOnce, errOnce := rcvOnce.Datagram()
+		gotK, errK := rcvK.Datagram()
+		if errOnce != nil || errK != nil {
+			t.Fatalf("k=%d: datagram errors: %v, %v", k, errOnce, errK)
+		}
+		if !bytes.Equal(gotOnce, gotK) || !bytes.Equal(gotOnce, data) {
+			t.Fatalf("k=%d: replayed delivery corrupted the datagram", k)
+		}
+		// The only state allowed to differ is the dedup tally: (k-1)
+		// replays of every accepted symbol.
+		for i := range rcvK.blocks {
+			if rcvOnce.blocks[i].dups != 0 {
+				t.Fatalf("single delivery counted %d dups", rcvOnce.blocks[i].dups)
+			}
+			if k > 1 && rcvK.blocks[i].dups == 0 {
+				t.Fatalf("k=%d: block %d replays were not counted", k, i)
+			}
+		}
+	}
+}
+
+// TestFaultScale pins Scale's clamping: probabilities scale linearly,
+// clamp to [0, 1], and structural knobs (depths, burst lengths) are
+// untouched. Scale(0) must disable every fault.
+func TestFaultScale(t *testing.T) {
+	base := chaosTestFaults()
+	zero := base.Scale(0)
+	if zero.FrameReorder != 0 || zero.FrameDup != 0 || zero.FrameTruncate != 0 ||
+		zero.FrameCorrupt != 0 || zero.Blackout != 0 ||
+		zero.AckReorder != 0 || zero.AckDup != 0 || zero.AckTruncate != 0 || zero.AckCorrupt != 0 {
+		t.Fatalf("Scale(0) left faults enabled: %+v", zero)
+	}
+	if zero.ackFaults() {
+		t.Fatal("Scale(0) still reports ack faults")
+	}
+	big := base.Scale(100)
+	if big.FrameReorder != 1 || big.AckCorrupt != 1 {
+		t.Fatalf("Scale(100) did not clamp to 1: %+v", big)
+	}
+	if big.ReorderDepth != base.ReorderDepth || big.BlackoutRounds != base.BlackoutRounds {
+		t.Fatal("Scale changed structural knobs")
+	}
+	half := base.Scale(0.5)
+	if half.FrameDup != base.FrameDup*0.5 {
+		t.Fatalf("Scale(0.5) FrameDup = %v, want %v", half.FrameDup, base.FrameDup*0.5)
+	}
+}

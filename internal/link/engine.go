@@ -127,6 +127,20 @@ type EngineConfig struct {
 	// and one when the sender applies it (AckDelivered). Purely
 	// observational — the engine ignores anything the observer does.
 	Observer FeedbackObserver
+	// Faults, when non-nil, runs every flow's traffic through a seeded
+	// deterministic fault injector: each round's share of the frame
+	// crosses the wire codec and may be reordered, duplicated, truncated,
+	// bit-flipped or blacked out before the receiver sees it, and (with a
+	// FeedbackConfig) each ack's wire bytes suffer the reverse-path
+	// counterparts inside the FeedbackChannel. nil keeps the fault-free
+	// path bit for bit.
+	Faults *FaultConfig
+	// CheckInvariants asserts the engine's conservation laws after every
+	// Step — resolved+active flows match admissions, acked blocks are
+	// monotone, ARQ window occupancy within bounds, symbol accounting
+	// consistent, receiver memory bounded — panicking with a diagnostic on
+	// the first violation. For tests and soaks; off, it costs nothing.
+	CheckInvariants bool
 }
 
 // HalfDuplexConfig prices reverse-channel (ack) airtime on a shared
@@ -208,6 +222,17 @@ type engineFlow struct {
 	arq []retxTimer
 	rx  bool // received something on the air this round (ack due)
 
+	// Fault-injection state, present only under an EngineConfig.Faults:
+	// the flow's injector, its block layout (for rebuilding wire frames),
+	// and the receiver-side rejection tally.
+	inj             *faultInjector
+	layout          []int
+	batchesRejected int
+
+	// prevAcked snapshots the sender's acked bitmap at the last invariant
+	// check (EngineConfig.CheckInvariants), to assert monotonicity.
+	prevAcked []bool
+
 	// Pause-policy state, present only when FlowConfig.Pause is set: the
 	// sender hears acks only at burst boundaries.
 	pause      PausePolicy
@@ -243,17 +268,36 @@ type Engine struct {
 	seq   uint32
 	rng   *rand.Rand
 
-	items []txItem // per-round scratch
+	items  []txItem  // per-round scratch
+	groups []rxGroup // per-round scratch (fault path)
+
+	// Flow-conservation counters for the invariant checker: flows
+	// admitted, resolved successfully, and resolved with an error.
+	added, delivered, outaged int
 }
 
 // txItem is one scheduled batch's journey through a round: IDs assigned
 // on the engine thread, symbols filled by an encode job, perturbed by the
 // flow's channel, then consumed by a decode job.
 type txItem struct {
-	fl      *engineFlow
-	batch   Batch
-	lost    bool
-	decoded bool
+	fl       *engineFlow
+	batch    Batch
+	lost     bool
+	decoded  bool
+	rejected bool // receiver dropped the batch with a typed error
+}
+
+// rxGroup collects the surviving batches of one (flow, block) pair under
+// fault injection. Reorder and duplication can deliver several batches
+// for the same block in one round; grouping them into a single decode job
+// keeps pool jobs on disjoint receiver state, exactly like the fault-free
+// path's unique-per-(flow, block) items.
+type rxGroup struct {
+	fl       *engineFlow
+	block    int
+	batches  []Batch
+	decoded  bool
+	rejected int
 }
 
 // NewEngine starts an engine and its codec pool. Close releases the pool.
@@ -302,17 +346,26 @@ func (e *Engine) AddFlow(datagram []byte, fc FlowConfig) FlowID {
 			fl.arq[i] = newRetxTimer(fb.rto(), fb.maxRTO())
 		}
 	}
+	if fc := e.cfg.Faults; fc != nil {
+		fl.inj = newFaultInjector(*fc,
+			e.cfg.Seed^fc.Seed^(int64(fl.id)*0x2545f4914f6cdd1d+0x17))
+		if fl.fb != nil {
+			fl.fb.setFaults(fl.inj)
+		}
+	}
 	// The engine feeds the receiver batches directly, so adopt the block
 	// layout now instead of waiting for a first frame.
 	layout := make([]int, fl.snd.Blocks())
 	for i := range layout {
 		layout[i] = fl.snd.blocks[i].NumBits()
 	}
+	fl.layout = layout
 	if err := fl.rcv.init(layout); err != nil {
 		// Segment never produces an invalid layout; fail loudly if it does.
 		panic(err)
 	}
 	e.next++
+	e.added++
 	e.flows = append(e.flows, fl)
 	return fl.id
 }
@@ -481,37 +534,90 @@ func (e *Engine) Step() []FlowResult {
 			continue
 		}
 		it.batch.Symbols = rx
-		it.fl.rx = true // the receiver saw this round; it owes an ack
+		if e.cfg.Faults == nil {
+			it.fl.rx = true // the receiver saw this round; it owes an ack
+		}
 	}
 
-	// Decode: one job per surviving batch. Items are unique per
-	// (flow, block), so jobs touch disjoint receiver state; the decoder
-	// itself is the worker's, reset and replayed from the block's
-	// accumulated symbols.
-	for k := range e.items {
-		it := &e.items[k]
-		if it.lost {
-			continue
+	// Decode. Fault-free: one job per surviving batch — items are unique
+	// per (flow, block), so jobs touch disjoint receiver state; the
+	// decoder itself is the worker's, reset and replayed from the block's
+	// accumulated symbols. Under fault injection each flow's surviving
+	// share first crosses the wire codec and its injector (which may hold
+	// it back, replay it, mangle it, or swallow it in a blackout), and
+	// whatever frames emerge are regrouped per (flow, block) so jobs keep
+	// the same disjointness.
+	if e.cfg.Faults == nil {
+		for k := range e.items {
+			it := &e.items[k]
+			if it.lost {
+				continue
+			}
+			wg.Add(1)
+			e.pool.Submit(shardOf(it.fl.id, it.batch.Block), func(c *core.Codec) {
+				defer wg.Done()
+				rcv := it.fl.rcv
+				if e.cfg.Feedback != nil && e.cfg.Feedback.Discard && len(it.batch.IDs) > 0 {
+					// Type-I ARQ: decode each retry standalone instead of
+					// chase-combining with observations that already failed.
+					rcv.dropStale(it.batch.Block)
+				}
+				ok, err := rcv.accumulate(&it.batch)
+				if !ok {
+					return
+				}
+				if err != nil {
+					it.rejected = true
+					return
+				}
+				blk := &rcv.blocks[it.batch.Block]
+				if blk.dirty {
+					it.decoded = rcv.attempt(it.batch.Block, c.Decoder(blk.nBits))
+				}
+			})
 		}
-		wg.Add(1)
-		e.pool.Submit(shardOf(it.fl.id, it.batch.Block), func(c *core.Codec) {
-			defer wg.Done()
-			rcv := it.fl.rcv
-			if e.cfg.Feedback != nil && e.cfg.Feedback.Discard && len(it.batch.IDs) > 0 {
-				// Type-I ARQ: decode each retry standalone instead of
-				// chase-combining with observations that already failed.
-				rcv.dropStale(it.batch.Block)
+		wg.Wait()
+		for k := range e.items {
+			if e.items[k].rejected {
+				e.items[k].fl.batchesRejected++
 			}
-			if ok, err := rcv.accumulate(&it.batch); !ok || err != nil {
-				return
-			}
-			blk := &rcv.blocks[it.batch.Block]
-			if blk.dirty {
-				it.decoded = rcv.attempt(it.batch.Block, c.Decoder(blk.nBits))
-			}
-		})
+		}
+	} else {
+		e.faultDeliver(round)
+		for k := range e.groups {
+			g := &e.groups[k]
+			wg.Add(1)
+			e.pool.Submit(shardOf(g.fl.id, g.block), func(c *core.Codec) {
+				defer wg.Done()
+				rcv := g.fl.rcv
+				// A corrupt frame that survived the parser can address a
+				// block the receiver does not have; accumulate rejects it,
+				// but nothing else in this job may index by it.
+				inRange := g.block >= 0 && g.block < len(rcv.blocks)
+				for i := range g.batches {
+					b := &g.batches[i]
+					if inRange && e.cfg.Feedback != nil && e.cfg.Feedback.Discard && len(b.IDs) > 0 {
+						rcv.dropStale(g.block)
+					}
+					ok, err := rcv.accumulate(b)
+					if ok && err != nil {
+						g.rejected++
+					}
+				}
+				if !inRange {
+					return // frame-shaped garbage: nothing to decode
+				}
+				blk := &rcv.blocks[g.block]
+				if !blk.got && blk.dirty {
+					g.decoded = rcv.attempt(g.block, c.Decoder(blk.nBits))
+				}
+			})
+		}
+		wg.Wait()
+		for k := range e.groups {
+			e.groups[k].fl.batchesRejected += e.groups[k].rejected
+		}
 	}
-	wg.Wait()
 
 	// ACK. Without a FeedbackConfig: instantaneous per-block feedback —
 	// §6's one-bit-per-block ACK over a perfect reverse channel, applied
@@ -531,6 +637,16 @@ func (e *Engine) Step() []FlowResult {
 				if ob, ok := it.fl.rate.(RateObserver); ok {
 					ob.ObserveDecode(it.fl.snd.blocks[it.batch.Block].NumBits(),
 						it.fl.snd.symbolsFor(it.batch.Block))
+				}
+			}
+		}
+		for k := range e.groups {
+			g := &e.groups[k]
+			if g.decoded && g.fl.pause == nil && g.block < len(g.fl.snd.acked) {
+				g.fl.snd.acked[g.block] = true
+				if ob, ok := g.fl.rate.(RateObserver); ok {
+					ob.ObserveDecode(g.fl.snd.blocks[g.block].NumBits(),
+						g.fl.snd.symbolsFor(g.block))
 				}
 			}
 		}
@@ -575,9 +691,16 @@ func (e *Engine) Step() []FlowResult {
 	for _, fl := range e.flows {
 		switch {
 		case fl.snd.Done():
-			results = append(results, e.resolve(fl, nil))
+			r := e.resolve(fl, nil)
+			if r.Err == nil {
+				e.delivered++
+			} else {
+				e.outaged++
+			}
+			results = append(results, r)
 		case fl.rounds >= fl.maxRounds:
 			results = append(results, e.resolve(fl, ErrFlowBudget))
+			e.outaged++
 		default:
 			live = append(live, fl)
 		}
@@ -588,7 +711,56 @@ func (e *Engine) Step() []FlowResult {
 	} else {
 		e.rr = 0
 	}
+	if e.cfg.CheckInvariants {
+		e.checkInvariants(round)
+	}
 	return results
+}
+
+// faultDeliver runs every flow's forward-path fault injector for one
+// round: each flow's surviving share of this round's frame is assembled
+// into a wire-encodable Frame, handed to its injector (which may mangle
+// it, hold it back, replay it, or swallow it in a blackout), and the
+// frames actually delivered are flattened into per-(flow, block) decode
+// groups. Every active flow's injector ticks every round, so blackouts
+// burn down and held-back frames come due even in rounds the flow did
+// not transmit.
+func (e *Engine) faultDeliver(round int) {
+	e.groups = e.groups[:0]
+	for _, fl := range e.flows {
+		var share *Frame
+		for k := range e.items {
+			it := &e.items[k]
+			if it.fl != fl || it.lost {
+				continue
+			}
+			if share == nil {
+				share = &Frame{Seq: uint32(round), BlockBits: fl.layout}
+			}
+			share.Batches = append(share.Batches, it.batch)
+		}
+		frames := fl.inj.deliver(share, round)
+		if len(frames) > 0 {
+			fl.rx = true // the receiver saw something; it owes an ack
+		}
+		for _, f := range frames {
+			for i := range f.Batches {
+				b := f.Batches[i]
+				g := -1
+				for j := range e.groups {
+					if e.groups[j].fl == fl && e.groups[j].block == b.Block {
+						g = j
+						break
+					}
+				}
+				if g < 0 {
+					e.groups = append(e.groups, rxGroup{fl: fl, block: b.Block})
+					g = len(e.groups) - 1
+				}
+				e.groups[g].batches = append(e.groups[g].batches, b)
+			}
+		}
+	}
 }
 
 // applyAck folds one delivered ack into sender-side flow state: newly
@@ -683,6 +855,14 @@ func (e *Engine) resolve(fl *engineFlow, ferr error) FlowResult {
 			st.Retransmissions += fl.arq[i].retx
 		}
 		st.AcksSent, st.AcksLost, _ = fl.fb.Counters()
+	}
+	st.BatchesRejected = fl.batchesRejected
+	for i := range fl.rcv.blocks {
+		st.SymbolsDeduped += fl.rcv.blocks[i].dups
+		st.SymbolsOverflowed += fl.rcv.blocks[i].overflow
+	}
+	if fl.inj != nil {
+		st.Faults = fl.inj.stats
 	}
 	if air := st.SymbolsSent + st.AckSymbols; air > 0 {
 		// Under half-duplex accounting AckSymbols is nonzero and the rate

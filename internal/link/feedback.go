@@ -130,6 +130,11 @@ type FeedbackChannel struct {
 	rng   *rand.Rand
 	now   int
 	queue []pendingAck
+	// inj, when non-nil, applies adversarial reverse-path faults
+	// (reorder, duplication, truncation, bit flips) to each ack's wire
+	// bytes in Send; mangled acks that no longer parse are counted lost
+	// on delivery.
+	inj *faultInjector
 
 	sent, lost, delivered int
 }
@@ -143,8 +148,13 @@ func NewFeedbackChannel(cfg FeedbackConfig, seed int64) *FeedbackChannel {
 	}
 }
 
+// setFaults installs an adversarial-fault injector on the reverse path.
+func (f *FeedbackChannel) setFaults(inj *faultInjector) { f.inj = inj }
+
 // Send enqueues an ack for future delivery, or drops it with probability
-// Loss. The ack is serialized immediately: what travels is wire bytes.
+// Loss. The ack is serialized immediately: what travels is wire bytes —
+// which is also where the fault injector, when present, reorders,
+// duplicates, truncates and bit-flips them.
 func (f *FeedbackChannel) Send(a framing.Ack) {
 	f.sent++
 	if f.cfg.Loss > 0 && f.rng.Float64() < f.cfg.Loss {
@@ -155,7 +165,15 @@ func (f *FeedbackChannel) Send(a framing.Ack) {
 	if f.cfg.JitterRounds > 0 {
 		delay += f.rng.Intn(f.cfg.JitterRounds + 1)
 	}
-	f.queue = append(f.queue, pendingAck{due: f.now + delay, wire: EncodeAck(a)})
+	wire := EncodeAck(a)
+	if f.inj != nil && f.inj.cfg.ackFaults() {
+		mangled, extra, dup, dupDelay := f.inj.mangleAck(wire)
+		if dup != nil {
+			f.queue = append(f.queue, pendingAck{due: f.now + delay + dupDelay, wire: dup})
+		}
+		wire, delay = mangled, delay+extra
+	}
+	f.queue = append(f.queue, pendingAck{due: f.now + delay, wire: wire})
 }
 
 // Advance ticks one engine round and returns the acks due for delivery,

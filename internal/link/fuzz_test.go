@@ -3,6 +3,11 @@ package link
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"spinal/internal/core"
@@ -36,7 +41,7 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 		Symbols: []complex128{1},
 	}}
 
-	return [][]byte{
+	seeds := [][]byte{
 		nil,                                      // nil / empty frame bytes
 		EncodeFrame(&Frame{}),                    // no layout → ErrBadLayout
 		EncodeFrame(&Frame{BlockBits: []int{0}}), // zero-bit block
@@ -47,6 +52,56 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 		EncodeFrame(&malformed),
 		EncodeFrame(&badID),
 	}
+	// Injector-shaped corruption: the same truncation and bit-flip
+	// primitives the fault injector applies on the live wire, at a fixed
+	// seed so the corpus is stable. These are exactly the byte images a
+	// chaos run feeds the parser.
+	rng := rand.New(rand.NewSource(0x6661756c74))
+	for _, w := range [][]byte{EncodeFrame(healthy), EncodeFrame(&malformed)} {
+		for i := 0; i < 3; i++ {
+			seeds = append(seeds, truncateWire(rng, w))
+			seeds = append(seeds, flipBits(rng, append([]byte(nil), w...), 3))
+		}
+	}
+	return seeds
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in injector-produced
+// corpus entries under testdata/fuzz (go-fuzz v1 format). Gated behind
+// an env var so a normal test run never rewrites testdata:
+//
+//	SPINAL_WRITE_CORPUS=1 go test ./internal/link -run TestWriteFuzzCorpus
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("SPINAL_WRITE_CORPUS") == "" {
+		t.Skip("set SPINAL_WRITE_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	write := func(target, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(0x636f72707573))
+	snd := NewSender([]byte("corpus regeneration payload"), fuzzParams(), 64)
+	frameWire := EncodeFrame(snd.NextFrame())
+	ackWire := EncodeAck(framing.Ack{Seq: 11, Decoded: []bool{true, true, false, true}})
+	for i := 0; i < 4; i++ {
+		write("FuzzHandleFrame", fmt.Sprintf("injector_truncated_%d", i), truncateWire(rng, frameWire))
+		write("FuzzHandleFrame", fmt.Sprintf("injector_bitflip_%d", i), flipBits(rng, append([]byte(nil), frameWire...), 3))
+		write("FuzzFrameDecode", fmt.Sprintf("injector_truncated_%d", i), truncateWire(rng, frameWire))
+		write("FuzzFrameDecode", fmt.Sprintf("injector_bitflip_%d", i), flipBits(rng, append([]byte(nil), frameWire...), 3))
+		write("FuzzAckDecode", fmt.Sprintf("injector_truncated_%d", i), truncateWire(rng, ackWire))
+		write("FuzzAckDecode", fmt.Sprintf("injector_bitflip_%d", i), flipBits(rng, append([]byte(nil), ackWire...), 2))
+	}
+	// Duplicated input: the same healthy frame twice over is what the
+	// receiver sees after injector duplication; FuzzHandleFrame delivers
+	// every corpus entry twice, so the healthy wire itself is the seed.
+	write("FuzzHandleFrame", "injector_duplicated", frameWire)
+	write("FuzzAckDecode", "injector_duplicated", ackWire)
 }
 
 // FuzzFrameDecode fuzzes the wire parser: arbitrary bytes must never
@@ -97,6 +152,14 @@ func FuzzAckDecode(f *testing.F) {
 	f.Add(EncodeAck(framing.Ack{Seq: 4, Decoded: nearly}))        // selective variant, 2 runs
 	f.Add([]byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0x03}) // hostile block count
 	f.Add([]byte{1, 2, 3})                                        // truncated header
+	// Injector-shaped corruption of a healthy ack wire (the fault
+	// injector's own truncate/bit-flip primitives, fixed seed).
+	rng := rand.New(rand.NewSource(0x61636b73))
+	ackWire := EncodeAck(framing.Ack{Seq: 9, Decoded: []bool{true, false, true, true, false}})
+	for i := 0; i < 3; i++ {
+		f.Add(truncateWire(rng, ackWire))
+		f.Add(flipBits(rng, append([]byte(nil), ackWire...), 2))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := DecodeAck(data)
 		if err != nil {
@@ -162,7 +225,7 @@ func FuzzHandleFrame(f *testing.F) {
 			if err == nil {
 				return
 			}
-			for _, want := range []error{ErrNilFrame, ErrBadLayout, ErrMalformedBatch, ErrStaleFrame, ErrBadSymbolID, ErrBadSymbol} {
+			for _, want := range []error{ErrNilFrame, ErrBadLayout, ErrMalformedBatch, ErrStaleFrame, ErrBadSymbolID, ErrBadSymbol, ErrBlockFull} {
 				if errors.Is(err, want) {
 					return
 				}
@@ -175,7 +238,9 @@ func FuzzHandleFrame(f *testing.F) {
 		checkErr(err)
 
 		// Receiver already synchronized to a small layout: the fuzz frame
-		// is now a stale / foreign / corrupt continuation.
+		// is now a stale / foreign / corrupt continuation. Deliver it
+		// twice — duplication is one of the injector's faults — and
+		// require the replay to be absorbed without panic or new state.
 		locked := NewReceiver(p)
 		snd := NewSender([]byte("locked"), p, 0)
 		first := snd.NextFrame()
@@ -183,6 +248,8 @@ func FuzzHandleFrame(f *testing.F) {
 			t.Fatalf("priming frame rejected: %v", err)
 		}
 		_, err = locked.HandleFrame(fr)
+		checkErr(err)
+		_, err = locked.HandleFrame(fr) // duplicate delivery
 		checkErr(err)
 	})
 }

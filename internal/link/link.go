@@ -48,6 +48,12 @@ var (
 	// already-decoded (or out-of-range) blocks. The ACK returned with it
 	// is valid — resending it is exactly how the sender catches up.
 	ErrStaleFrame = errors.New("link: frame carries no batch for an outstanding block")
+	// ErrBlockFull reports a batch whose symbols would grow a block's
+	// accumulator past its bound. Reordered, duplicated or hostile
+	// traffic must not grow receiver memory without limit, so symbols
+	// past the cap are dropped and counted; a block this starved resolves
+	// through the flow's round budget, not an allocation storm.
+	ErrBlockFull = errors.New("link: block symbol accumulator full")
 	// ErrIncomplete reports a datagram read before every block decoded.
 	ErrIncomplete = errors.New("link: datagram incomplete")
 )
@@ -60,6 +66,13 @@ const maxLayoutBits = 1 << 20
 // signal power means anything 120 dB above it is corrupt, and the bound
 // keeps squared-distance branch costs finite for any accumulator size.
 const maxSymbolMagnitude = 1e6
+
+// maxAccumSymbols bounds one block's symbol accumulator. The deepest
+// legitimate accumulation — a maximum-size block trickling subpasses for
+// an entire default round budget — stays well under it, while replayed
+// and reordered traffic (or a hostile peer streaming symbols forever)
+// hits ErrBlockFull instead of growing receiver memory without bound.
+const maxAccumSymbols = 1 << 16
 
 // Batch carries one code block's symbols within a frame. The SymbolIDs
 // are derivable from the frame sequence number and the shared schedule
@@ -213,14 +226,20 @@ func (s *Sender) HandleAck(a framing.Ack) {
 
 // rxBlock is a receiver's per-block state: the symbols accumulated so far
 // (replayed into a pooled decoder at each attempt) and, once the CRC
-// verifies, the decoded payload.
+// verifies, the decoded payload. seen deduplicates symbol observations
+// by ID, so replayed frames (ARQ duplicates, adversarial replay) are
+// no-ops; dups and overflow count what dedup and the accumulator bound
+// dropped.
 type rxBlock struct {
-	nBits   int
-	ids     []core.SymbolID
-	syms    []complex128
-	dirty   bool // new symbols since the last decode attempt
-	got     bool
-	payload []byte
+	nBits    int
+	ids      []core.SymbolID
+	syms     []complex128
+	seen     map[core.SymbolID]struct{}
+	dirty    bool // new symbols since the last decode attempt
+	got      bool
+	payload  []byte
+	dups     int // duplicate symbol observations dropped
+	overflow int // symbols dropped at the accumulator bound
 }
 
 // Receiver reassembles a datagram from rateless frames. It owns no
@@ -292,9 +311,31 @@ func (r *Receiver) accumulate(b *Batch) (bool, error) {
 			return true, ErrBadSymbol
 		}
 	}
-	if len(b.IDs) > 0 {
-		blk.ids = append(blk.ids, b.IDs...)
-		blk.syms = append(blk.syms, b.Symbols...)
+	if len(b.IDs) == 0 {
+		return true, nil
+	}
+	if blk.seen == nil {
+		blk.seen = make(map[core.SymbolID]struct{}, len(b.IDs))
+	}
+	for j, id := range b.IDs {
+		// A symbol ID already observed is a replay (retransmitted passes
+		// carry fresh IDs, so legitimate traffic never repeats one):
+		// delivering any frame k times must be a no-op beyond the
+		// counter.
+		if _, dup := blk.seen[id]; dup {
+			blk.dups++
+			continue
+		}
+		// len(seen) bounds lifetime distinct observations too: under
+		// discard-and-retry the ids slice resets between attempts, but
+		// the dedup set must not become the unbounded growth path.
+		if len(blk.ids) >= maxAccumSymbols || len(blk.seen) >= maxAccumSymbols {
+			blk.overflow += len(b.IDs) - j
+			return true, ErrBlockFull
+		}
+		blk.seen[id] = struct{}{}
+		blk.ids = append(blk.ids, id)
+		blk.syms = append(blk.syms, b.Symbols[j])
 		blk.dirty = true
 	}
 	return true, nil
@@ -316,7 +357,7 @@ func (r *Receiver) attempt(i int, dec *core.Decoder) bool {
 	// payload aliases the decoder's reusable result buffer; copy before
 	// retaining it for reassembly.
 	blk.payload = append([]byte(nil), payload...)
-	blk.ids, blk.syms = nil, nil
+	blk.ids, blk.syms, blk.seen = nil, nil, nil
 	return true
 }
 
@@ -450,6 +491,21 @@ type Stats struct {
 	// Pauses counts the feedback turnarounds of a pause-paced flow
 	// (FlowConfig.Pause; zero otherwise).
 	Pauses int
+	// BatchesRejected counts batches the receiver dropped with a typed
+	// error (ErrMalformedBatch, ErrBadSymbolID, ErrBadSymbol,
+	// ErrBlockFull) — counted-and-dropped input, not silence.
+	BatchesRejected int
+	// SymbolsDeduped counts replayed symbol observations the receiver's
+	// per-ID dedup dropped (duplicate frames are no-ops beyond this
+	// counter).
+	SymbolsDeduped int
+	// SymbolsOverflowed counts symbols dropped at the per-block
+	// accumulator bound (ErrBlockFull's victims).
+	SymbolsOverflowed int
+	// Faults counts the faults injected into the flow's forward and
+	// reverse paths when the engine runs with a FaultConfig
+	// (EngineConfig.Faults; zero otherwise).
+	Faults FaultStats
 	// Rate is datagram bits per channel symbol, CRC overhead included in
 	// the denominator's favour (it counts only payload bits). Under
 	// half-duplex accounting the denominator also includes AckSymbols.
@@ -491,7 +547,12 @@ func Transfer(datagram []byte, p core.Params, maxBlockBits int, ch Channel, maxF
 			f2 := *f
 			f2.Batches = rebatch(f.Batches, rx)
 			ack, herr := rcv.HandleFrame(&f2)
-			if herr == nil || errors.Is(herr, ErrStaleFrame) {
+			// Only the nil-frame and bad-layout failures leave the ACK
+			// empty; every other typed error (stale, malformed batch, bad
+			// symbol, full accumulator) rides alongside a valid ACK that
+			// must still be applied — dropping it would silently swallow
+			// the receiver's progress report.
+			if herr == nil || (!errors.Is(herr, ErrNilFrame) && !errors.Is(herr, ErrBadLayout)) {
 				snd.HandleAck(ack)
 			}
 		}

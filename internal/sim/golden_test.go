@@ -64,6 +64,26 @@ func goldenConfigs() []ScenarioConfig {
 	}
 	hd.HalfDuplex = true
 	cfgs = append(cfgs, hd)
+	// The chaos scenarios pin the adversarial fault mix — including the
+	// injector's fault counters and the receivers' rejection/dedup
+	// tallies, so a drift in fault scheduling or hardening behaviour is
+	// as loud as a goodput drift. One policy each keeps the runtime sane;
+	// the soak test covers the parameter space.
+	for _, sc := range []string{"chaos", "chaos-feedback"} {
+		cfgs = append(cfgs, ScenarioConfig{
+			Params:       multiFlowParams(),
+			Scenario:     sc,
+			Policy:       "tracking",
+			Flows:        5,
+			Concurrency:  3,
+			MinBytes:     40,
+			MaxBytes:     90,
+			MaxRounds:    96,
+			MaxBlockBits: 192,
+			Shards:       2,
+			Seed:         20260730,
+		})
+	}
 	return cfgs
 }
 

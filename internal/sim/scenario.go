@@ -37,8 +37,12 @@ type ScenarioConfig struct {
 	// "trace:<file>" (replayed SNR-vs-time series), "churn" (mixed
 	// channel models with flow arrivals replacing departures),
 	// "feedback-delay" (mixed-SNR AWGN with acks delayed 8 engine
-	// rounds), or "feedback-loss" (acks delayed 2 rounds and 30% lost —
-	// the sender's retransmission timers carry the transfer).
+	// rounds), "feedback-loss" (acks delayed 2 rounds and 30% lost —
+	// the sender's retransmission timers carry the transfer), "chaos"
+	// (the churn mix under adversarial forward-path faults: reorder,
+	// duplication, truncation, corruption, blackout bursts), or
+	// "chaos-feedback" (chaos plus a delayed lossy reverse channel whose
+	// acks suffer the same fault kinds).
 	Scenario string
 	// Policy names the per-flow rate policy: "fixed" or "fixed:<n>",
 	// "capacity" or "capacity:<estDB>", "tracking" or "tracking:<estDB>".
@@ -67,6 +71,11 @@ type ScenarioConfig struct {
 	// experiments' delay sweeps and the chase-vs-discard comparison set
 	// it explicitly.
 	Feedback *link.FeedbackConfig
+	// Faults overrides the scenario's adversarial fault injection: nil
+	// means the scenario default — none for the polite scenarios, the
+	// full fault mix for the chaos scenarios. The degradation sweeps set
+	// it explicitly (typically via FaultConfig.Scale).
+	Faults *link.FaultConfig
 	// HalfDuplex charges reverse-channel (ack) airtime against goodput
 	// (link.WithHalfDuplex at the default reverse modulation density):
 	// the charged symbols are reported in ScenarioResult.AckSymbols and
@@ -108,6 +117,17 @@ type ScenarioResult struct {
 	// Goodput's denominator, and omitted from the JSON when zero so the
 	// pre-half-duplex golden outcomes stay byte-identical.
 	AckSymbols int64 `json:"ack_symbols,omitempty"`
+	// FramesFaulted and AcksFaulted total the injector's forward- and
+	// reverse-path fault events across all flows (reorders, duplicates,
+	// truncations, corruptions, blackout swallows); BatchesRejected counts
+	// batches the receivers dropped with a typed error, and
+	// SymbolsDeduped the replayed symbol observations their dedup
+	// absorbed. All are omitted from the JSON when zero so the fault-free
+	// golden outcomes stay byte-identical.
+	FramesFaulted   int64 `json:"frames_faulted,omitempty"`
+	AcksFaulted     int64 `json:"acks_faulted,omitempty"`
+	BatchesRejected int64 `json:"batches_rejected,omitempty"`
+	SymbolsDeduped  int64 `json:"symbols_deduped,omitempty"`
 }
 
 func (r ScenarioResult) String() string {
@@ -119,21 +139,52 @@ func (r ScenarioResult) String() string {
 	if r.AckSymbols > 0 {
 		s += fmt.Sprintf(", %d ack symbols charged", r.AckSymbols)
 	}
+	if r.FramesFaulted > 0 || r.AcksFaulted > 0 {
+		s += fmt.Sprintf(", %d frame / %d ack faults, %d batches rejected, %d symbols deduped",
+			r.FramesFaulted, r.AcksFaulted, r.BatchesRejected, r.SymbolsDeduped)
+	}
 	return s
 }
 
 // Scenarios lists the named scenarios (trace scenarios additionally take
 // a file argument).
 func Scenarios() []string {
-	return []string{"burst", "walk", "trace:<file>", "churn", "feedback-delay", "feedback-loss"}
+	return []string{"burst", "walk", "trace:<file>", "churn",
+		"feedback-delay", "feedback-loss", "chaos", "chaos-feedback"}
+}
+
+// ChaosFaults is the adversarial fault mix of the chaos scenarios:
+// every forward-path fault kind on at once, at rates high enough that a
+// run of a few dozen rounds sees them all, low enough that transfers
+// still complete. ackFaults adds the reverse-path counterparts
+// (chaos-feedback). Exported so the degradation experiment and
+// cmd/spinalcat sweep the same mix the golden matrix pins.
+func ChaosFaults(ackFaults bool) link.FaultConfig {
+	fc := link.FaultConfig{
+		FrameReorder:   0.15,
+		FrameDup:       0.10,
+		FrameTruncate:  0.05,
+		FrameCorrupt:   0.05,
+		Blackout:       0.02,
+		ReorderDepth:   4,
+		BlackoutRounds: 4,
+	}
+	if ackFaults {
+		fc.AckReorder = 0.15
+		fc.AckDup = 0.10
+		fc.AckTruncate = 0.05
+		fc.AckCorrupt = 0.05
+	}
+	return fc
 }
 
 // scenarioChannels builds the per-flow channel factory for the named
 // scenario plus the scenario's default feedback impairment (nil for the
-// channel scenarios — instant perfect acks); the returned function yields
+// channel scenarios — instant perfect acks) and default fault injection
+// (nil for all but the chaos scenarios); the returned function yields
 // flow i's model and the nominal SNR estimate a sender would start from.
 // Trace files are read once here, not once per flow.
-func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, float64), *link.FeedbackConfig, error) {
+func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, float64), *link.FeedbackConfig, *link.FaultConfig, error) {
 	flowSeed := func(i int) int64 { return seed + int64(i)*7919 }
 	burst := func(i int) (channel.Model, float64) {
 		// ≈250-symbol bad bursts, 20% stationary bad fraction: deep enough
@@ -153,39 +204,49 @@ func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, floa
 		snr := []float64{7, 10, 14}[i%3]
 		return channel.NewAWGN(snr, flowSeed(i)), snr
 	}
+	// The chaos scenarios ride the churn mix: time-varying media plus
+	// arrivals replacing departures is the population the fault injector
+	// should be stressing, not a single quiet AWGN flow.
+	churn := func(i int) (channel.Model, float64) {
+		switch i % 3 {
+		case 0:
+			return burst(i)
+		case 1:
+			return walk(i)
+		default:
+			snr := []float64{8, 12, 18, 25}[(i/3)%4]
+			return channel.NewAWGN(snr, flowSeed(i)), snr
+		}
+	}
 	switch {
 	case name == "burst":
-		return burst, nil, nil
+		return burst, nil, nil, nil
 	case name == "walk":
-		return walk, nil, nil
+		return walk, nil, nil, nil
 	case strings.HasPrefix(name, "trace:"):
 		segs, err := channel.LoadTrace(strings.TrimPrefix(name, "trace:"))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		return func(i int) (channel.Model, float64) {
 			tr := channel.NewTrace(segs, flowSeed(i))
 			return tr, tr.MeanDB()
-		}, nil, nil
+		}, nil, nil, nil
 	case name == "churn":
 		// Mixed media across the flow population.
-		return func(i int) (channel.Model, float64) {
-			switch i % 3 {
-			case 0:
-				return burst(i)
-			case 1:
-				return walk(i)
-			default:
-				snr := []float64{8, 12, 18, 25}[(i/3)%4]
-				return channel.NewAWGN(snr, flowSeed(i)), snr
-			}
-		}, nil, nil
+		return churn, nil, nil, nil
 	case name == "feedback-delay":
-		return feedbackMix, &link.FeedbackConfig{DelayRounds: 8}, nil
+		return feedbackMix, &link.FeedbackConfig{DelayRounds: 8}, nil, nil
 	case name == "feedback-loss":
-		return feedbackMix, &link.FeedbackConfig{DelayRounds: 2, Loss: 0.3}, nil
+		return feedbackMix, &link.FeedbackConfig{DelayRounds: 2, Loss: 0.3}, nil, nil
+	case name == "chaos":
+		fc := ChaosFaults(false)
+		return churn, nil, &fc, nil
+	case name == "chaos-feedback":
+		fc := ChaosFaults(true)
+		return churn, &link.FeedbackConfig{DelayRounds: 2, Loss: 0.1}, &fc, nil
 	}
-	return nil, nil, fmt.Errorf("sim: unknown scenario %q (want burst, walk, trace:<file>, churn, feedback-delay or feedback-loss)", name)
+	return nil, nil, nil, fmt.Errorf("sim: unknown scenario %q (want burst, walk, trace:<file>, churn, feedback-delay, feedback-loss, chaos or chaos-feedback)", name)
 }
 
 // NewPolicy builds a fresh RatePolicy from its spec (see
@@ -271,12 +332,15 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 
 	res := ScenarioResult{Scenario: cfg.Scenario, Policy: policy, Flows: flows}
 
-	newModel, feedback, err := scenarioChannels(cfg.Scenario, cfg.Seed)
+	newModel, feedback, faults, err := scenarioChannels(cfg.Scenario, cfg.Seed)
 	if err != nil {
 		return res, err
 	}
 	if cfg.Feedback != nil {
 		feedback = cfg.Feedback
+	}
+	if cfg.Faults != nil {
+		faults = cfg.Faults
 	}
 
 	opts := []link.Option{
@@ -285,9 +349,15 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		link.WithFrameSymbols(cfg.FrameSymbols),
 		link.WithSeed(cfg.Seed),
 		link.WithMaxRounds(maxRounds),
+		// Every scenario run doubles as an invariant soak: conservation
+		// violations panic here instead of skewing a golden number.
+		link.WithInvariantChecks(),
 	}
 	if feedback != nil {
 		opts = append(opts, link.WithFeedback(*feedback))
+	}
+	if faults != nil {
+		opts = append(opts, link.WithFaults(*faults))
 	}
 	if cfg.HalfDuplex {
 		opts = append(opts, link.WithHalfDuplex(0))
@@ -357,6 +427,13 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			res.AcksSent += int64(r.Stats.AcksSent)
 			res.AcksLost += int64(r.Stats.AcksLost)
 			res.AckSymbols += int64(r.Stats.AckSymbols)
+			fs := r.Stats.Faults
+			res.FramesFaulted += int64(fs.FramesReordered + fs.FramesDuplicated +
+				fs.FramesTruncated + fs.FramesCorrupted + fs.FramesBlackedOut)
+			res.AcksFaulted += int64(fs.AcksReordered + fs.AcksDuplicated +
+				fs.AcksTruncated + fs.AcksCorrupted)
+			res.BatchesRejected += int64(r.Stats.BatchesRejected)
+			res.SymbolsDeduped += int64(r.Stats.SymbolsDeduped)
 			// Each resolved flow counts exactly once, as an outage or a
 			// delivery: a budget-exhausted flow (ErrFlowBudget) carries a
 			// nil datagram, so folding the error and corruption checks

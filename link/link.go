@@ -120,6 +120,17 @@ type FeedbackConfig = ilink.FeedbackConfig
 // half-duplex medium (see WithHalfDuplex).
 type HalfDuplexConfig = ilink.HalfDuplexConfig
 
+// FaultConfig parameterizes deterministic adversarial-link fault
+// injection — reorder, duplication, truncation, bit-flip corruption and
+// bursty blackout on the forward path, plus reverse-path counterparts
+// for acks (see WithFaults). The zero value injects nothing; Scale
+// derives intensity sweeps.
+type FaultConfig = ilink.FaultConfig
+
+// FaultStats counts the faults injected into one flow, by direction and
+// kind (Stats.Faults).
+type FaultStats = ilink.FaultStats
+
 // Channel perturbs a flow's share of a frame in place; a nil return
 // means the share was erased. It is the raw medium interface beneath
 // channel.Model — implement Model instead unless you need erasures or
@@ -206,6 +217,10 @@ var (
 	// ErrStaleFrame reports a frame carrying no batch for an outstanding
 	// block; the ACK returned with it is still valid.
 	ErrStaleFrame = ilink.ErrStaleFrame
+	// ErrBlockFull reports symbols dropped at a block's accumulator
+	// bound — replayed or hostile traffic cannot grow receiver memory
+	// without limit.
+	ErrBlockFull = ilink.ErrBlockFull
 	// ErrIncomplete reports a datagram read before every block decoded.
 	ErrIncomplete = ilink.ErrIncomplete
 	// ErrBadWire reports bytes that do not parse as a frame.

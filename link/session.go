@@ -170,6 +170,32 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithFaults runs every flow's traffic through a deterministic
+// adversarial fault injector: each round's forward frame share may be
+// reordered, duplicated, truncated, bit-flipped or swallowed by a
+// blackout burst, and — under WithFeedback — each ack suffers the
+// configured reverse-path counterparts. Faults are seeded (from fc.Seed,
+// WithSeed and the flow ID), counted in Stats.Faults, and applied to
+// wire bytes, so the strict parsers and typed-error paths are exercised
+// on the live path. Session-scoped.
+func WithFaults(fc FaultConfig) Option {
+	return func(c *config) {
+		c.engine.Faults = &fc
+		c.sessionOnly = append(c.sessionOnly, "WithFaults")
+	}
+}
+
+// WithInvariantChecks asserts the engine's conservation laws (flow
+// conservation, ack monotonicity, window and memory bounds, symbol
+// accounting) after every Step, panicking with a diagnostic on the first
+// violation. Intended for tests and chaos soaks. Session-scoped.
+func WithInvariantChecks() Option {
+	return func(c *config) {
+		c.engine.CheckInvariants = true
+		c.sessionOnly = append(c.sessionOnly, "WithInvariantChecks")
+	}
+}
+
 // Session is the public façade over the multi-flow link engine: datagrams
 // enter as flows via Send, rounds run via Step or Drain (both honoring
 // context cancellation), and each flow leaves exactly once as a Result.

@@ -12,12 +12,14 @@ package sim
 import (
 	"spinal/internal/experiments"
 	isim "spinal/internal/sim"
+	"spinal/link"
 )
 
 // ScenarioConfig drives MeasureScenario: a named channel workload
 // ("burst", "walk", "trace:<file>", "churn", "feedback-delay",
-// "feedback-loss"), a rate-policy spec ("fixed[:n]", "capacity[:db]",
-// "tracking[:db]"), and the population/budget knobs.
+// "feedback-loss", "chaos", "chaos-feedback"), a rate-policy spec
+// ("fixed[:n]", "capacity[:db]", "tracking[:db]"), and the
+// population/budget knobs.
 type ScenarioConfig = isim.ScenarioConfig
 
 // ScenarioResult aggregates a scenario run: delivery, goodput, outage,
@@ -45,6 +47,11 @@ func MeasureMultiFlow(cfg MultiFlowConfig) MultiFlowResult {
 
 // Scenarios lists the named scenarios MeasureScenario accepts.
 func Scenarios() []string { return isim.Scenarios() }
+
+// ChaosFaults is the adversarial fault mix the chaos scenarios run
+// under; ackFaults adds the reverse-path (ack) fault kinds. Scale it
+// (link.FaultConfig.Scale) for intensity sweeps.
+func ChaosFaults(ackFaults bool) link.FaultConfig { return isim.ChaosFaults(ackFaults) }
 
 // Experiment is one reproduction experiment: an ID, a title, and a Run
 // function regenerating its tables.
