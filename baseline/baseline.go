@@ -1,34 +1,92 @@
-// Package baseline exposes the library's baseline codes and modems for
-// comparison experiments: the Raptor (LT + LDPC precode) rateless
-// baseline of §8 and the dense-QAM modulation it rides on.
+// Package baseline exposes the library's §8 baseline codes for
+// comparison experiments, each adapted behind the spinal/code interface
+// so a link session runs it unchanged (link.WithCode): the Raptor
+// rateless baseline over dense QAM, the Strider+ layered-superposition
+// code, the plain turbo ARQ baseline, and the rate-switching LDPC shim
+// that emulates ratelessness over the fixed-rate 802.11n-style family —
+// the paper's oracle envelope made honest.
 //
 // Like spinal/sim, this package is an experiment surface with weaker
-// stability guarantees than spinal, spinal/channel and spinal/link (see
-// docs/API.md).
+// stability guarantees than spinal, spinal/channel, spinal/link and
+// spinal/code (see docs/API.md).
 package baseline
 
 import (
+	"spinal"
+	"spinal/code"
+	icode "spinal/internal/code"
 	"spinal/internal/modem"
 	"spinal/internal/raptor"
 )
 
+// NewCode builds a baseline (or spinal itself) from its spec string:
+// "spinal" (the code of p), "raptor", "strider", "turbo", "ldpc"
+// (adaptive rate/modulation ladder) or "ldpc:RATE" with RATE one of
+// 1/2, 2/3, 3/4, 5/6. Equivalent to code.Parse.
+func NewCode(spec string, p spinal.Params) (code.Code, error) {
+	return icode.Parse(spec, p)
+}
+
+// Raptor builds the §8 Raptor baseline — LT output symbols over an LDPC
+// precode with joint soft BP decoding, riding QAM-256 — behind the
+// spinal/code interface.
+func Raptor() code.Code { return icode.Raptor() }
+
+// Strider builds the §8 Strider+ baseline — layered superposition over a
+// rate-1/5 turbo base with SIC decoding and eight-subpass puncturing —
+// behind the spinal/code interface.
+func Strider() code.Code { return icode.Strider() }
+
+// Turbo builds the plain turbo ARQ baseline — a fixed rate-1/5 turbo
+// code over QPSK whose stream cycles the codeword for chase combining —
+// behind the spinal/code interface.
+func Turbo() code.Code { return icode.Turbo() }
+
+// LDPC builds the rate-switching LDPC shim behind the spinal/code
+// interface: rate "" walks the full §8 rate × modulation ladder
+// (emulated ratelessness, with feedback-driven rung selection); a
+// specific rate ("1/2", "2/3", "3/4", "5/6") pins the code rate and
+// walks only its modulation ladder.
+func LDPC(rate string) (code.Code, error) {
+	if rate == "" {
+		return icode.LDPC(""), nil
+	}
+	return icode.LDPCPinned(rate)
+}
+
 // RaptorCode is a Raptor code over k message bits.
+//
+// Deprecated: use Raptor, which wraps the Raptor baseline behind the
+// spinal/code interface; the raw construction remains for existing
+// experiment code and will be removed in a future release.
 type RaptorCode = raptor.Code
 
 // RaptorDecoder is the belief-propagation peeling decoder for a
 // RaptorCode.
+//
+// Deprecated: use Raptor and code.Code's NewDecoder instead.
 type RaptorDecoder = raptor.Decoder
 
 // NewRaptor creates a Raptor code for k message bits with the given
 // construction seed.
+//
+// Deprecated: use Raptor instead.
 func NewRaptor(k int, seed int64) *RaptorCode { return raptor.New(k, seed) }
 
 // NewRaptorDecoder creates a decoder for c.
+//
+// Deprecated: use Raptor and code.Code's NewDecoder instead.
 func NewRaptorDecoder(c *RaptorCode) *RaptorDecoder { return raptor.NewDecoder(c) }
 
 // QAM is a square Gray-mapped QAM constellation.
+//
+// Deprecated: the code adapters carry their own symbol mapping; QAM
+// remains for existing experiment code and will be removed in a future
+// release.
 type QAM = modem.QAM
 
 // NewQAM creates a QAM constellation with the given number of points
 // (a power of 4).
+//
+// Deprecated: see QAM.
 func NewQAM(points int) *QAM { return modem.NewQAM(points) }

@@ -20,6 +20,12 @@
 // bit-flipped and blacked out per the spec, and the stderr statistics
 // report what was injected. The link degrades; it does not fail.
 //
+// With -code SPEC the session runs a different channel code behind the
+// same link machinery (spinal/code, link.WithCode): spinal (default),
+// raptor, strider, turbo, ldpc or ldpc:RATE with RATE one of 1/2, 2/3,
+// 3/4, 5/6 — the paper's §8 bake-off from the command line, in either
+// pipe or scenario mode.
+//
 //	echo "hello" | spinalcat -snr 8
 //	spinalcat -snr 5 -b 16 < somefile > copy && cmp somefile copy
 //	spinalcat -snr 10 -flows 8 < somefile > copy && cmp somefile copy
@@ -28,6 +34,8 @@
 //	spinalcat -scenario feedback-loss -policy tracking
 //	spinalcat -snr 8 -flows 4 -faults reorder=4,dup=0.05,corrupt=0.01 < somefile > copy
 //	spinalcat -scenario churn -faults chaos=2
+//	spinalcat -snr 12 -code raptor < somefile > copy && cmp somefile copy
+//	spinalcat -scenario burst -code ldpc:3/4
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 
 	"spinal"
 	"spinal/channel"
+	"spinal/code"
 	"spinal/link"
 	"spinal/sim"
 )
@@ -57,6 +66,7 @@ func main() {
 		scenario = flag.String("scenario", "", "run a named scenario instead of piping stdin: burst, walk, trace:<file>, churn, feedback-delay, feedback-loss, chaos, chaos-feedback")
 		policy   = flag.String("policy", "tracking", "scenario rate policy: fixed[:n], capacity[:db], tracking[:db]")
 		faults   = flag.String("faults", "", "adversarial-link fault spec, e.g. reorder=4,dup=0.05,corrupt=0.01 or chaos=2 (see README)")
+		codeSpec = flag.String("code", "spinal", "channel code: spinal, raptor, strider, turbo, ldpc or ldpc:RATE")
 	)
 	flag.Parse()
 
@@ -70,7 +80,7 @@ func main() {
 		if flagSet("flows") {
 			nFlows = *flows
 		}
-		runScenario(*scenario, *policy, nFlows, *beam, *seed, flagSet("b"), fc)
+		runScenario(*scenario, *policy, *codeSpec, nFlows, *beam, *seed, flagSet("b"), fc)
 		return
 	}
 
@@ -84,7 +94,7 @@ func main() {
 	if *flows < 1 {
 		*flows = 1
 	}
-	runFlows(data, p, *snrDB, *seed, *flows, fc)
+	runFlows(data, p, *codeSpec, *snrDB, *seed, *flows, fc)
 }
 
 // parseFaults parses the -faults grammar: comma-separated key=value
@@ -170,7 +180,7 @@ func flagSet(name string) bool {
 }
 
 // runScenario drives sim.MeasureScenario and prints its statistics.
-func runScenario(scenario, policy string, flows, beam int, seed int64, beamExplicit bool, fc *link.FaultConfig) {
+func runScenario(scenario, policy, codeSpec string, flows, beam int, seed int64, beamExplicit bool, fc *link.FaultConfig) {
 	p := spinal.DefaultParams()
 	if beamExplicit {
 		p.B = beam
@@ -185,21 +195,35 @@ func runScenario(scenario, policy string, flows, beam int, seed int64, beamExpli
 		Seed:     seed,
 		Faults:   fc,
 	}
+	if flagSet("code") {
+		cfg.Code = codeSpec
+	}
 	res, err := sim.MeasureScenario(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res)
-	fmt.Printf("  delivered %d bytes over %d flows in %d engine rounds (B=%d, seed %d)\n",
-		res.Bytes, res.Flows, res.Rounds, p.B, seed)
+	codeName := cfg.Code
+	if codeName == "" {
+		codeName = "spinal"
+	}
+	fmt.Printf("  delivered %d bytes over %d flows in %d engine rounds (%s, B=%d, seed %d)\n",
+		res.Bytes, res.Flows, res.Rounds, codeName, p.B, seed)
 }
 
 // runFlows splits data into n contiguous datagrams and drives them as
 // concurrent flows through one link.Session.
-func runFlows(data []byte, p spinal.Params, snrDB float64, seed int64, n int, fc *link.FaultConfig) {
+func runFlows(data []byte, p spinal.Params, codeSpec string, snrDB float64, seed int64, n int, fc *link.FaultConfig) {
 	var sessOpts []link.Option
 	if fc != nil {
 		sessOpts = append(sessOpts, link.WithFaults(*fc))
+	}
+	if flagSet("code") {
+		c, err := code.Parse(codeSpec, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessOpts = append(sessOpts, link.WithCode(c))
 	}
 	s, err := link.NewSession(p, sessOpts...)
 	if err != nil {

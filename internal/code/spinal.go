@@ -1,0 +1,58 @@
+package code
+
+import "spinal/internal/core"
+
+// spinalCode adapts the native spinal codec behind the Code interface.
+// The link engine recognizes it (SpinalParams) and runs the pooled
+// native path instead, so wrapping spinal costs nothing on the hot path;
+// this adapter serves the standalone Sender/Receiver and any caller
+// driving the interface directly.
+type spinalCode struct {
+	p core.Params
+}
+
+// Spinal adapts the spinal code with parameters p behind the Code
+// interface.
+func Spinal(p core.Params) Code { return &spinalCode{p: p} }
+
+// SpinalParams reports the spinal parameters when c is the Spinal
+// adapter — the engine's cue to keep the native pooled-codec fast path.
+func SpinalParams(c Code) (core.Params, bool) {
+	if s, ok := c.(*spinalCode); ok {
+		return s.p, true
+	}
+	return core.Params{}, false
+}
+
+func (s *spinalCode) Name() string { return "spinal" }
+
+func (s *spinalCode) Chunks(nBits int) int { return s.p.NumSpine(nBits) }
+
+func (s *spinalCode) NewSchedule(nBits int) Schedule {
+	return core.NewScheduleFor(nBits, s.p)
+}
+
+func (s *spinalCode) NewEncoder(bits []byte, nBits int) Encoder {
+	return core.NewEncoder(bits, nBits, s.p)
+}
+
+func (s *spinalCode) NewDecoder(nBits int) Decoder {
+	return WrapSpinalDecoder(core.NewDecoder(nBits, s.p))
+}
+
+// spinalDecoder narrows core.Decoder's (bytes, cost) Decode to the
+// interface's (bytes, converged) shape. The bubble decoder always emits
+// its best path — it has no self-signal beyond the CRC the link checks —
+// so converged is always true.
+type spinalDecoder struct {
+	*core.Decoder
+}
+
+// WrapSpinalDecoder adapts a native spinal decoder (typically a pooled
+// worker's cached one) to the Decoder interface.
+func WrapSpinalDecoder(d *core.Decoder) Decoder { return spinalDecoder{d} }
+
+func (d spinalDecoder) Decode() ([]byte, bool) {
+	bits, _ := d.Decoder.Decode()
+	return bits, true
+}

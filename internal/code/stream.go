@@ -1,0 +1,156 @@
+package code
+
+import (
+	"spinal/internal/modem"
+)
+
+// This file is the shared symbol-mapping plumbing behind every
+// stream-structured adapter (Raptor, LDPC, turbo): one Gray-QAM mapper,
+// one blind noise estimator, one bit pack/unpack convention and one
+// sequential ID schedule — the per-code modem code the baselines used to
+// duplicate lives here exactly once.
+
+// streamPos recovers a stream symbol position from its wire ID.
+func streamPos(id SymbolID) int { return int(id.RNGIndex) }
+
+// streamSchedule hands out sequential stream symbol IDs in fixed-size
+// subpasses. perPass/ways only describe granularity to rate policies;
+// position is the single counter, so IDs never repeat.
+type streamSchedule struct {
+	next    uint32
+	perPass int
+	ways    int
+}
+
+func newStreamSchedule(perPass, ways int, start uint32) *streamSchedule {
+	if perPass < 1 {
+		perPass = 1
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	return &streamSchedule{next: start, perPass: perPass, ways: ways}
+}
+
+func (s *streamSchedule) SymbolsPerPass() int { return s.perPass }
+func (s *streamSchedule) Subpasses() int      { return s.ways }
+
+func (s *streamSchedule) NextSubpass() []SymbolID {
+	n := s.perPass / s.ways
+	if n < 1 {
+		n = 1
+	}
+	ids := make([]SymbolID, n)
+	for i := range ids {
+		ids[i] = SymbolID{Chunk: 0, RNGIndex: s.next}
+		s.next++
+	}
+	return ids
+}
+
+// mapper wraps the repository's one Gray-QAM implementation as a coded
+// bit-stream modem: symbol i of a stream carries coded bits
+// [i·bps, (i+1)·bps), zero-padded past the stream's end.
+type mapper struct {
+	qam *modem.QAM
+}
+
+func newMapper(points int) mapper { return mapper{qam: modem.NewQAM(points)} }
+
+func (m mapper) bitsPerSymbol() int { return m.qam.BitsPerSymbol() }
+
+// modulate maps the coded bits (one bit per byte) at stream positions
+// pos within a cycle of cycleLen positions, wrapping positions modulo
+// the cycle (fixed-rate codes retransmit their codeword).
+func (m mapper) modulate(stream []byte, cycleLen int, pos []int) []complex128 {
+	bps := m.bitsPerSymbol()
+	bits := make([]byte, len(pos)*bps)
+	for i, p := range pos {
+		if cycleLen > 0 {
+			p %= cycleLen
+		}
+		for b := 0; b < bps; b++ {
+			if j := p*bps + b; j < len(stream) {
+				bits[i*bps+b] = stream[j]
+			}
+		}
+	}
+	return m.qam.Modulate(bits)
+}
+
+// demapInto demaps observations (stream positions pos, received symbols
+// ys) into the cycle's accumulated per-bit LLR array llr (length
+// cycleLen·bps), summing across repeats — chase combining. It returns a
+// per-position coverage count.
+func (m mapper) demapInto(llr []float64, covered []int, cycleLen int, pos []int, ys []complex128, noiseVar float64) {
+	bps := m.bitsPerSymbol()
+	raw := m.qam.DemapSoft(ys, noiseVar, nil)
+	for i, p := range pos {
+		if cycleLen > 0 {
+			p %= cycleLen
+		}
+		for b := 0; b < bps; b++ {
+			llr[p*bps+b] += raw[i*bps+b]
+		}
+		covered[p]++
+	}
+}
+
+// estimateNoiseVar blindly estimates the channel's complex noise
+// variance from received symbols: every constellation in the repository
+// has unit average power, so E|y|² = 1 + σ². The floor keeps LLRs finite
+// on clean channels and short observation windows.
+func estimateNoiseVar(ys []complex128) float64 {
+	if len(ys) == 0 {
+		return 1
+	}
+	p := 0.0
+	for _, y := range ys {
+		p += real(y)*real(y) + imag(y)*imag(y)
+	}
+	s2 := p/float64(len(ys)) - 1
+	if s2 < 1e-3 {
+		s2 = 1e-3
+	}
+	return s2
+}
+
+// unpackBits expands nBits packed MSB-first bytes into one bit per byte.
+func unpackBits(packed []byte, nBits int) []byte {
+	out := make([]byte, nBits)
+	for i := 0; i < nBits; i++ {
+		out[i] = packed[i/8] >> (7 - uint(i%8)) & 1
+	}
+	return out
+}
+
+// packBits packs bit-per-byte values MSB-first into nBits/8 bytes
+// (nBits is a multiple of 8 for every framed block).
+func packBits(bits []byte, nBits int) []byte {
+	out := make([]byte, (nBits+7)/8)
+	for i := 0; i < nBits && i < len(bits); i++ {
+		if bits[i]&1 != 0 {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out
+}
+
+// obsStore is the Add/Reset half shared by every stream decoder: the
+// deduplicated (position, symbol) observations since the last Reset.
+type obsStore struct {
+	pos []int
+	ys  []complex128
+}
+
+func (o *obsStore) Reset() {
+	o.pos = o.pos[:0]
+	o.ys = o.ys[:0]
+}
+
+func (o *obsStore) Add(ids []SymbolID, syms []complex128) {
+	for i, id := range ids {
+		o.pos = append(o.pos, streamPos(id))
+		o.ys = append(o.ys, syms[i])
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spinal/internal/core"
+	"spinal/internal/sim"
+)
+
+// bakeoffCodes lists the contenders in the paper's §8 order: spinal,
+// then the rateless baselines it beats, then the fixed-rate families it
+// must track.
+var bakeoffCodes = []string{"spinal", "strider", "raptor", "turbo", "ldpc"}
+
+// bakeoffSNRs are the mixed moderate SNRs of the feedback scenarios
+// (scenarioChannels assigns them round-robin across flows), and the
+// grid the LDPC oracle envelope is averaged over.
+var bakeoffSNRs = []float64{7, 10, 14}
+
+// BaselineGoodput is the codes bake-off: every §8 code runs behind the
+// spinal/code interface through the full link engine — multi-flow
+// scheduling, rate adaptation, delayed/lossy acks, retransmission
+// timers, chase combining, half-duplex airtime accounting — over three
+// conditions far richer than the paper's static AWGN sweep:
+//
+//   - moderate-SNR AWGN (mixed 7/10/14 dB flows) with acks delayed 8
+//     engine rounds,
+//   - the bursty Gilbert–Elliott 18/2 dB channel, and
+//   - the moderate-SNR mix with 30% ack loss under half-duplex
+//     accounting (reverse airtime charged against goodput).
+//
+// The "oracle" column compares each code's goodput on the moderate-SNR
+// condition against the LDPC genie envelope (ldpcEnvelope: best
+// rate × modulation pair per SNR, known noise, no engine, no feedback
+// cost, averaged over the SNR mix) — the §8 upper-bound reference.
+//
+// The paper's §8 ordering is spinal ≥ Strider ≥ Raptor at moderate SNR
+// with spinal tracking the LDPC envelope. This repository reproduces
+// spinal ≥ every baseline and the envelope claim
+// (TestBaselineGoodputOrdering asserts both); its quick-scale Strider,
+// however, underperforms the paper's — short per-layer turbo blocks
+// cost several dB — so Raptor sits above Strider here, as it already
+// does in the standalone fig8-1 sweep. EXPERIMENTS.md records the
+// deviation.
+func BaselineGoodput(cfg Config) []*Table {
+	flows := 18
+	blockBits := 768
+	envBlocks := 10
+	p := core.Params{K: 4, B: 16, D: 1, C: 6, Tail: 2, Ways: 8}
+	if cfg.Quick {
+		flows = 6
+		blockBits = 192
+		envBlocks = 5
+	}
+	base := func(scenario, codeSpec string) sim.ScenarioConfig {
+		return sim.ScenarioConfig{
+			Params:       p,
+			Code:         codeSpec,
+			Scenario:     scenario,
+			Policy:       "tracking",
+			Flows:        flows,
+			Concurrency:  3,
+			MinBytes:     40,
+			MaxBytes:     90,
+			MaxRounds:    192,
+			MaxBlockBits: blockBits,
+			Shards:       2,
+			Seed:         cfg.Seed*1_000_003 + 88,
+		}
+	}
+
+	// The genie reference: best fixed LDPC rate × modulation per SNR,
+	// averaged over the flow mix of the moderate-SNR condition.
+	var envMean float64
+	for i, snr := range bakeoffSNRs {
+		envMean += ldpcEnvelope(snr, envBlocks, cfg.Seed*7+int64(100+i))
+	}
+	envMean /= float64(len(bakeoffSNRs))
+
+	t := &Table{
+		Name:  "baseline-goodput",
+		Title: fmt.Sprintf("codes bake-off through the link engine (LDPC oracle envelope %.2f b/sym at mixed 7/10/14 dB)", envMean),
+		Header: []string{"condition", "code", "delivered", "outage",
+			"goodput(b/sym)", "vs oracle", "rounds", "symbols", "retx", "ack sym"},
+	}
+	conds := []struct {
+		label    string
+		scenario string
+		oracle   bool
+		mutate   func(*sim.ScenarioConfig)
+	}{
+		{"awgn 7/10/14 dB, acks delayed 8", "feedback-delay", true, nil},
+		{"burst 18/2 dB", "burst", false, nil},
+		{"awgn 7/10/14 dB, 30% ack loss, half-duplex", "feedback-loss", false,
+			func(c *sim.ScenarioConfig) { c.HalfDuplex = true }},
+	}
+	for _, cond := range conds {
+		for _, codeSpec := range bakeoffCodes {
+			c := base(cond.scenario, codeSpec)
+			if cond.mutate != nil {
+				cond.mutate(&c)
+			}
+			res, err := sim.MeasureScenario(c)
+			if err != nil {
+				panic(err) // static scenario and code specs; cannot fail
+			}
+			oracle := "-"
+			if cond.oracle && envMean > 0 {
+				oracle = fmt.Sprintf("%.0f%%", 100*res.Goodput/envMean)
+			}
+			t.AddRow(cond.label, codeSpec,
+				fmt.Sprintf("%d/%d", res.Delivered, res.Flows),
+				fmt.Sprintf("%.0f%%", 100*res.OutageRate),
+				f3(res.Goodput), oracle,
+				fmt.Sprint(res.Rounds), fmt.Sprint(res.Symbols),
+				fmt.Sprint(res.Retransmissions), fmt.Sprint(res.AckSymbols))
+		}
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBaselineGoodputOrdering asserts the §8 comparative claim on the
+// bake-off table: spinal's engine goodput beats every baseline code
+// under every condition, and on the moderate-SNR condition it sits
+// within the LDPC oracle envelope (the genie pays no engine, feedback
+// or rate-exploration cost, so "within" means a healthy fraction — the
+// measured value is ≈80%). The LDPC shim, being an honest emulation of
+// the family the envelope maximises over, must not beat its own oracle.
+//
+// The paper additionally orders Strider ≥ Raptor at moderate SNR; this
+// repository's Strider underperforms the paper's (see BaselineGoodput's
+// doc comment and EXPERIMENTS.md), so that leg is deliberately not
+// asserted here — fig8-1 documents the same deviation standalone.
+func TestBaselineGoodputOrdering(t *testing.T) {
+	tables := BaselineGoodput(DefaultConfig())
+	tb := tables[0]
+
+	goodput := map[string]float64{} // "condition|code" → b/sym
+	for _, r := range tb.Rows {
+		gp, ok := parse(t, r[4])
+		if !ok {
+			t.Fatalf("missing goodput in row %v", r)
+		}
+		goodput[r[0]+"|"+r[1]] = gp
+		// Every code must actually carry the workload: no outages under
+		// any condition at the quick-scale seed.
+		if r[3] != "0%" {
+			t.Errorf("%s over %s suffered outages (%s):\n%s", r[1], r[0], r[3], tb)
+		}
+	}
+
+	var conds []string
+	seen := map[string]bool{}
+	for _, r := range tb.Rows {
+		if !seen[r[0]] {
+			seen[r[0]] = true
+			conds = append(conds, r[0])
+		}
+	}
+	if len(conds) != 3 || len(tb.Rows) != 3*len(bakeoffCodes) {
+		t.Fatalf("bake-off shape changed: %d conditions, %d rows", len(conds), len(tb.Rows))
+	}
+
+	for _, cond := range conds {
+		sp := goodput[cond+"|spinal"]
+		if sp <= 0 {
+			t.Fatalf("no spinal goodput for condition %q", cond)
+		}
+		for _, code := range bakeoffCodes[1:] {
+			if base := goodput[cond+"|"+code]; base >= sp {
+				t.Errorf("%s (%.3f b/sym) not below spinal (%.3f) over %s:\n%s",
+					code, base, sp, cond, tb)
+			}
+		}
+	}
+
+	// The oracle comparison lives on the moderate-SNR condition (first
+	// in the table). Spinal must reach at least 60% of the genie
+	// envelope despite paying for scheduling, delayed acks and pacing;
+	// the LDPC shim must not exceed the envelope it emulates.
+	moderate := conds[0]
+	var envMean float64
+	for _, r := range tb.Rows {
+		if r[0] != moderate || r[5] == "-" {
+			continue
+		}
+		pct, _ := parse(t, r[5])
+		if pct > 0 {
+			envMean = goodput[moderate+"|"+r[1]] * 100 / pct
+			break
+		}
+	}
+	if envMean <= 0 {
+		t.Fatalf("could not recover the oracle envelope from the table:\n%s", tb)
+	}
+	if sp := goodput[moderate+"|spinal"]; sp < 0.6*envMean {
+		t.Errorf("spinal goodput %.3f below 60%% of the LDPC oracle envelope %.3f:\n%s",
+			sp, envMean, tb)
+	}
+	if shim := goodput[moderate+"|ldpc"]; shim > envMean*1.05 {
+		t.Errorf("LDPC shim goodput %.3f beats its own oracle envelope %.3f:\n%s",
+			shim, envMean, tb)
+	}
+	if !strings.Contains(tb.Title, "oracle envelope") {
+		t.Errorf("table title lost the envelope reference: %q", tb.Title)
+	}
+}

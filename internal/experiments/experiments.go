@@ -108,6 +108,7 @@ var All = []Experiment{
 	{"scenario-goodput", "Time-varying channel scenario: link goodput by rate policy", ScenarioGoodput},
 	{"feedback-goodput", "Realistic ARQ feedback: goodput under ack delay/loss, chase vs discard", FeedbackGoodput},
 	{"chaos-degradation", "Adversarial links: goodput degradation vs fault intensity (no cliff)", ChaosDegradation},
+	{"baseline-goodput", "Codes bake-off: every §8 code through the link engine vs the LDPC oracle envelope", BaselineGoodput},
 }
 
 // ByID finds an experiment by id, or nil.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"spinal/internal/capacity"
+	icode "spinal/internal/code"
 	"spinal/internal/core"
 	"spinal/internal/framing"
 )
@@ -91,6 +92,14 @@ type EngineConfig struct {
 	// Params is the spinal code shared by every flow (it sizes the
 	// pooled codecs).
 	Params core.Params
+	// Code, when non-nil, selects the channel code every flow runs
+	// instead of the spinal code of Params. The spinal adapter
+	// (code.Spinal) is recognized and unwrapped onto the native pooled
+	// fast path, so wrapping costs nothing; any other code runs through
+	// the same sharded pool with per-shard decoder caches. Codes that
+	// implement code.RateAdapter receive every decoded block's symbol
+	// spend, mirroring the rate policies' RateObserver hook.
+	Code icode.Code
 	// MaxBlockBits bounds code blocks (0 ⇒ the §6 default of 1024).
 	MaxBlockBits int
 	// Shards is the codec-pool worker count (0 ⇒ GOMAXPROCS).
@@ -268,6 +277,13 @@ type Engine struct {
 	seq   uint32
 	rng   *rand.Rand
 
+	// gcode is the non-spinal channel code every flow runs, nil on the
+	// native spinal path; gcodecs are its per-shard decoder caches (one
+	// per pool shard — a shard's jobs run on one goroutine, so each cache
+	// is touched serially, exactly like core.Codec's).
+	gcode   icode.Code
+	gcodecs []*genericCodec
+
 	items  []txItem  // per-round scratch
 	groups []rxGroup // per-round scratch (fault path)
 
@@ -300,13 +316,58 @@ type rxGroup struct {
 	rejected int
 }
 
+// genericCodec is one pool shard's decoder cache for a non-spinal code —
+// the generic counterpart of core.Codec's per-block-size cache. Encoders
+// live on the senders instead (Sender.ownEncoder): a (flow, block) pair
+// always lands on the same shard, so its encoder is touched serially too.
+type genericCodec struct {
+	code icode.Code
+	decs map[int]icode.Decoder
+}
+
+func (g *genericCodec) decoder(nBits int) icode.Decoder {
+	d, ok := g.decs[nBits]
+	if !ok {
+		d = g.code.NewDecoder(nBits)
+		g.decs[nBits] = d
+		return d
+	}
+	d.Reset()
+	return d
+}
+
 // NewEngine starts an engine and its codec pool. Close releases the pool.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{
-		cfg:  cfg,
-		pool: core.NewCodecPool(cfg.Params, cfg.Shards),
-		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x6c696e6b)),
+	gcode := cfg.Code
+	if gcode != nil {
+		if p, ok := icode.SpinalParams(gcode); ok {
+			// The spinal adapter unwraps onto the native pooled path:
+			// bit-identical behaviour and codec reuse, zero interface cost.
+			cfg.Params = p
+			gcode = nil
+		}
 	}
+	e := &Engine{
+		cfg:   cfg,
+		pool:  core.NewCodecPool(cfg.Params, cfg.Shards),
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x6c696e6b)),
+		gcode: gcode,
+	}
+	if gcode != nil {
+		e.gcodecs = make([]*genericCodec, e.pool.Shards())
+		for i := range e.gcodecs {
+			e.gcodecs[i] = &genericCodec{code: gcode, decs: make(map[int]icode.Decoder)}
+		}
+	}
+	return e
+}
+
+// code reports the channel code flows run under this engine.
+func (e *Engine) code() icode.Code {
+	if e.gcode != nil {
+		return e.gcode
+	}
+	return icode.Spinal(e.cfg.Params)
 }
 
 // AddFlow admits a datagram as a new flow and returns its ID. A nil
@@ -320,10 +381,11 @@ func (e *Engine) AddFlow(datagram []byte, fc FlowConfig) FlowID {
 		// coherent semantics, so fail loudly rather than pick one.
 		panic("link: FlowConfig.Pause and EngineConfig.Feedback are mutually exclusive")
 	}
+	c := e.code()
 	fl := &engineFlow{
 		id:        e.next,
-		snd:       NewSender(datagram, e.cfg.Params, e.cfg.MaxBlockBits),
-		rcv:       NewReceiver(e.cfg.Params),
+		snd:       NewCodeSender(c, datagram, e.cfg.MaxBlockBits),
+		rcv:       NewCodeReceiver(c),
 		ch:        fc.Channel,
 		rate:      fc.Rate,
 		pause:     fc.Pause,
@@ -397,6 +459,34 @@ func (e *Engine) PoolStats() core.CodecPoolStats { return e.pool.Stats() }
 
 // Close releases the codec workers. The engine must be idle.
 func (e *Engine) Close() { e.pool.Close() }
+
+// workerDecoder returns the decoder a pool worker uses for an attempt:
+// the worker's own reusable spinal decoder on the native path, the
+// shard's cached generic decoder otherwise. Must be called from the job
+// running on that shard.
+func (e *Engine) workerDecoder(c *core.Codec, shard, nBits int) icode.Decoder {
+	if e.gcode != nil {
+		return e.gcodecs[shard%len(e.gcodecs)].decoder(nBits)
+	}
+	return icode.WrapSpinalDecoder(c.Decoder(nBits))
+}
+
+// observeDecode reports one decoded block's size and symbol spend to
+// whoever adapts on it: the flow's rate policy (RateObserver) and, on
+// the generic path, the code itself (code.RateAdapter — the LDPC shim's
+// rung learning). Runs on the engine thread.
+func (e *Engine) observeDecode(fl *engineFlow, block int) {
+	nb := fl.snd.blocks[block].NumBits()
+	spent := fl.snd.symbolsFor(block)
+	if ob, ok := fl.rate.(RateObserver); ok {
+		ob.ObserveDecode(nb, spent)
+	}
+	if e.gcode != nil {
+		if ra, ok := e.gcode.(icode.RateAdapter); ok {
+			ra.ObserveDecode(nb, spent)
+		}
+	}
+}
 
 // shardOf routes a (flow, block) pair to a stable pool shard. Both
 // inputs are spread through the high bits before the shift so that the
@@ -501,8 +591,11 @@ func (e *Engine) Step() []FlowResult {
 	e.rr = (e.rr + offered) % maxInt(len(e.flows), 1)
 	e.seq++
 
-	// Encode: pooled workers regenerate each batch's symbols from the
-	// block bits (flows own no encoders).
+	// Encode: pooled workers regenerate each batch's symbols. On the
+	// native path the worker's reusable spinal encoder does it from the
+	// block bits (flows own no encoders); a generic code uses the
+	// sender's per-block encoder — safe because a (flow, block) pair is
+	// unique within a round and always routes to the same shard.
 	var wg sync.WaitGroup
 	for k := range e.items {
 		it := &e.items[k]
@@ -512,6 +605,10 @@ func (e *Engine) Step() []FlowResult {
 		wg.Add(1)
 		e.pool.Submit(shardOf(it.fl.id, it.batch.Block), func(c *core.Codec) {
 			defer wg.Done()
+			if e.gcode != nil {
+				it.batch.Symbols = it.fl.snd.ownEncoder(it.batch.Block).Symbols(it.batch.IDs)
+				return
+			}
 			bits, nb := it.fl.snd.blockBits(it.batch.Block)
 			it.batch.Symbols = c.Encoder(bits, nb).Symbols(it.batch.IDs)
 		})
@@ -553,8 +650,9 @@ func (e *Engine) Step() []FlowResult {
 			if it.lost {
 				continue
 			}
+			shard := shardOf(it.fl.id, it.batch.Block)
 			wg.Add(1)
-			e.pool.Submit(shardOf(it.fl.id, it.batch.Block), func(c *core.Codec) {
+			e.pool.Submit(shard, func(c *core.Codec) {
 				defer wg.Done()
 				rcv := it.fl.rcv
 				if e.cfg.Feedback != nil && e.cfg.Feedback.Discard && len(it.batch.IDs) > 0 {
@@ -572,7 +670,7 @@ func (e *Engine) Step() []FlowResult {
 				}
 				blk := &rcv.blocks[it.batch.Block]
 				if blk.dirty {
-					it.decoded = rcv.attempt(it.batch.Block, c.Decoder(blk.nBits))
+					it.decoded = rcv.attempt(it.batch.Block, e.workerDecoder(c, shard, blk.nBits))
 				}
 			})
 		}
@@ -586,8 +684,9 @@ func (e *Engine) Step() []FlowResult {
 		e.faultDeliver(round)
 		for k := range e.groups {
 			g := &e.groups[k]
+			shard := shardOf(g.fl.id, g.block)
 			wg.Add(1)
-			e.pool.Submit(shardOf(g.fl.id, g.block), func(c *core.Codec) {
+			e.pool.Submit(shard, func(c *core.Codec) {
 				defer wg.Done()
 				rcv := g.fl.rcv
 				// A corrupt frame that survived the parser can address a
@@ -609,7 +708,7 @@ func (e *Engine) Step() []FlowResult {
 				}
 				blk := &rcv.blocks[g.block]
 				if !blk.got && blk.dirty {
-					g.decoded = rcv.attempt(g.block, c.Decoder(blk.nBits))
+					g.decoded = rcv.attempt(g.block, e.workerDecoder(c, shard, blk.nBits))
 				}
 			})
 		}
@@ -632,22 +731,16 @@ func (e *Engine) Step() []FlowResult {
 			it := &e.items[k]
 			if it.decoded && it.fl.pause == nil {
 				it.fl.snd.acked[it.batch.Block] = true
-				// Closed-loop rate policies learn from each decoded block's
-				// total symbol spend (TrackingRate's channel estimator).
-				if ob, ok := it.fl.rate.(RateObserver); ok {
-					ob.ObserveDecode(it.fl.snd.blocks[it.batch.Block].NumBits(),
-						it.fl.snd.symbolsFor(it.batch.Block))
-				}
+				// Closed-loop rate policies (and rate-adapting codes) learn
+				// from each decoded block's total symbol spend.
+				e.observeDecode(it.fl, it.batch.Block)
 			}
 		}
 		for k := range e.groups {
 			g := &e.groups[k]
 			if g.decoded && g.fl.pause == nil && g.block < len(g.fl.snd.acked) {
 				g.fl.snd.acked[g.block] = true
-				if ob, ok := g.fl.rate.(RateObserver); ok {
-					ob.ObserveDecode(g.fl.snd.blocks[g.block].NumBits(),
-						g.fl.snd.symbolsFor(g.block))
-				}
+				e.observeDecode(g.fl, g.block)
 			}
 		}
 		for _, fl := range e.flows {
@@ -771,7 +864,6 @@ func (e *Engine) faultDeliver(round int) {
 // continuation instead of waiting out the retransmission timer.
 func (e *Engine) applyAck(fl *engineFlow, a framing.Ack, round int) {
 	e.observe(fl, round, AckDelivered, a)
-	ob, hasOb := fl.rate.(RateObserver)
 	for i, decoded := range a.Decoded {
 		if i >= len(fl.snd.acked) {
 			break
@@ -779,9 +871,7 @@ func (e *Engine) applyAck(fl *engineFlow, a framing.Ack, round int) {
 		if decoded {
 			if !fl.snd.acked[i] {
 				fl.snd.acked[i] = true
-				if hasOb {
-					ob.ObserveDecode(fl.snd.blocks[i].NumBits(), fl.snd.symbolsFor(i))
-				}
+				e.observeDecode(fl, i)
 			}
 			continue
 		}
@@ -810,13 +900,10 @@ func (e *Engine) applyPauseAck(fl *engineFlow, round int) {
 	}
 	e.observe(fl, round, AckSent, a)
 	e.observe(fl, round, AckDelivered, a)
-	ob, hasOb := fl.rate.(RateObserver)
 	for i, decoded := range a.Decoded {
 		if decoded && !fl.snd.acked[i] {
 			fl.snd.acked[i] = true
-			if hasOb {
-				ob.ObserveDecode(fl.snd.blocks[i].NumBits(), fl.snd.symbolsFor(i))
-			}
+			e.observeDecode(fl, i)
 		}
 	}
 }

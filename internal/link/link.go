@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	icode "spinal/internal/code"
 	"spinal/internal/core"
 	"spinal/internal/framing"
 )
@@ -103,36 +104,42 @@ func (f *Frame) SymbolCount() int {
 // Sender streams a datagram as rateless frames. It keeps only the block
 // bits and per-block schedules as state; encoders are built lazily for
 // the standalone NextFrame path and skipped entirely when an Engine
-// generates symbols on its codec pool.
+// generates symbols on its codec pool. The code is any icode.Code — the
+// protocol machinery is code-agnostic.
 type Sender struct {
-	params   core.Params
+	code     icode.Code
 	blocks   []framing.Block
 	bits     [][]byte // serialized block bits (payload + CRC)
-	encs     []*core.Encoder
-	scheds   []*core.Schedule
+	encs     []icode.Encoder
+	scheds   []icode.Schedule
 	acked    []bool
 	seq      uint32
 	symbols  int
 	perBlock []int // per-block symbol counts (rate-adaptation input)
 }
 
-// NewSender segments the datagram into code blocks of at most
+// NewSender segments the datagram into spinal code blocks of at most
 // maxBlockBits (0 ⇒ the §6 default of 1024) and prepares the schedules.
 // A zero-length datagram is legal: it becomes a single CRC-only block.
 func NewSender(datagram []byte, p core.Params, maxBlockBits int) *Sender {
+	return NewCodeSender(icode.Spinal(p), datagram, maxBlockBits)
+}
+
+// NewCodeSender is NewSender over an arbitrary channel code.
+func NewCodeSender(c icode.Code, datagram []byte, maxBlockBits int) *Sender {
 	blocks := framing.Segment(datagram, maxBlockBits)
 	s := &Sender{
-		params:   p,
+		code:     c,
 		blocks:   blocks,
 		bits:     make([][]byte, len(blocks)),
-		encs:     make([]*core.Encoder, len(blocks)),
-		scheds:   make([]*core.Schedule, len(blocks)),
+		encs:     make([]icode.Encoder, len(blocks)),
+		scheds:   make([]icode.Schedule, len(blocks)),
 		acked:    make([]bool, len(blocks)),
 		perBlock: make([]int, len(blocks)),
 	}
 	for i, b := range blocks {
 		s.bits[i] = b.Bits()
-		s.scheds[i] = core.NewScheduleFor(b.NumBits(), p)
+		s.scheds[i] = c.NewSchedule(b.NumBits())
 	}
 	return s
 }
@@ -182,10 +189,10 @@ func (s *Sender) symbolsFor(i int) int { return s.perBlock[i] }
 
 // ownEncoder returns the sender's dedicated encoder for block i, built on
 // first use (standalone path only).
-func (s *Sender) ownEncoder(i int) *core.Encoder {
+func (s *Sender) ownEncoder(i int) icode.Encoder {
 	if s.encs[i] == nil {
 		bits, nb := s.blockBits(i)
-		s.encs[i] = core.NewEncoder(bits, nb, s.params)
+		s.encs[i] = s.code.NewEncoder(bits, nb)
 	}
 	return s.encs[i]
 }
@@ -249,16 +256,22 @@ type rxBlock struct {
 // Engine. A datagram of a hundred blocks therefore needs a hundred symbol
 // accumulators but only one decoder per distinct block size.
 type Receiver struct {
-	params  core.Params
+	code    icode.Code
 	blocks  []rxBlock
-	decs    map[int]*core.Decoder // standalone decoders, keyed by nBits
+	decs    map[int]icode.Decoder // standalone decoders, keyed by nBits
 	lastSeq uint32
 }
 
-// NewReceiver creates a receiver with the same code parameters as the
-// sender.
+// NewReceiver creates a receiver with the same spinal code parameters as
+// the sender.
 func NewReceiver(p core.Params) *Receiver {
-	return &Receiver{params: p}
+	return NewCodeReceiver(icode.Spinal(p))
+}
+
+// NewCodeReceiver is NewReceiver over an arbitrary channel code; it must
+// match the sender's.
+func NewCodeReceiver(c icode.Code) *Receiver {
+	return &Receiver{code: c}
 }
 
 // init adopts the frame-advertised block layout.
@@ -297,7 +310,7 @@ func (r *Receiver) accumulate(b *Batch) (bool, error) {
 	// Decoder accumulators are indexed by Chunk; an ID a corrupt frame
 	// attributes to a nonexistent chunk must be rejected here, not panic
 	// in the decoder during replay.
-	ns := r.params.NumSpine(blk.nBits)
+	ns := r.code.Chunks(blk.nBits)
 	for _, id := range b.IDs {
 		if id.Chunk < 0 || id.Chunk >= ns {
 			return true, ErrBadSymbolID
@@ -344,7 +357,7 @@ func (r *Receiver) accumulate(b *Batch) (bool, error) {
 // attempt replays block i's accumulated symbols into dec (which must be
 // freshly reset) and runs one decode, reporting whether the block newly
 // verified. On success the accumulators are released.
-func (r *Receiver) attempt(i int, dec *core.Decoder) bool {
+func (r *Receiver) attempt(i int, dec icode.Decoder) bool {
 	blk := &r.blocks[i]
 	blk.dirty = false
 	dec.Add(blk.ids, blk.syms)
@@ -378,13 +391,13 @@ func (r *Receiver) dropStale(i int) {
 
 // ownDecoder returns the receiver's reset decoder for nBits-bit blocks,
 // built on first use (standalone path only).
-func (r *Receiver) ownDecoder(nBits int) *core.Decoder {
+func (r *Receiver) ownDecoder(nBits int) icode.Decoder {
 	if r.decs == nil {
-		r.decs = make(map[int]*core.Decoder)
+		r.decs = make(map[int]icode.Decoder)
 	}
 	d, ok := r.decs[nBits]
 	if !ok {
-		d = core.NewDecoder(nBits, r.params)
+		d = r.code.NewDecoder(nBits)
 		r.decs[nBits] = d
 		return d
 	}
@@ -529,11 +542,16 @@ type Channel interface {
 // returning the received datagram and statistics. maxFrames bounds the
 // exchange (0 means 10000).
 func Transfer(datagram []byte, p core.Params, maxBlockBits int, ch Channel, maxFrames int) ([]byte, Stats, error) {
+	return TransferWithCode(icode.Spinal(p), datagram, maxBlockBits, ch, maxFrames)
+}
+
+// TransferWithCode is Transfer over an arbitrary channel code.
+func TransferWithCode(c icode.Code, datagram []byte, maxBlockBits int, ch Channel, maxFrames int) ([]byte, Stats, error) {
 	if maxFrames == 0 {
 		maxFrames = 10000
 	}
-	snd := NewSender(datagram, p, maxBlockBits)
-	rcv := NewReceiver(p)
+	snd := NewCodeSender(c, datagram, maxBlockBits)
+	rcv := NewCodeReceiver(c)
 	var st Stats
 	st.Blocks = snd.Blocks()
 	for frame := 0; frame < maxFrames; frame++ {

@@ -84,7 +84,79 @@ func goldenConfigs() []ScenarioConfig {
 			Seed:         20260730,
 		})
 	}
+	// The bake-off rows: the same bursty channel, once per channel code
+	// behind the Code interface (spinal routed through the interface too —
+	// its row must reproduce the native burst numbers), plus one
+	// feedback-impaired row per rate-adapting baseline so the ARQ
+	// machinery is pinned over a generic code as well. Appended after
+	// every pre-existing config so the legacy golden entries stay
+	// byte-identical.
+	for _, code := range []string{"spinal", "raptor", "strider", "turbo", "ldpc"} {
+		cfgs = append(cfgs, ScenarioConfig{
+			Params:       multiFlowParams(),
+			Code:         code,
+			Scenario:     "burst",
+			Policy:       "capacity",
+			Flows:        5,
+			Concurrency:  3,
+			MinBytes:     40,
+			MaxBytes:     90,
+			MaxRounds:    96,
+			MaxBlockBits: 192,
+			Shards:       2,
+			Seed:         20260730,
+		})
+	}
+	for _, code := range []string{"raptor", "ldpc:1/2"} {
+		cfgs = append(cfgs, ScenarioConfig{
+			Params:       multiFlowParams(),
+			Code:         code,
+			Scenario:     "feedback-delay",
+			Policy:       "tracking",
+			Flows:        5,
+			Concurrency:  3,
+			MinBytes:     40,
+			MaxBytes:     90,
+			MaxRounds:    96,
+			MaxBlockBits: 192,
+			Shards:       2,
+			Seed:         20260730,
+		})
+	}
 	return cfgs
+}
+
+// TestScenarioCodeSpinalEquivalence pins the zero-cost-unwrap contract:
+// a run routed through the Code interface with the spinal spec must
+// reproduce the native run's outcome exactly (only the Code label may
+// differ).
+func TestScenarioCodeSpinalEquivalence(t *testing.T) {
+	cfg := ScenarioConfig{
+		Params:       multiFlowParams(),
+		Scenario:     "burst",
+		Policy:       "capacity",
+		Flows:        3,
+		Concurrency:  2,
+		MinBytes:     40,
+		MaxBytes:     90,
+		MaxRounds:    48,
+		MaxBlockBits: 192,
+		Shards:       2,
+		Seed:         20260730,
+	}
+	native, err := MeasureScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Code = "spinal"
+	routed, err := MeasureScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed.Code = ""
+	if native != routed {
+		t.Fatalf("spinal routed through the Code interface drifted from native:\nnative: %+v\nrouted: %+v", native, routed)
+	}
 }
 
 func TestScenarioGolden(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"spinal/channel"
+	"spinal/code"
 	"spinal/internal/core"
 	"spinal/link"
 )
@@ -32,6 +33,11 @@ func NewFlowChannel(model channel.Model, erasure float64, seed int64) *FlowChann
 // ScenarioConfig drives MeasureScenario.
 type ScenarioConfig struct {
 	Params core.Params
+	// Code selects the channel code every flow runs, by spec: "spinal"
+	// (or empty — the code of Params), "raptor", "strider", "turbo",
+	// "ldpc" or "ldpc:RATE". Every scenario runs unchanged over any code
+	// — this is the bake-off's steering wheel.
+	Code string
 	// Scenario names the channel workload: "burst" (Gilbert–Elliott
 	// good/bad Markov states), "walk" (bounded SNR random walk),
 	// "trace:<file>" (replayed SNR-vs-time series), "churn" (mixed
@@ -87,8 +93,12 @@ type ScenarioConfig struct {
 // encoding/json renders it byte-for-byte reproducibly (the golden tests
 // depend on that).
 type ScenarioResult struct {
-	Scenario  string `json:"scenario"`
-	Policy    string `json:"policy"`
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// Code names the channel code the run used; omitted from the JSON
+	// when empty (spinal) so the pre-bake-off golden outcomes stay
+	// byte-identical.
+	Code      string `json:"code,omitempty"`
 	Flows     int    `json:"flows"`
 	Delivered int    `json:"delivered"`
 	// Outages counts flows that exhausted their round budget (or were
@@ -330,7 +340,7 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		policy = "tracking"
 	}
 
-	res := ScenarioResult{Scenario: cfg.Scenario, Policy: policy, Flows: flows}
+	res := ScenarioResult{Scenario: cfg.Scenario, Policy: policy, Code: cfg.Code, Flows: flows}
 
 	newModel, feedback, faults, err := scenarioChannels(cfg.Scenario, cfg.Seed)
 	if err != nil {
@@ -361,6 +371,13 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	}
 	if cfg.HalfDuplex {
 		opts = append(opts, link.WithHalfDuplex(0))
+	}
+	if cfg.Code != "" {
+		c, err := code.Parse(cfg.Code, cfg.Params)
+		if err != nil {
+			return res, err
+		}
+		opts = append(opts, link.WithCode(c))
 	}
 	s, err := link.NewSession(cfg.Params, opts...)
 	if err != nil {

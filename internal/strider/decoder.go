@@ -1,6 +1,9 @@
 package strider
 
-import "spinal/internal/framing"
+import (
+	"spinal/internal/framing"
+	"spinal/internal/modem"
+)
 
 // Decoder performs successive interference cancellation over the received
 // passes. Layers are decoded strongest-first; a layer whose CRC passes is
@@ -280,7 +283,7 @@ func (d *Decoder) decodeLayer(l int, noiseVar float64) bool {
 	}
 	d.decoded[l] = true
 	d.info[l] = msgBits
-	d.rex[l] = qpskModulate(c.tc.Encode(block))
+	d.rex[l] = modem.QPSK{}.Modulate(c.tc.Encode(block))
 	return true
 }
 

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"spinal/internal/framing"
+	"spinal/internal/modem"
 	"spinal/internal/turbo"
 )
 
@@ -202,26 +203,9 @@ func (c *Code) Encode(msg []byte) *Tx {
 	for l := 0; l < c.cfg.Layers; l++ {
 		block := c.layerBlock(msg[l*c.cfg.LayerBits : (l+1)*c.cfg.LayerBits])
 		coded := c.tc.Encode(block)
-		t.x[l] = qpskModulate(coded)
+		t.x[l] = modem.QPSK{}.Modulate(coded)
 	}
 	return t
-}
-
-// qpskModulate maps bit pairs to unit-power QPSK symbols.
-func qpskModulate(bits []byte) []complex128 {
-	const a = 0.7071067811865476
-	out := make([]complex128, len(bits)/2)
-	for i := range out {
-		re, im := a, a
-		if bits[2*i]&1 == 1 {
-			re = -a
-		}
-		if bits[2*i+1]&1 == 1 {
-			im = -a
-		}
-		out[i] = complex(re, im)
-	}
-	return out
 }
 
 // Pass produces the full superposed symbol vector for pass p.

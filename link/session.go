@@ -8,6 +8,7 @@ import (
 
 	"spinal"
 	"spinal/channel"
+	"spinal/code"
 	ilink "spinal/internal/link"
 )
 
@@ -121,6 +122,20 @@ func WithHalfDuplex(bitsPerAckSymbol int) Option {
 	return func(c *config) {
 		c.engine.HalfDuplex = &ilink.HalfDuplexConfig{AckBitsPerSymbol: bitsPerAckSymbol}
 		c.sessionOnly = append(c.sessionOnly, "WithHalfDuplex")
+	}
+}
+
+// WithCode runs every flow of the session over cd — any spinal/code
+// implementation: code.Spinal (the default behaviour, recognized and run
+// on the native pooled fast path), or a §8 baseline from spinal/baseline
+// (Raptor, Strider, turbo, the rate-switching LDPC shim). The whole
+// scenario surface — channels, rate and pause policies, delayed/lossy
+// feedback, half-duplex accounting, fault injection — works unchanged
+// over any code. Session-scoped.
+func WithCode(cd code.Code) Option {
+	return func(c *config) {
+		c.engine.Code = cd
+		c.sessionOnly = append(c.sessionOnly, "WithCode")
 	}
 }
 

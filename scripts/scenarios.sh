@@ -13,6 +13,7 @@ cd "$(dirname "$0")/.."
 go run ./cmd/spinalsim -exp scenario-goodput
 go run ./cmd/spinalsim -exp feedback-goodput
 go run ./cmd/spinalsim -exp chaos-degradation
+go run ./cmd/spinalsim -exp baseline-goodput
 
 if [ "${1:-}" = "-update" ]; then
     go test ./internal/sim -run TestScenarioGolden -update -v | grep -v '^=== \|^--- '
