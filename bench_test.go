@@ -133,6 +133,62 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+// benchKernelDecode measures one full decode of a 256-bit message of
+// noiseless symbols at the given beam width, kernel mode and number of
+// stored subpasses (8 subpasses = one full pass of the §5 puncturing
+// schedule).
+func benchKernelDecode(b *testing.B, beam, subpasses int, kernel spinal.Kernel) {
+	p := spinal.DefaultParams()
+	p.B = beam
+	p.Kernel = kernel
+	msg := make([]byte, 32)
+	for i := range msg {
+		msg[i] = byte(i*73 + 11)
+	}
+	enc := spinal.NewEncoder(msg, 256, p)
+	dec := spinal.NewDecoder(256, p)
+	sched := enc.NewSchedule()
+	for sub := 0; sub < subpasses; sub++ {
+		ids := sched.NextSubpass()
+		dec.Add(ids, enc.Symbols(ids))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode()
+	}
+	b.StopTimer()
+	if dec.KernelUsed() != kernel && kernel != spinal.KernelAuto {
+		b.Fatalf("decode ran on kernel %v, want %v", dec.KernelUsed(), kernel)
+	}
+}
+
+// BenchmarkDecodeQuantized is a line-rate operating point: a streaming
+// receiver attempts a decode after every full pass of the puncturing
+// schedule (8 subpasses here), with the fixed-point kernel at beam
+// width 32 — between the Appendix B hardware's B=4 and the software
+// evaluation's B=256, and per the Figure 8-6 compute-budget curve
+// (fig8-6: k=4, budget 128) still at ~90% of the wide-beam fraction of
+// capacity. The bench_check.sh gate holds this under 1 ms per 256-bit
+// decode at zero steady-state allocations.
+func BenchmarkDecodeQuantized(b *testing.B) {
+	benchKernelDecode(b, 32, 8, spinal.KernelQuantized)
+}
+
+// BenchmarkDecodeQuantized256 runs the fixed-point kernel on the
+// BenchmarkDecode workload (B=256, two passes) — the direct comparison
+// row for BenchmarkDecodeFloat256.
+func BenchmarkDecodeQuantized256(b *testing.B) {
+	benchKernelDecode(b, 256, 16, spinal.KernelQuantized)
+}
+
+// BenchmarkDecodeFloat256 pins the float64 reference path on the same
+// workload — the arithmetic BenchmarkDecode measured before the
+// quantized kernel became the default.
+func BenchmarkDecodeFloat256(b *testing.B) {
+	benchKernelDecode(b, 256, 16, spinal.KernelFloat)
+}
+
 // BenchmarkHWModel regenerates the Appendix B throughput/area model.
 func BenchmarkHWModel(b *testing.B) { runExperiment(b, "hw-model") }
 

@@ -36,7 +36,22 @@ type Decoder struct {
 	// treated as h=1 throughout (plain AWGN).
 	faded []bool
 
+	// anyFaded is true once any chunk carries fading coefficients; the
+	// quantized kernel's tables assume h = 1, so fading routes decodes to
+	// the float path.
+	anyFaded bool
+
 	nsyms int
+
+	// Quantized-kernel state: oaat is the devirtualized hash (valid when
+	// quantStatic), maxAbsX the constellation's largest magnitude (for
+	// the quantization range), q the fixed-point search scratch, and
+	// lastKernel the arithmetic the most recent Decode ran on.
+	oaat        hashfn.OneAtATime
+	quantStatic bool
+	maxAbsX     float64
+	q           quantSearch
+	lastKernel  Kernel
 
 	bs     beamSearch
 	eval   *evaluator // serial-path evaluator
@@ -73,6 +88,15 @@ func NewDecoder(nBits int, p Params) *Decoder {
 		faded: make([]bool, ns),
 		bs:    newBeamSearch(nBits, p),
 	}
+	for _, x := range table {
+		if a := math.Abs(x); a > d.maxAbsX {
+			d.maxAbsX = a
+		}
+	}
+	var isOAAT bool
+	d.oaat, isOAAT = hashfn.AsOneAtATime(p.Hash)
+	d.quantStatic = isOAAT && p.D == 1 && p.B<<uint(p.K) <= quantMaxStates &&
+		p.Kernel != KernelFloat && !math.IsInf(d.maxAbsX, 0) && !math.IsNaN(d.maxAbsX)
 	d.eval = d.newEvaluator()
 	return d
 }
@@ -334,6 +358,7 @@ func (d *Decoder) AddFaded(ids []SymbolID, y []complex128, h []complex128) {
 		d.ysI[c] = append(d.ysI[c], real(y[i]))
 		d.ysQ[c] = append(d.ysQ[c], imag(y[i]))
 		if h != nil {
+			d.anyFaded = true
 			if !d.faded[c] {
 				// Earlier symbols for this chunk arrived without fading
 				// info; backfill with h=1.
@@ -370,6 +395,7 @@ func (d *Decoder) Reset() {
 		d.hsQ[i] = d.hsQ[i][:0]
 		d.faded[i] = false
 	}
+	d.anyFaded = false
 	d.nsyms = 0
 }
 
@@ -387,8 +413,40 @@ func (d *Decoder) Close() { d.par.close() }
 //
 // The returned slice is owned by the decoder and overwritten by the next
 // Decode call (and by Reset); copy it if it must be retained.
+//
+// Arithmetic is selected by Params.Kernel: with KernelAuto or
+// KernelQuantized an eligible decode runs on the fixed-point kernel
+// (internal/hw) and falls back to the float64 reference path otherwise;
+// KernelFloat always uses the reference path. KernelUsed reports the
+// choice, QuantTolerance the cost accuracy.
 func (d *Decoder) Decode() ([]byte, float64) {
+	if d.quantEligible() {
+		if msg, cost, ok := d.decodeQuantized(d.msgBuf); ok {
+			d.msgBuf = msg
+			d.lastKernel = KernelQuantized
+			return msg, cost
+		}
+	}
+	d.lastKernel = KernelFloat
 	msg, cost := d.bs.run(d.eval, d.msgBuf)
 	d.msgBuf = msg
 	return msg, cost
+}
+
+// KernelUsed reports the arithmetic the most recent Decode ran on:
+// KernelQuantized or KernelFloat (KernelAuto before the first decode).
+// DecodeParallel always uses the float path and does not update it.
+func (d *Decoder) KernelUsed() Kernel { return d.lastKernel }
+
+// QuantTolerance bounds the absolute cost error of the most recent
+// quantized Decode: the true (float) cost of any returned path differs
+// from the reported cost by at most this much, provided no stored
+// symbol's distances saturated the fixed-point range (only adversarial
+// magnitudes beyond every finite symbol's reach do). Zero when the last
+// decode used the float path.
+func (d *Decoder) QuantTolerance() float64 {
+	if d.lastKernel != KernelQuantized {
+		return 0
+	}
+	return d.q.tol
 }

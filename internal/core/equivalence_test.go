@@ -204,6 +204,10 @@ func TestDecodeEquivalence(t *testing.T) {
 			Tail: 1 + rng.Intn(3),
 			Ways: []int{1, 2, 4, 8}[rng.Intn(4)],
 			Seed: rng.Uint32(),
+			// This suite pins the float64 reference arithmetic at 1e-9;
+			// quant_equivalence_test.go pins the quantized kernel against
+			// it at the quantization tolerance.
+			Kernel: KernelFloat,
 		}
 		nBits := 16 + rng.Intn(80)
 		msg := randomMessage(rng, nBits)

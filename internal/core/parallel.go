@@ -188,10 +188,14 @@ func (bs *beamSearch) runParallel(pool *workerPool, evals []*evaluator, dst []by
 			cands = append(cands, e.out...)
 		}
 		keep := bs.p.B
+		if len(cands) > keep {
+			cands = bs.selectBest(cands, keep)
+		}
+		if len(cands) == 0 {
+			cands = bs.expandFallback(evals[0], beam, p, kb, fan, keep, cands[:0])
+		}
 		if keep > len(cands) {
 			keep = len(cands)
-		} else {
-			cands = bs.selectBest(cands, keep)
 		}
 		next = next[:0]
 		for i := 0; i < keep; i++ {

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"spinal/internal/channel"
@@ -12,6 +13,10 @@ func TestDecodeParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(30))
 	p := testParams()
 	p.B = 64
+	// Serial-vs-parallel sharding is a float-path property; the parallel
+	// decoder has no quantized mode, so exact cost comparison needs the
+	// serial side on the same arithmetic.
+	p.Kernel = KernelFloat
 	nBits := 192
 	for trial := 0; trial < 4; trial++ {
 		msg := randomMessage(rng, nBits)
@@ -86,8 +91,18 @@ func BenchmarkDecodeParallel4(b *testing.B) {
 }
 
 func benchDecode(b *testing.B, workers int) {
+	if workers > 1 && runtime.GOMAXPROCS(0) < 2 {
+		// On one scheduling core DecodeParallel can only measure goroutine
+		// hand-off overhead (≈1.6x slower than serial here); skip rather
+		// than publish a "parallel regression" that is really a machine
+		// property.
+		b.Skipf("parallel decode needs GOMAXPROCS >= 2, have %d", runtime.GOMAXPROCS(0))
+	}
 	rng := rand.New(rand.NewSource(33))
-	p := Params{K: 4, B: 256, D: 1, C: 6, Tail: 2, Ways: 8}
+	// The parallel decoder has no quantized mode; pin the serial row to
+	// the same float arithmetic so the pair compares sharding, not
+	// kernels.
+	p := Params{K: 4, B: 256, D: 1, C: 6, Tail: 2, Ways: 8, Kernel: KernelFloat}
 	nBits := 256
 	msg := randomMessage(rng, nBits)
 	enc := NewEncoder(msg, nBits, p)

@@ -46,7 +46,41 @@ type Params struct {
 	// Mapper is the constellation mapping function; nil means the uniform
 	// mapper at C bits (§3.3).
 	Mapper modem.Mapper
+	// Kernel selects the decoder's branch-cost arithmetic; see the Kernel
+	// constants. Encoder and BSC decoder ignore it, and it does not change
+	// the code itself — only how the AWGN decoder evaluates path metrics.
+	Kernel Kernel
 }
+
+// Kernel selects the arithmetic of the AWGN bubble decoder's hot path.
+//
+// The quantized kernel is the Appendix B fixed-point datapath realized in
+// software (internal/hw): saturating int32 branch metrics over per-step
+// distance tables, batched across all candidates of a spine step, with an
+// in-place partial select keeping the beam. It requires the
+// one-at-a-time hash, D = 1, no fading-aware symbols and a feasible
+// quantization range (internal/hw.NewQuantizer); whenever any of those
+// fail, a decode transparently uses the float path. Decoded bits match
+// the float path wherever the float decode succeeds with margin; path
+// costs agree within Decoder.QuantTolerance (see docs/API.md for the
+// accuracy contract).
+type Kernel int
+
+const (
+	// KernelAuto — the zero value and the default — uses the quantized
+	// fixed-point kernel whenever the decode is eligible and the float
+	// reference path otherwise.
+	KernelAuto Kernel = iota
+	// KernelFloat forces the float64 reference implementation.
+	KernelFloat
+	// KernelQuantized asks for the fixed-point kernel explicitly. The
+	// policy is currently identical to KernelAuto (quantized when
+	// eligible, float fallback otherwise — fallback keeps mid-stream
+	// fading or adversarial symbol planes decodable); the distinct value
+	// lets configs state intent and leaves room for Auto to grow
+	// heuristics. Decoder.KernelUsed reports what actually ran.
+	KernelQuantized
+)
 
 // DefaultParams returns the paper's recommended operating point:
 // k=4, B=256, d=1, c=6, two tail symbols, 8-way puncturing (§7.1, §8.4).
@@ -95,6 +129,11 @@ func (p Params) check() {
 	case 1, 2, 4, 8:
 	default:
 		panic(fmt.Sprintf("core: Ways = %d not in {1,2,4,8}", p.Ways))
+	}
+	switch p.Kernel {
+	case KernelAuto, KernelFloat, KernelQuantized:
+	default:
+		panic(fmt.Sprintf("core: unknown Kernel %d", p.Kernel))
 	}
 }
 

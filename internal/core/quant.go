@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+	"slices"
+
+	"spinal/internal/hashfn"
+	"spinal/internal/hw"
+)
+
+// The quantized decode path: the bubble decoder of §4 run on the
+// Appendix B fixed-point datapath (internal/hw) instead of float64
+// branch metrics. Per spine step it quantizes the per-symbol squared
+// distances into saturating int32 tables, expands the beam in blocks of
+// contiguous candidates (one ChildrenPrefixes call per parent, one
+// hashfn.FinishWords + hw.AccumulateCompact pass per stored symbol —
+// scoring and the drop of dominated candidates fused into a single
+// sweep), and keeps the best B via in-place hw.SelectKeys over packed
+// cost<<32|origin keys. Selection runs whenever the survivor pool
+// doubles past 2B and once at the end of the step; each select trims
+// back to B and re-tightens the pruning bound to the exact running
+// B-th-best (the select pivot), replacing the float path's
+// histogram-estimated threshold. The float path in search.go is
+// retained, bit-for-bit untouched, as the reference implementation.
+//
+// Beam order is an invariant: each step emits its survivors sorted by
+// packed key (cost, then origin), so the next step expands parents in
+// ascending cost order and stops at the first parent the running
+// threshold dominates. Selection over unique packed keys makes the
+// survivor set — and therefore the decode — fully deterministic,
+// independent of block boundaries.
+
+// quantMaxStates bounds B·2^K on the quantized path: child states are
+// stashed densely by origin (parentRank<<kb | branchBits), so the stash
+// has B·2^K entries. 2^22 (16 MiB of states) is far beyond the paper's
+// operating range while keeping a pathological Params from allocating
+// gigabytes.
+const quantMaxStates = 1 << 22
+
+// quantAbsYLimit is the largest |y| a stored symbol may contribute to
+// the quantization range. Larger (or non-finite) values get no say in
+// the scale — their distance-table entries saturate at the cap instead —
+// so one adversarial sample cannot crush the resolution available to
+// every sane symbol, and the range arithmetic itself cannot overflow.
+const quantAbsYLimit = 1e75
+
+// quantSearch owns the quantized path's scratch; all slices keep their
+// capacity across decodes, so a warmed-up decoder runs at zero
+// allocations, mirroring beamSearch.
+type quantSearch struct {
+	qz  hw.Quantizer
+	tol float64 // qz.Tolerance(nsyms) of the most recent run
+
+	// Beam SoA planes (parallel by index, ascending cost) and the
+	// double-buffered next step.
+	bState, b2State []uint32
+	bCost, b2Cost   []int32
+	bBack, b2Back   []int32
+
+	// keys holds the step's surviving candidates as cost<<32 | origin.
+	keys []uint64
+	// sByOrg stashes child spine states densely by origin, so selection
+	// only ever moves the 8-byte keys.
+	sByOrg []uint32
+	// Block scoring planes, parallel by index within the current block.
+	pre  []uint32
+	org  []uint32
+	cost []int32
+	wbuf []uint32 // per-symbol RNG words for the block being scored
+	tabs []int32  // one step's distance tables: n symbols × 2 dims × 2^C
+}
+
+func ensureU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func ensureI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// quantEligible reports whether the next Decode may use the fixed-point
+// kernel: the static half (hash, depth, state-stash bound, kernel mode)
+// is decided at construction; fading-aware symbols opt out per decode
+// because the quantized tables assume h = 1.
+func (d *Decoder) quantEligible() bool {
+	return d.quantStatic && !d.anyFaded
+}
+
+// quantRange scans the stored planes for the largest finite
+// per-dimension squared distance any candidate can see:
+// (|y| + max|x|)², with |y| capped at quantAbsYLimit. The floor of
+// (2·max|x|)² keeps the scale meaningful when no stored symbol
+// qualifies.
+func (d *Decoder) quantRange() float64 {
+	maxA := 2 * d.maxAbsX
+	for c := range d.ts {
+		for _, plane := range [2][]float64{d.ysI[c], d.ysQ[c]} {
+			for _, y := range plane {
+				a := math.Abs(y)
+				if a <= quantAbsYLimit && a+d.maxAbsX > maxA {
+					maxA = a + d.maxAbsX
+				}
+			}
+		}
+	}
+	return maxA * maxA
+}
+
+// decodeQuantized runs the fixed-point beam search over all stored
+// symbols. ok is false when no feasible quantization exists (the caller
+// then uses the float path); otherwise the message is written into dst
+// (grown if needed) and returned with its dequantized path cost.
+func (d *Decoder) decodeQuantized(dst []byte) ([]byte, float64, bool) {
+	qz, ok := hw.NewQuantizer(d.quantRange(), d.nsyms)
+	if !ok {
+		return nil, 0, false
+	}
+	q := &d.q
+	q.qz = qz
+	q.tol = qz.Tolerance(d.nsyms)
+
+	k := d.p.K
+	B := d.p.B
+	ns := d.ns
+	L := len(d.table)
+	cshift := uint(d.p.C)
+	maxFan := 1 << uint(k)
+	// Blocks hold up to max(256, fan) candidates: enough parents to
+	// amortize the batched loops, few enough that the pruning threshold
+	// tightens several times per step.
+	blockCand := 256
+	if maxFan > blockCand {
+		blockCand = maxFan
+	}
+	q.bState = ensureU32(q.bState, B)
+	q.bCost = ensureI32(q.bCost, B)
+	q.bBack = ensureI32(q.bBack, B)
+	q.b2State = ensureU32(q.b2State, B)
+	q.b2Cost = ensureI32(q.b2Cost, B)
+	q.b2Back = ensureI32(q.b2Back, B)
+	q.sByOrg = ensureU32(q.sByOrg, B<<uint(k))
+	q.pre = ensureU32(q.pre, blockCand)
+	q.org = ensureU32(q.org, blockCand)
+	q.cost = ensureI32(q.cost, blockCand)
+	q.wbuf = ensureU32(q.wbuf, blockCand)
+	if cap(q.keys) < 2*B+blockCand {
+		q.keys = make([]uint64, 0, 2*B+blockCand)
+	}
+
+	bState, bCost, bBack := q.bState, q.bCost, q.bBack
+	b2State, b2Cost, b2Back := q.b2State, q.b2Cost, q.b2Back
+	bState[0], bCost[0], bBack[0] = d.p.Seed, 0, -1
+	nbeam := 1
+	arena := d.bs.arena[:0] // shared with the float path; runs never overlap
+
+	for p := 0; p < ns; p++ {
+		kb := chunkBits(d.nBits, k, p)
+		fan := 1 << uint(kb)
+		ts := d.ts[p]
+		n := len(ts)
+
+		// Per-step distance tables: L1-resident, one row pair per stored
+		// symbol. Non-finite received values saturate here (hw.Quantize),
+		// never in the accumulation loop.
+		tabs := ensureI32(q.tabs, n*2*L)
+		q.tabs = tabs
+		yI, yQ := d.ysI[p], d.ysQ[p]
+		for i := 0; i < n; i++ {
+			o := i * 2 * L
+			qz.BuildDistTables(yI[i], yQ[i], d.table, tabs[o:o+L], tabs[o+L:o+2*L])
+		}
+
+		blockP := blockCand >> uint(kb)
+		if blockP == 0 {
+			blockP = 1
+		}
+		tau := int32(math.MaxInt32)
+		keys := q.keys[:0]
+		for bi := 0; bi < nbeam; {
+			// Parents arrive in ascending cost order; the first one the
+			// threshold dominates ends the step (children only add cost).
+			if bCost[bi] >= tau {
+				break
+			}
+			bend := bi + blockP
+			if bend > nbeam {
+				bend = nbeam
+			}
+			w := 0
+			for pi := bi; pi < bend; pi++ {
+				pc := bCost[pi]
+				if pc >= tau {
+					break
+				}
+				og := uint32(pi) << uint(kb)
+				d.oaat.ChildrenPrefixes(bState[pi], kb, q.sByOrg[og:og+uint32(fan)], q.pre[w:w+fan])
+				for m := 0; m < fan; m++ {
+					q.cost[w+m] = pc
+					q.org[w+m] = og | uint32(m)
+				}
+				w += fan
+			}
+			bn := w
+			if bn == 0 {
+				break
+			}
+			if n > 0 {
+				// Batched, not fused: FinishWords runs the independent hash
+				// chains of a whole block back to back, which the CPU
+				// overlaps across iterations — a per-candidate
+				// hash-then-score loop measures ~30% slower on the same
+				// workload despite touching fewer arrays.
+				for i, t := range ts {
+					hashfn.FinishWords(q.pre[:bn], t, q.wbuf[:bn])
+					o := i * 2 * L
+					bn = hw.AccumulateCompact(tau, q.cost, q.pre, q.org, q.wbuf[:bn],
+						tabs[o:o+L], tabs[o+L:o+2*L], d.cmask, cshift)
+					if bn == 0 {
+						break
+					}
+				}
+			} else if tau != math.MaxInt32 {
+				// Punctured chunk (§5): children inherit the parent cost
+				// unchanged; only the threshold filters.
+				bn = hw.CompactBelow(tau, q.cost[:bn], q.pre, q.org)
+			}
+			for j := 0; j < bn; j++ {
+				keys = append(keys, uint64(uint32(q.cost[j]))<<32|uint64(q.org[j]))
+			}
+			bi = bend
+			// Re-select once the survivor pool doubles: trimming back to B
+			// re-tightens tau to the exact running B-th best (the select's
+			// pivot cost). Selecting at 2B rather than every block halves
+			// the number of partitions while each still costs O(2B) — tau
+			// is at most one pool-doubling stale, which only admits extra
+			// candidates, never loses one.
+			if len(keys) >= 2*B {
+				pivot := hw.SelectKeys(keys, B)
+				keys = keys[:B]
+				tau = int32(pivot >> 32)
+			}
+		}
+		if len(keys) > B {
+			hw.SelectKeys(keys, B)
+			keys = keys[:B]
+		}
+		q.keys = keys
+		if len(keys) == 0 {
+			// Unreachable (the first block always survives an infinite
+			// threshold), but a silent fallback beats a corrupt beam.
+			return nil, 0, false
+		}
+
+		// Sorting the packed keys both fixes the survivor order
+		// deterministically and establishes the next step's
+		// ascending-cost parent invariant.
+		slices.Sort(keys)
+		for j, key := range keys {
+			og := uint32(key)
+			arena = append(arena, backRec{
+				parent: bBack[og>>uint(kb)],
+				bits:   uint16(og & uint32(fan-1)),
+			})
+			b2State[j] = q.sByOrg[og]
+			b2Cost[j] = int32(key >> 32)
+			b2Back[j] = int32(len(arena) - 1)
+		}
+		nbeam = len(keys)
+		bState, b2State = b2State, bState
+		bCost, b2Cost = b2Cost, bCost
+		bBack, b2Back = b2Back, bBack
+	}
+
+	q.bState, q.bCost, q.bBack = bState, bCost, bBack
+	q.b2State, q.b2Cost, q.b2Back = b2State, b2Cost, b2Back
+	d.bs.arena = arena
+
+	// beam[0] is the cheapest final candidate (ascending order invariant).
+	nb := (d.nBits + 7) / 8
+	if cap(dst) < nb {
+		dst = make([]byte, nb)
+	}
+	msg := dst[:nb]
+	idx := bBack[0]
+	for j := ns - 1; j >= 0; j-- {
+		setChunk(msg, d.nBits, k, j, uint32(arena[idx].bits))
+		idx = arena[idx].parent
+	}
+	return msg, qz.Dequantize(bCost[0]), true
+}

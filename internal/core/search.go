@@ -484,6 +484,38 @@ func (bs *beamSearch) expandPruned(e *evaluator, beam []beamNode, lo, stride, p,
 	return dst
 }
 
+// expandFallback materializes the fan children of the beam's cheapest
+// parent with no pruning, truncated to keep. A spine step can come back
+// empty only when branch costs go non-finite — corrupt stored samples
+// overflow squared distances, +Inf scores meet even the infinite initial
+// threshold, and NaN scores can poison the trim pivot so the trim keeps
+// nothing. The decode must still consume the chunk, so the search
+// advances the strongest parent's subtree and reports its honestly
+// non-finite cost instead of dropping to an empty beam. Any keep-subset
+// is a valid selection here: no candidate scores below another, the
+// latitude §4.3 already grants.
+func (bs *beamSearch) expandFallback(e *evaluator, beam []beamNode, p, kb, fan, keep int, dst []candidate) []candidate {
+	bi := 0
+	for i := 1; i < len(beam); i++ {
+		if beam[i].cost < beam[bi].cost {
+			bi = i
+		}
+	}
+	node := beam[bi]
+	childs := e.expandChildren(node.state, kb, fan)
+	for m, cs := range childs {
+		base := node.cost + e.branch(p, cs)
+		dst = append(dst, candidate{
+			state: cs, parent: int32(bi), bits: uint16(m),
+			cost: base, score: base,
+		})
+	}
+	if len(dst) > keep {
+		dst = dst[:keep]
+	}
+	return dst
+}
+
 // trimToBeam moves the keep candidates with the lowest scores to
 // cands[:keep] and returns that prefix. pivot must be the exact keep-th
 // smallest score (the final heap threshold); ties at the pivot are kept
@@ -547,10 +579,14 @@ func (bs *beamSearch) run(e *evaluator, dst []byte) ([]byte, float64) {
 		e.filter.reset(bs.p.B, minBeamCost(beam))
 		cands := bs.expandPruned(e, beam, 0, 1, p, kb, fan, dd, bs.cands[:0])
 		keep := bs.p.B
+		if len(cands) > keep {
+			cands = trimToBeam(cands, keep, e.filter.threshold())
+		}
+		if len(cands) == 0 {
+			cands = bs.expandFallback(e, beam, p, kb, fan, keep, cands[:0])
+		}
 		if keep > len(cands) {
 			keep = len(cands)
-		} else {
-			cands = trimToBeam(cands, keep, e.filter.threshold())
 		}
 		next = next[:0]
 		for i := 0; i < keep; i++ {

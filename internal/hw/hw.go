@@ -1,14 +1,20 @@
-// Package hw models the Appendix B hardware bubble decoder: a dispatcher
-// feeding M identical worker units (each with several hash engines), a
-// pipelined bitonic selection unit that keeps the best B of each step's
-// B·2^k scored candidates, and a backtrack memory. The model counts
-// cycles per decoding step and converts them to decoded throughput at a
-// given clock, reproducing the prototype's reported numbers: ≈10 Mbit/s
-// on the XUPV5 FPGA and ≈50 Mbit/s synthesized for TSMC 65 nm.
+// Package hw is the Appendix B hardware bubble decoder, in two layers.
 //
-// This is a performance/area estimator, not an RTL simulator: it
-// reproduces the throughput arithmetic of the Appendix (nodes per step,
-// hashes per node, work per cycle, selection overlap), with constants
+// kernel.go is the datapath, realized in software: the saturating
+// fixed-point quantizer, per-symbol distance tables, batched int32
+// branch-cost accumulation, in-place compaction of dominated
+// candidates, and the partial-select unit that keeps the best B of a
+// step's candidates. internal/core drives these primitives as its
+// default decode kernel; the equivalence suite there pins the quantized
+// results to the float reference path within a documented tolerance.
+//
+// hw.go is the performance/area model of the same microarchitecture: a
+// dispatcher feeding M worker units (each with several hash engines), a
+// pipelined bitonic selection unit, and a backtrack memory. The model
+// counts cycles per decoding step and converts them to decoded
+// throughput at a given clock, reproducing the prototype's reported
+// numbers: ≈10 Mbit/s on the XUPV5 FPGA and ≈50 Mbit/s synthesized for
+// TSMC 65 nm. It is an estimator, not an RTL simulator, with constants
 // calibrated to the two published operating points.
 package hw
 

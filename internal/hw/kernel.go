@@ -1,0 +1,236 @@
+package hw
+
+import "math"
+
+// This file is the software realization of the Appendix B datapath: the
+// quantized branch-cost arithmetic the hardware decoder runs in narrow
+// integer units, promoted from the cycle model in hw.go to the actual
+// decode hot path. The core decoder drives these primitives over
+// contiguous candidate arrays — build per-symbol distance tables once
+// per spine step, accumulate table lookups into int32 path costs for a
+// whole block of candidates at a time, drop dominated candidates in
+// place, and keep the best B by an in-place partial select — so the
+// inner loops are branch-light passes over dense slices, like the
+// hardware's worker array streaming scored candidates into the
+// selection unit.
+//
+// Arithmetic contract (asserted by the equivalence suite in
+// internal/core): per-dimension squared distances are quantized to at
+// most DimCap units with round-to-nearest, non-finite or out-of-range
+// values saturate to the cap instead of overflowing, and the cap is
+// sized so a full path accumulation stays below 2^30 — int32 adds in
+// the hot loop can never wrap.
+
+const (
+	// DimCapMax is the ceiling on the per-dimension quantization range:
+	// 2^20 units per squared-distance dimension. Finer than this buys no
+	// decoding accuracy (the float path's own noise floor dominates) and
+	// costs accumulation headroom.
+	DimCapMax = 1 << 20
+	// DimCapMin is the coarsest per-dimension range the kernel accepts;
+	// below ~8 bits per dimension quantization noise starts to reorder
+	// genuinely distinct candidates, so NewQuantizer refuses and the
+	// caller falls back to float.
+	DimCapMin = 1 << 8
+	// accumBudget bounds the total quantized path cost: nsyms symbols ×
+	// 2 dimensions × DimCap ≤ 2^30 < MaxInt32, with a factor-2 margin so
+	// comparisons and selection arithmetic have headroom.
+	accumBudget = 1 << 30
+)
+
+// Quantizer maps non-negative float64 squared distances to saturating
+// fixed-point int32 units: q = round(v·scale), clamped to [0, cap].
+// NaN, +Inf and any value at or beyond the representable range saturate
+// to cap — the hardware behaviour (a full accumulator, not a wrapped
+// one) and the property the fuzz target pins.
+type Quantizer struct {
+	scale float64 // quantized units per float cost unit
+	cap   int32   // per-dimension saturation value
+}
+
+// NewQuantizer sizes a quantizer for a decode in which maxDim2
+// upper-bounds every finite per-dimension squared distance and nsyms
+// symbols contribute two dimensions each to a path cost. The cap is the
+// largest power-of-two range that keeps a full accumulation under
+// accumBudget (so in-loop adds cannot overflow), clamped to
+// [DimCapMin, DimCapMax]. ok is false when no acceptable range exists —
+// maxDim2 is not finite, or nsyms is so large the cap would fall below
+// DimCapMin — and the caller must use the float path.
+func NewQuantizer(maxDim2 float64, nsyms int) (Quantizer, bool) {
+	if math.IsNaN(maxDim2) || math.IsInf(maxDim2, 0) || nsyms < 0 {
+		return Quantizer{}, false
+	}
+	cap := int32(DimCapMax)
+	if nsyms > 0 {
+		if lim := accumBudget / (2 * nsyms); lim < DimCapMax {
+			if lim < DimCapMin {
+				return Quantizer{}, false
+			}
+			cap = int32(lim)
+		}
+	}
+	scale := 1.0
+	if maxDim2 > 0 {
+		scale = float64(cap) / maxDim2
+	}
+	return Quantizer{scale: scale, cap: cap}, true
+}
+
+// Quantize converts one squared distance to fixed point, saturating at
+// the cap. The !(< cap) comparison routes NaN to the cap as well.
+func (q Quantizer) Quantize(v float64) int32 {
+	s := v*q.scale + 0.5
+	if !(s < float64(q.cap)) {
+		return q.cap
+	}
+	if s < 0 {
+		return 0
+	}
+	return int32(s)
+}
+
+// Dequantize converts a quantized cost back to float units.
+func (q Quantizer) Dequantize(c int32) float64 { return float64(c) / q.scale }
+
+// Step is the float-unit width of one quantized unit; rounding error per
+// quantized dimension is at most Step()/2 (saturated values excepted).
+func (q Quantizer) Step() float64 { return 1 / q.scale }
+
+// Cap is the per-dimension saturation value.
+func (q Quantizer) Cap() int32 { return q.cap }
+
+// Tolerance bounds the absolute quantization error of an n-symbol path
+// cost whose per-dimension distances all stayed below the saturation
+// range: two dimensions per symbol, each rounded by at most Step()/2.
+func (q Quantizer) Tolerance(n int) float64 { return float64(n) * q.Step() }
+
+// BuildDistTables fills the per-symbol lookup tables for one stored
+// (yI, yQ) symbol over the constellation x: dI[v] = Quantize((yI−x[v])²)
+// and dQ[v] likewise. A non-finite received value poisons every entry to
+// the cap through the saturating Quantize — the symbol still participates
+// but cannot dominate a finite one, which is the saturation behaviour
+// the fuzz target asserts.
+func (q Quantizer) BuildDistTables(yI, yQ float64, x []float64, dI, dQ []int32) {
+	for v, xv := range x {
+		di := yI - xv
+		dq := yQ - xv
+		dI[v] = q.Quantize(di * di)
+		dQ[v] = q.Quantize(dq * dq)
+	}
+}
+
+// AccumulateCompact scores one stored symbol for a block of candidates
+// and compacts the survivors in one pass: words[j] is candidate j's RNG
+// word for the symbol (hashfn.FinishWords over the block's prefixes),
+// whose low and next cshift bits index the two distance tables; the
+// table sum accumulates into cost[j], and candidates reaching tau are
+// dropped on the spot — branch costs are non-negative, so a partial
+// path at tau can only get worse, and a dropped candidate pays no
+// further hashing or lookups this step. Survivors keep encounter order
+// in the parallel (cost, pre, org) prefix; the survivor count is
+// returned. In-place safe: the write index never passes the read index.
+// Overflow-free by the NewQuantizer cap invariant.
+func AccumulateCompact(tau int32, cost []int32, pre, org, words []uint32, dI, dQ []int32, cmask uint32, cshift uint) int {
+	dI = dI[: cmask+1 : cmask+1]
+	dQ = dQ[: cmask+1 : cmask+1]
+	cost = cost[:len(words)]
+	pre = pre[:len(words)]
+	org = org[:len(words)]
+	n := 0
+	for j, w := range words {
+		c := cost[j] + dI[w&cmask] + dQ[w>>cshift&cmask]
+		// Branchless compaction: always store at the write index, advance
+		// it by the sign bit of c−tau (costs are non-negative int32s, so
+		// the subtraction cannot wrap). Survival is data-dependent and
+		// near-random mid-step; a conditional branch here eats its
+		// savings in mispredictions.
+		cost[n] = c
+		pre[n] = pre[j]
+		org[n] = org[j]
+		n += int(uint32(c-tau) >> 31)
+	}
+	return n
+}
+
+// CompactBelow drops every candidate whose cost has reached tau, moving
+// the survivors to the front of the parallel arrays in encounter order,
+// and returns the survivor count. Used for punctured spine steps, where
+// candidates inherit their parent cost without scoring.
+func CompactBelow(tau int32, cost []int32, pre, org []uint32) int {
+	n := 0
+	for j, c := range cost {
+		if c < tau {
+			cost[n] = c
+			pre[n] = pre[j]
+			org[n] = org[j]
+			n++
+		}
+	}
+	return n
+}
+
+// SelectKeys rearranges keys so its k smallest values occupy keys[:k]
+// (in arbitrary order) and returns the k-th smallest — the step's new
+// exact beam threshold. Keys pack a candidate as cost<<32 | origin with
+// a unique origin, so comparisons never tie and the selected set is
+// deterministic regardless of block boundaries or encounter order; the
+// cost-tied candidates that survive are those with the smallest origins
+// (§4.3 permits any tie-breaking). Requires 1 ≤ k ≤ len(keys). This is
+// the software form of the Appendix B selection unit: an in-place
+// partial select instead of the float path's histogram-threshold pass.
+func SelectKeys(keys []uint64, k int) uint64 {
+	lo, hi := 0, len(keys)-1
+	for hi-lo > 12 {
+		// Median-of-three pivot (also sentinels: keys[lo] ≤ pivot ≤
+		// keys[hi] bounds the inner scans) to avoid quadratic behaviour
+		// on sorted input; Hoare partition swaps only mismatched pairs,
+		// about a quarter of the elements per pass. Duplicate keys are
+		// impossible from the decoder and merely slow, never wrong, here.
+		mid := lo + (hi-lo)/2
+		if keys[mid] < keys[lo] {
+			keys[mid], keys[lo] = keys[lo], keys[mid]
+		}
+		if keys[hi] < keys[lo] {
+			keys[hi], keys[lo] = keys[lo], keys[hi]
+		}
+		if keys[hi] < keys[mid] {
+			keys[hi], keys[mid] = keys[mid], keys[hi]
+		}
+		pivot := keys[mid]
+		i, j := lo, hi
+		for i <= j {
+			for keys[i] < pivot {
+				i++
+			}
+			for keys[j] > pivot {
+				j--
+			}
+			if i <= j {
+				keys[i], keys[j] = keys[j], keys[i]
+				i++
+				j--
+			}
+		}
+		// keys[lo..j] ≤ pivot ≤ keys[i..hi], and anything between sits
+		// exactly at the pivot value.
+		switch {
+		case k-1 <= j:
+			hi = j
+		case k-1 >= i:
+			lo = i
+		default:
+			return pivot
+		}
+	}
+	// Small ranges: insertion sort settles the exact order.
+	for a := lo + 1; a <= hi; a++ {
+		v := keys[a]
+		b := a - 1
+		for b >= lo && keys[b] > v {
+			keys[b+1] = keys[b]
+			b--
+		}
+		keys[b+1] = v
+	}
+	return keys[k-1]
+}

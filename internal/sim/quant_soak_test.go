@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"spinal/internal/core"
+)
+
+// TestQuantKernelGoldenSoak runs the full golden scenario matrix twice —
+// once forced onto the float64 reference path, once onto the fixed-point
+// kernel — and requires every outcome to be identical field for field.
+// Combined with TestScenarioGolden (which pins the KernelAuto matrix to
+// the checked-in goldens, themselves generated before the quantized
+// kernel existed), this proves the kernel promotion changed no simulated
+// outcome anywhere in the scenario space: same deliveries, same symbol
+// counts, same retransmission and fault tallies, same goodput, byte for
+// byte. MeasureScenario keeps link-engine invariant checks on, so the
+// soak also asserts the conservation laws under both kernels.
+func TestQuantKernelGoldenSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden matrix ×2; skipped in -short")
+	}
+	for _, cfg := range goldenConfigs() {
+		cfgF := cfg
+		cfgF.Params.Kernel = core.KernelFloat
+		cfgQ := cfg
+		cfgQ.Params.Kernel = core.KernelQuantized
+
+		rf, err := MeasureScenario(cfgF)
+		if err != nil {
+			t.Fatalf("%s/%s/%s float: %v", cfg.Scenario, cfg.Policy, cfg.Code, err)
+		}
+		rq, err := MeasureScenario(cfgQ)
+		if err != nil {
+			t.Fatalf("%s/%s/%s quantized: %v", cfg.Scenario, cfg.Policy, cfg.Code, err)
+		}
+		if rf != rq {
+			t.Errorf("%s/%s/%s: kernels diverge\nfloat:     %+v\nquantized: %+v",
+				cfg.Scenario, cfg.Policy, cfg.Code, rf, rq)
+		}
+	}
+}

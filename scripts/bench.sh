@@ -10,7 +10,8 @@ out="BENCH_$(date +%Y%m%d).json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkDecode$|BenchmarkEncoder$' \
+go test -run '^$' \
+    -bench 'BenchmarkDecode$|BenchmarkEncoder$|BenchmarkDecodeQuantized$|BenchmarkDecodeQuantized256$|BenchmarkDecodeFloat256$' \
     -benchtime "$benchtime" -benchmem . >"$tmp"
 go test -run '^$' -bench 'BenchmarkDecodeSerial$|BenchmarkDecodeParallel4$' \
     -benchtime "$benchtime" -benchmem ./internal/core/ >>"$tmp"

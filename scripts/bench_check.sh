@@ -32,7 +32,8 @@ tmp="$(mktemp)"
 best="$(mktemp)"
 trap 'rm -f "$tmp" "$best"' EXIT
 
-go test -run '^$' -bench 'BenchmarkDecode$' -benchtime "$benchtime" -benchmem -count 3 . >"$tmp"
+go test -run '^$' -bench 'BenchmarkDecode$|BenchmarkDecodeQuantized$' \
+    -benchtime "$benchtime" -benchmem -count 3 . >"$tmp"
 go test -run '^$' -bench 'BenchmarkLinkEngine$' -benchtime "$benchtime" -benchmem -count 3 ./internal/link/ >>"$tmp"
 
 base_cpu="$(sed -n 's/.*"cpu": "\([^"]*\)".*/\1/p' "$baseline" | head -1)"
@@ -80,4 +81,19 @@ while read -r name ns allocs; do
         status=1
     fi
 done <"$best"
+
+# Absolute line-rate gate, on top of the relative one: the quantized
+# kernel's operating point (256-bit message, one puncturing pass, B=32)
+# must decode in under 1 ms with zero steady-state allocations. 0.55 ms
+# on the recorded baseline machine leaves ~45% headroom for runner
+# jitter; allocs/op is deterministic everywhere.
+if ! awk '$1 == "BenchmarkDecodeQuantized" {
+    found = 1
+    printf "bench_check: %-22s ns/op %.0f  allocs/op %d  [gate: absolute <1e6 ns, 0 allocs]\n", $1, $2, $3
+    if ($2 + 0 >= 1000000 || $3 + 0 != 0) exit 1
+}
+END { if (!found) exit 1 }' "$best"; then
+    echo "bench_check: BenchmarkDecodeQuantized missing or over the 1 ms / 0 allocs line-rate gate" >&2
+    status=1
+fi
 exit $status

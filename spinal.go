@@ -60,6 +60,23 @@ type BSCDecoder = core.BSCDecoder
 // Hash is the spine hash function interface; OneAtATime is the default.
 type Hash = hashfn.Hash
 
+// Kernel selects the AWGN decoder's arithmetic path; see the constants
+// for the accuracy contract.
+type Kernel = core.Kernel
+
+// Kernel modes. KernelAuto (the zero value) uses the Appendix B
+// fixed-point kernel whenever the parameters and stored symbols permit
+// and falls back to float64 otherwise; KernelFloat forces the float64
+// reference arithmetic; KernelQuantized asks for the fixed-point kernel
+// explicitly (still falling back when it is infeasible, e.g. under
+// per-symbol fading). Decoder.KernelUsed reports the path the last
+// Decode took, and Decoder.QuantTolerance its cost-accuracy bound.
+const (
+	KernelAuto      = core.KernelAuto
+	KernelFloat     = core.KernelFloat
+	KernelQuantized = core.KernelQuantized
+)
+
 // Mapper is the constellation mapping function interface.
 type Mapper = modem.Mapper
 
