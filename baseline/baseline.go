@@ -15,8 +15,6 @@ import (
 	"spinal"
 	"spinal/code"
 	icode "spinal/internal/code"
-	"spinal/internal/modem"
-	"spinal/internal/raptor"
 )
 
 // NewCode builds a baseline (or spinal itself) from its spec string:
@@ -53,40 +51,3 @@ func LDPC(rate string) (code.Code, error) {
 	}
 	return icode.LDPCPinned(rate)
 }
-
-// RaptorCode is a Raptor code over k message bits.
-//
-// Deprecated: use Raptor, which wraps the Raptor baseline behind the
-// spinal/code interface; the raw construction remains for existing
-// experiment code and will be removed in a future release.
-type RaptorCode = raptor.Code
-
-// RaptorDecoder is the belief-propagation peeling decoder for a
-// RaptorCode.
-//
-// Deprecated: use Raptor and code.Code's NewDecoder instead.
-type RaptorDecoder = raptor.Decoder
-
-// NewRaptor creates a Raptor code for k message bits with the given
-// construction seed.
-//
-// Deprecated: use Raptor instead.
-func NewRaptor(k int, seed int64) *RaptorCode { return raptor.New(k, seed) }
-
-// NewRaptorDecoder creates a decoder for c.
-//
-// Deprecated: use Raptor and code.Code's NewDecoder instead.
-func NewRaptorDecoder(c *RaptorCode) *RaptorDecoder { return raptor.NewDecoder(c) }
-
-// QAM is a square Gray-mapped QAM constellation.
-//
-// Deprecated: the code adapters carry their own symbol mapping; QAM
-// remains for existing experiment code and will be removed in a future
-// release.
-type QAM = modem.QAM
-
-// NewQAM creates a QAM constellation with the given number of points
-// (a power of 4).
-//
-// Deprecated: see QAM.
-func NewQAM(points int) *QAM { return modem.NewQAM(points) }

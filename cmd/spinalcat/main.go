@@ -20,6 +20,13 @@
 // bit-flipped and blacked out per the spec, and the stderr statistics
 // report what was injected. The link degrades; it does not fail.
 //
+// With -loadgen ADDR no stdin is read either: spinalcat becomes a load
+// generator against a running spinald, driving -flows concurrent flows
+// of -size random bytes over one UDP socket with bounded per-flow
+// retries, verifying every delivered checksum, and printing the
+// aggregate goodput. It exits nonzero if any flow fails, corrupts, or
+// nothing is delivered.
+//
 // With -code SPEC the session runs a different channel code behind the
 // same link machinery (spinal/code, link.WithCode): spinal (default),
 // raptor, strider, turbo, ldpc or ldpc:RATE with RATE one of 1/2, 2/3,
@@ -36,6 +43,7 @@
 //	spinalcat -scenario churn -faults chaos=2
 //	spinalcat -snr 12 -code raptor < somefile > copy && cmp somefile copy
 //	spinalcat -scenario burst -code ldpc:3/4
+//	spinalcat -loadgen 127.0.0.1:7447 -flows 256 -size 64
 package main
 
 import (
@@ -47,10 +55,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"spinal"
 	"spinal/channel"
 	"spinal/code"
+	"spinal/daemon"
 	"spinal/link"
 	"spinal/sim"
 )
@@ -67,8 +77,15 @@ func main() {
 		policy   = flag.String("policy", "tracking", "scenario rate policy: fixed[:n], capacity[:db], tracking[:db]")
 		faults   = flag.String("faults", "", "adversarial-link fault spec, e.g. reorder=4,dup=0.05,corrupt=0.01 or chaos=2 (see README)")
 		codeSpec = flag.String("code", "spinal", "channel code: spinal, raptor, strider, turbo, ldpc or ldpc:RATE")
+		loadgen  = flag.String("loadgen", "", "drive a running spinald at this UDP address with -flows concurrent flows of -size bytes")
+		size     = flag.Int("size", 64, "loadgen payload bytes per flow")
 	)
 	flag.Parse()
+
+	if *loadgen != "" {
+		runLoadgen(*loadgen, *flows, *size, *seed)
+		return
+	}
 
 	fc, err := parseFaults(*faults)
 	if err != nil {
@@ -164,6 +181,36 @@ func parseFaults(spec string) (*link.FaultConfig, error) {
 		}
 	}
 	return &fc, nil
+}
+
+// runLoadgen drives a running spinald through the public daemon package
+// and exits nonzero unless every flow resolved and verified. The
+// submission tag is derived from -seed, so repeated runs against one
+// daemon measure fresh flows instead of replaying its idempotence cache.
+func runLoadgen(addr string, flows, size int, seed int64) {
+	if flows < 1 {
+		flows = 1
+	}
+	res, err := daemon.RunLoad(daemon.LoadConfig{
+		Addr:  addr,
+		Flows: flows,
+		Size:  size,
+		Seq:   uint32(seed),
+		Seed:  seed,
+		// A race-instrumented daemon on a loaded CI runner can take
+		// seconds to serve a big burst; give each flow a minute of
+		// bounded patience rather than the default 5 s.
+		Timeout: time.Second,
+		Retries: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	if res.Failed > 0 || res.Corrupted > 0 || res.Delivered == 0 {
+		log.Fatalf("loadgen failed: %d/%d delivered, %d failed, %d corrupted",
+			res.Delivered, res.Flows, res.Failed, res.Corrupted)
+	}
 }
 
 // flagSet reports whether the named flag appeared on the command line,

@@ -1,0 +1,61 @@
+// Package daemon is the public face of spinald: a UDP datagram server
+// that carries client payloads across per-core sharded spinal link
+// engines sharing one warmed codec pool, with batched egress writes, a
+// JSON telemetry endpoint and graceful drain. cmd/spinald is a thin
+// flag wrapper around this package; spinalcat's -loadgen mode drives a
+// running daemon through RunLoad.
+//
+// Like spinal/sim, this package is an experiment surface, not a
+// stability contract: configuration and metrics fields may grow between
+// versions (see docs/API.md).
+package daemon
+
+import (
+	idaemon "spinal/internal/daemon"
+)
+
+// Result statuses carried in loadgen records and telemetry.
+const (
+	StatusDelivered = idaemon.StatusDelivered
+	StatusOutage    = idaemon.StatusOutage
+	StatusRejected  = idaemon.StatusRejected
+	StatusError     = idaemon.StatusError
+)
+
+// Config configures a daemon: socket and telemetry addresses, shard
+// count, code parameters, the simulated channel every served flow
+// crosses, and queue/batch sizing.
+type Config = idaemon.Config
+
+// Daemon is a running spinald instance.
+type Daemon = idaemon.Daemon
+
+// Metrics is the /metrics telemetry snapshot.
+type Metrics = idaemon.Metrics
+
+// FlowMetrics aggregates flow accounting across shards.
+type FlowMetrics = idaemon.FlowMetrics
+
+// ShardMetrics is one shard's engine accounting.
+type ShardMetrics = idaemon.ShardMetrics
+
+// PoolMetrics is the shared codec pool's reuse telemetry.
+type PoolMetrics = idaemon.PoolMetrics
+
+// SocketMetrics counts the socket loop and the batching egress.
+type SocketMetrics = idaemon.SocketMetrics
+
+// LoadConfig drives RunLoad's concurrent flows against a daemon.
+type LoadConfig = idaemon.LoadConfig
+
+// LoadResult summarizes one loadgen run.
+type LoadResult = idaemon.LoadResult
+
+// New binds a daemon's sockets and builds its shards; call Start on the
+// result to begin serving and Shutdown to drain.
+func New(cfg Config) (*Daemon, error) { return idaemon.New(cfg) }
+
+// RunLoad submits cfg.Flows concurrent flows against a running daemon
+// from one client socket, with bounded per-flow retries, and collects
+// every result.
+func RunLoad(cfg LoadConfig) (LoadResult, error) { return idaemon.RunLoad(cfg) }

@@ -17,6 +17,12 @@
 // demultiplexes into per-flow link receivers, and the sender interleaves
 // all flows' frames, aggregating goodput across them.
 //
+// Both socket loops are bounded: the receiver reads under a deadline and
+// exits when told the transfer is over (it keeps re-acking until then,
+// in case the sender lost a final ack and retries), and the sender gives
+// up a flow after a bounded run of consecutive silent ack waits instead
+// of retrying forever. A lost datagram can cost retries, never a hang.
+//
 // Run with:
 //
 //	go run ./examples/filetransfer [-snr 10] [-loss 0.2] [-size 1500] [-flows 4]
@@ -56,8 +62,13 @@ func main() {
 		rng.Read(datagrams[i])
 	}
 
-	rxAddr := startReceiver(*snrDB, *loss, datagrams)
+	rxAddr, rxStop, rxDone := startReceiver(*snrDB, *loss, datagrams)
 	runSender(rxAddr, datagrams)
+	// The transfer is complete; release the receiver loop. It notices at
+	// its next read-deadline tick — the termination path that keeps a
+	// lost final ack from leaving it blocked in ReadFromUDP forever.
+	close(rxStop)
+	<-rxDone
 }
 
 // UDP payload layout: one kind byte (frame or ack), a little-endian u32
@@ -93,9 +104,13 @@ func udpSocket() (*net.UDPConn, *net.UDPAddr) {
 	return conn, conn.LocalAddr().(*net.UDPAddr)
 }
 
-func startReceiver(snrDB, loss float64, want [][]byte) *net.UDPAddr {
+func startReceiver(snrDB, loss float64, want [][]byte) (*net.UDPAddr, chan struct{}, chan struct{}) {
 	conn, addr := udpSocket()
+	stop := make(chan struct{})
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
+		defer conn.Close()
 		p := spinal.DefaultParams()
 		rcvs := make([]*link.Receiver, len(want))
 		verified := make([]bool, len(want))
@@ -106,8 +121,21 @@ func startReceiver(snrDB, loss float64, want [][]byte) *net.UDPAddr {
 		drop := rand.New(rand.NewSource(100))
 		buf := make([]byte, 1<<20)
 		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Read under a deadline so the loop always regains control: a
+			// receiver whose sender went quiet (final ack lost, sender gave
+			// up) must notice stop instead of blocking forever.
+			conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
 			n, from, err := conn.ReadFromUDP(buf)
 			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					continue
+				}
 				log.Fatal(err)
 			}
 			kind, flow, wire, ok := unpack(buf[:n])
@@ -144,7 +172,7 @@ func startReceiver(snrDB, loss float64, want [][]byte) *net.UDPAddr {
 			}
 		}
 	}()
-	return addr
+	return addr, stop, done
 }
 
 func applyNoise(batches []link.Batch, air *channel.AWGN) []link.Batch {
@@ -201,6 +229,11 @@ func runSender(rx *net.UDPAddr, datagrams [][]byte) {
 			defer wg.Done()
 			snd := link.NewSender(datagram, p, 0)
 			frames := 0
+			// Bounded retry: a run of consecutive silent ack waits this
+			// long means the peer is gone — exit with a diagnosis instead
+			// of retransmitting forever.
+			const maxAckTimeouts = 50
+			timeouts := 0
 			for !snd.Done() {
 				f := snd.NextFrame()
 				if f == nil {
@@ -216,7 +249,12 @@ func runSender(rx *net.UDPAddr, datagrams [][]byte) {
 				select {
 				case ack := <-acks[fi]:
 					snd.HandleAck(ack)
+					timeouts = 0
 				case <-timer.C:
+					timeouts++
+					if timeouts >= maxAckTimeouts {
+						log.Fatalf("flow %d: no ACK in %d consecutive waits; receiver gone, giving up", fi, maxAckTimeouts)
+					}
 				}
 				timer.Stop()
 				if frames > 10000 {

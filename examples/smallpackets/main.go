@@ -67,41 +67,30 @@ func runSpinal(nBits int, snrDB float64, packets int) (symbols int) {
 	return symbols
 }
 
+// runRaptor drives the Raptor baseline through the same spinal/code
+// interface the link engine uses — schedule, batch encode, accumulate,
+// attempt — so the comparison differs from runSpinal only in the code.
 func runRaptor(nBits int, snrDB float64, packets int) (symbols int) {
-	qam := baseline.NewQAM(256)
-	bps := qam.BitsPerSymbol()
+	c := baseline.Raptor()
+	rng := rand.New(rand.NewSource(3))
 	for pkt := 0; pkt < packets; pkt++ {
-		rng := rand.New(rand.NewSource(int64(200 + pkt)))
-		code := baseline.NewRaptor(nBits, int64(300+pkt))
-		msg := make([]byte, nBits)
-		for i := range msg {
-			msg[i] = byte(rng.Intn(2))
-		}
-		dec := baseline.NewRaptorDecoder(code)
+		msg := make([]byte, nBits/8)
+		rng.Read(msg)
+		enc := c.NewEncoder(msg, nBits)
+		dec := c.NewDecoder(nBits)
+		sched := c.NewSchedule(nBits)
 		ch := channel.NewAWGN(snrDB, int64(400+pkt))
-		t0 := 0
-		for batch := 0; batch < 400; batch++ {
-			bits := code.OutputBits(msg, t0, 8*bps)
-			y := ch.Transmit(qam.Modulate(bits))
-			dec.Add(t0, qam.DemapSoft(y, ch.NoiseVar(), nil))
-			t0 += 8 * bps
-			symbols += 8
-			if got, ok := dec.Decode(40); ok && equalBits(got, msg) {
+		for sub := 0; sub < 64*sched.Subpasses(); sub++ {
+			ids := sched.NextSubpass()
+			if len(ids) == 0 {
+				continue
+			}
+			dec.Add(ids, ch.Transmit(enc.Symbols(ids)))
+			symbols += len(ids)
+			if got, ok := dec.Decode(); ok && bytes.Equal(got, msg) {
 				break
 			}
 		}
 	}
 	return symbols
-}
-
-func equalBits(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -1,0 +1,141 @@
+package daemon
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// egress is the daemon's write side: a single goroutine that pulls
+// result records from every shard, groups them by destination address,
+// and flushes each group as one batch datagram — sendmmsg's aggregation
+// expressed with portable building blocks. Batches form greedily: the
+// loop drains whatever is queued before flushing, so a busy daemon
+// amortizes socket writes while an idle one answers immediately.
+type egress struct {
+	conn *net.UDPConn
+	in   chan egressMsg
+	quit chan struct{}
+	max  int // records per datagram
+	wg   sync.WaitGroup
+
+	// groups is loop-owned between flushes.
+	groups map[string]*egressGroup
+
+	datagrams atomic.Int64
+	records   atomic.Int64
+	dropped   atomic.Int64
+}
+
+type egressMsg struct {
+	to  *net.UDPAddr
+	rec record
+}
+
+type egressGroup struct {
+	to   *net.UDPAddr
+	recs []record
+}
+
+func newEgress(conn *net.UDPConn, batchRecords int) *egress {
+	return &egress{
+		conn:   conn,
+		in:     make(chan egressMsg, 4096),
+		quit:   make(chan struct{}),
+		max:    batchRecords,
+		groups: make(map[string]*egressGroup),
+	}
+}
+
+func (e *egress) start() {
+	e.wg.Add(1)
+	go e.loop()
+}
+
+// send hands a record to the writer. It blocks when the egress queue is
+// full (backpressure onto the shard) but never blocks past shutdown: a
+// stopped egress drops the record, which only happens on the abandoned
+// tail of a timed-out drain.
+func (e *egress) send(to *net.UDPAddr, rec record) {
+	select {
+	case e.in <- egressMsg{to, rec}:
+	case <-e.quit:
+		e.dropped.Add(1)
+	}
+}
+
+// stop flushes everything queued and stops the writer.
+func (e *egress) stop() {
+	close(e.quit)
+	e.wg.Wait()
+}
+
+func (e *egress) loop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case msg := <-e.in:
+			e.collect(msg)
+			e.soakAndFlush()
+		case <-e.quit:
+			// Final drain: everything already queued still goes out.
+			for {
+				select {
+				case msg := <-e.in:
+					e.collect(msg)
+				default:
+					e.flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// soakAndFlush greedily drains the queue into per-destination groups,
+// flushing full batches as they form, then flushes the remainder once
+// the queue runs dry.
+func (e *egress) soakAndFlush() {
+	for {
+		select {
+		case msg := <-e.in:
+			e.collect(msg)
+		default:
+			e.flush()
+			return
+		}
+	}
+}
+
+func (e *egress) collect(msg egressMsg) {
+	key := msg.to.String()
+	g := e.groups[key]
+	if g == nil {
+		g = &egressGroup{to: msg.to}
+		e.groups[key] = g
+	}
+	g.recs = append(g.recs, msg.rec)
+	if len(g.recs) >= e.max {
+		e.write(g.to, g.recs)
+		g.recs = g.recs[:0]
+	}
+}
+
+func (e *egress) flush() {
+	for key, g := range e.groups {
+		if len(g.recs) > 0 {
+			e.write(g.to, g.recs)
+		}
+		delete(e.groups, key)
+	}
+}
+
+func (e *egress) write(to *net.UDPAddr, recs []record) {
+	buf := appendBatch(make([]byte, 0, batchHeader+len(recs)*recordLen), recs)
+	if _, err := e.conn.WriteToUDP(buf, to); err != nil {
+		e.dropped.Add(int64(len(recs)))
+		return
+	}
+	e.datagrams.Add(1)
+	e.records.Add(int64(len(recs)))
+}

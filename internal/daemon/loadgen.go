@@ -1,0 +1,216 @@
+package daemon
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// LoadConfig drives M concurrent flows against a running daemon from one
+// client socket — spinalcat's -loadgen mode and the goodput-vs-flows
+// experiment both run through it.
+type LoadConfig struct {
+	// Addr is the daemon's UDP address.
+	Addr string
+	// Flows is the number of concurrent flows to submit.
+	Flows int
+	// Size is each flow's payload in bytes (0 ⇒ 64).
+	Size int
+	// ConnBase numbers the flows' connection IDs [ConnBase, ConnBase+Flows)
+	// (0 ⇒ 1). Consecutive IDs spread round-robin across the daemon's
+	// shards.
+	ConnBase uint32
+	// Seq tags this run's submissions. Reusing a daemon across runs (a
+	// sweep) needs a distinct Seq per run, or the shards' idempotence
+	// caches will replay the previous run's results.
+	Seq uint32
+	// Timeout is the wait per read round before unresolved flows are
+	// resubmitted (0 ⇒ 250ms) — the bounded-retry pattern: a read
+	// deadline plus a retry budget, never an unbounded block.
+	Timeout time.Duration
+	// Retries bounds resubmissions per flow before it is declared failed
+	// (0 ⇒ 20).
+	Retries int
+	// Seed draws the payload bytes.
+	Seed int64
+	// CommonPayload sends the same Seed-drawn payload on every flow.
+	// Against a CommonChannel daemon this makes every flow's transfer
+	// byte-identical, so per-flow airtime is exactly constant — the
+	// paired-run setup under which the goodput-vs-flows sweep's
+	// monotonicity is exact rather than statistical.
+	CommonPayload bool
+}
+
+func (c *LoadConfig) withDefaults() {
+	if c.Size <= 0 {
+		c.Size = 64
+	}
+	if c.ConnBase == 0 {
+		c.ConnBase = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 250 * time.Millisecond
+	}
+	if c.Retries <= 0 {
+		c.Retries = 20
+	}
+}
+
+// LoadResult summarizes one loadgen run.
+type LoadResult struct {
+	Flows     int
+	Delivered int
+	Outaged   int
+	Rejected  int
+	// Failed counts flows that exhausted their retry budget without any
+	// answer — daemon unreachable or records lost repeatedly.
+	Failed int
+	// Retries counts resubmissions across all flows.
+	Retries        int
+	BytesDelivered int64
+	// Corrupted counts delivered records whose checksum or length did not
+	// match the submitted payload (always 0 unless something is broken
+	// end to end).
+	Corrupted int
+	// TotalSymbols sums every flow's forward+ack airtime; MaxShardSymbols
+	// is the busiest shard's share — the parallel-airtime denominator.
+	TotalSymbols    int64
+	MaxShardSymbols int64
+	// AggregateGoodput is delivered payload bits per symbol of parallel
+	// airtime: 8·BytesDelivered / MaxShardSymbols. With per-flow symbol
+	// spend deterministic in the flow's identity, spreading a fixed
+	// workload over more shards shrinks the denominator — this is the
+	// metric the goodput-vs-flows curve plots.
+	AggregateGoodput float64
+	Elapsed          time.Duration
+}
+
+func (r LoadResult) String() string {
+	return fmt.Sprintf(
+		"flows=%d delivered=%d outaged=%d rejected=%d failed=%d retries=%d goodput=%.3f b/sym in %v",
+		r.Flows, r.Delivered, r.Outaged, r.Rejected, r.Failed, r.Retries,
+		r.AggregateGoodput, r.Elapsed.Round(time.Millisecond))
+}
+
+// lgFlow is one flow's client-side state.
+type lgFlow struct {
+	conn     uint32
+	payload  []byte
+	checksum uint32
+	resolved bool
+	retries  int
+	failed   bool
+}
+
+// RunLoad submits cfg.Flows concurrent flows and collects every result.
+// It returns an error only for setup failures; per-flow outcomes —
+// including flows that never got an answer — are in the LoadResult.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	cfg.withDefaults()
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("loadgen: resolve %s: %w", cfg.Addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("loadgen: dial: %w", err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flows := make(map[uint32]*lgFlow, cfg.Flows)
+	order := make([]uint32, 0, cfg.Flows)
+	var common []byte
+	if cfg.CommonPayload {
+		common = make([]byte, cfg.Size)
+		rng.Read(common)
+	}
+	for i := 0; i < cfg.Flows; i++ {
+		id := cfg.ConnBase + uint32(i)
+		payload := common
+		if payload == nil {
+			payload = make([]byte, cfg.Size)
+			rng.Read(payload)
+		}
+		flows[id] = &lgFlow{conn: id, payload: payload, checksum: crc32.ChecksumIEEE(payload)}
+		order = append(order, id)
+	}
+
+	res := LoadResult{Flows: cfg.Flows}
+	start := time.Now()
+	submit := func(f *lgFlow) {
+		buf := appendSubmit(make([]byte, 0, submitHeader+len(f.payload)), f.conn, cfg.Seq, f.payload)
+		conn.Write(buf)
+	}
+	for _, id := range order {
+		submit(flows[id])
+	}
+
+	perShard := make(map[uint16]int64)
+	outstanding := cfg.Flows
+	buf := make([]byte, 64<<10)
+	for outstanding > 0 {
+		conn.SetReadDeadline(time.Now().Add(cfg.Timeout))
+		n, err := conn.Read(buf)
+		if err != nil {
+			// Read deadline expired: resubmit every unresolved flow that
+			// still has retry budget; flows past the budget fail — the
+			// bounded exit that keeps a lost-datagram run from hanging.
+			for _, id := range order {
+				f := flows[id]
+				if f.resolved || f.failed {
+					continue
+				}
+				if f.retries >= cfg.Retries {
+					f.failed = true
+					res.Failed++
+					outstanding--
+					continue
+				}
+				f.retries++
+				res.Retries++
+				submit(f)
+			}
+			continue
+		}
+		recs, err := parseBatch(buf[:n])
+		if err != nil {
+			continue
+		}
+		for _, rec := range recs {
+			f := flows[rec.conn]
+			if f == nil || rec.seq != cfg.Seq || f.resolved || f.failed {
+				continue
+			}
+			f.resolved = true
+			outstanding--
+			air := int64(rec.symbols) + int64(rec.ackSymbols)
+			res.TotalSymbols += air
+			perShard[rec.shard] += air
+			switch rec.status {
+			case StatusDelivered:
+				res.Delivered++
+				res.BytesDelivered += int64(rec.bytes)
+				if rec.bytes != uint32(len(f.payload)) || rec.checksum != f.checksum {
+					res.Corrupted++
+				}
+			case StatusOutage:
+				res.Outaged++
+			default:
+				res.Rejected++
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	for _, air := range perShard {
+		if air > res.MaxShardSymbols {
+			res.MaxShardSymbols = air
+		}
+	}
+	if res.MaxShardSymbols > 0 {
+		res.AggregateGoodput = float64(8*res.BytesDelivered) / float64(res.MaxShardSymbols)
+	}
+	return res, nil
+}

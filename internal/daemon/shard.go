@@ -1,0 +1,273 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync/atomic"
+
+	"spinal/channel"
+	"spinal/link"
+)
+
+// doneCacheCap bounds each shard's memory of resolved flows. A retried
+// submission whose flow already resolved gets its record replayed from
+// this cache (idempotence); beyond the cap, the oldest memory is evicted
+// and a very late retry is served as a fresh flow — wasteful but still
+// correct, since the flow's channel seed and therefore its outcome are
+// identity-derived.
+const doneCacheCap = 8192
+
+// ingressMsg is one admitted submission on its way to a shard.
+type ingressMsg struct {
+	conn    uint32
+	seq     uint32
+	payload []byte
+	from    *net.UDPAddr
+}
+
+// pendingFlow tracks one in-flight flow's identity so its engine result
+// can be turned back into a wire record.
+type pendingFlow struct {
+	key  uint64
+	conn uint32
+	seq  uint32
+	from *net.UDPAddr
+}
+
+// shard is one per-core worker: an independent link.Session fed by its
+// own ingress queue. Exactly one goroutine (loop) touches the session's
+// flow state; everything the metrics endpoint reads is atomic.
+type shard struct {
+	d    *Daemon
+	id   int
+	in   chan ingressMsg
+	sess *link.Session
+
+	// Owned by loop.
+	inflight map[link.FlowID]*pendingFlow
+	pending  map[uint64]struct{} // flowKey → in flight (dedup)
+	done     map[uint64]record   // flowKey → resolved record (replay)
+	doneFIFO []uint64
+	doneHead int
+
+	admitted   atomic.Int64
+	delivered  atomic.Int64
+	outaged    atomic.Int64
+	dupes      atomic.Int64
+	replays    atomic.Int64
+	bytes      atomic.Int64
+	symbols    atomic.Int64
+	ackSymbols atomic.Int64
+	retrans    atomic.Int64
+	batchesRej atomic.Int64
+	frameFault atomic.Int64
+	ackFault   atomic.Int64
+}
+
+func newShard(d *Daemon, id int) (*shard, error) {
+	opts := []link.Option{
+		link.WithSharedPool(d.pool),
+		link.WithSeed(d.cfg.Seed + int64(id)),
+		// Half-duplex accounting: each record's ackSymbols carries the
+		// flow's reverse airtime, so clients compute honest goodput.
+		link.WithHalfDuplex(0),
+	}
+	if d.cfg.MaxBlockBits > 0 {
+		opts = append(opts, link.WithMaxBlockBits(d.cfg.MaxBlockBits))
+	}
+	if d.cfg.MaxRounds > 0 {
+		opts = append(opts, link.WithMaxRounds(d.cfg.MaxRounds))
+	}
+	if d.cfg.FrameSymbols > 0 {
+		opts = append(opts, link.WithFrameSymbols(d.cfg.FrameSymbols))
+	}
+	if d.cfg.Faults != nil {
+		opts = append(opts, link.WithFaults(*d.cfg.Faults))
+	}
+	sess, err := link.NewSession(d.cfg.Params, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: shard %d: %w", id, err)
+	}
+	return &shard{
+		d:        d,
+		id:       id,
+		in:       make(chan ingressMsg, d.cfg.QueueDepth),
+		sess:     sess,
+		inflight: make(map[link.FlowID]*pendingFlow),
+		pending:  make(map[uint64]struct{}),
+		done:     make(map[uint64]record),
+	}, nil
+}
+
+// loop is the shard's single serving goroutine: soak the ingress queue,
+// step the session while flows are live, block when idle, exit once the
+// daemon drains and the shard is empty.
+func (sh *shard) loop() {
+	defer sh.d.shardWG.Done()
+	defer sh.sess.Close()
+	ctx := context.Background()
+	for {
+		sh.soak()
+		if sh.sess.Active() > 0 {
+			res, err := sh.sess.Step(ctx)
+			if err != nil {
+				return
+			}
+			sh.finish(res)
+			continue
+		}
+		select {
+		case msg := <-sh.in:
+			sh.admit(msg)
+		case <-sh.d.drainCh:
+			// Draining and idle. One last soak catches submissions that
+			// slipped in before the state flipped; if that admitted work,
+			// keep stepping, otherwise the shard is done.
+			sh.soak()
+			if sh.sess.Active() == 0 {
+				return
+			}
+		}
+	}
+}
+
+// soak admits everything queued without blocking.
+func (sh *shard) soak() {
+	for {
+		select {
+		case msg := <-sh.in:
+			sh.admit(msg)
+		default:
+			return
+		}
+	}
+}
+
+// admit turns a submission into a link flow — or, for a retry of a flow
+// already seen, into a dedup hit: in-flight duplicates are dropped (the
+// original will answer), resolved duplicates get their cached record
+// replayed. This is what makes the client's bounded-retry loop safe.
+func (sh *shard) admit(msg ingressMsg) {
+	key := flowKey(msg.conn, msg.seq)
+	if rec, ok := sh.done[key]; ok {
+		sh.replays.Add(1)
+		sh.d.out.send(msg.from, rec)
+		return
+	}
+	if _, ok := sh.pending[key]; ok {
+		sh.dupes.Add(1)
+		return
+	}
+	if len(msg.payload) == 0 {
+		sh.d.out.send(msg.from, record{
+			conn: msg.conn, seq: msg.seq, shard: uint16(sh.id),
+			status: StatusRejected,
+		})
+		return
+	}
+	snr := sh.d.cfg.SNRdB
+	id, err := sh.sess.Send(msg.payload,
+		// The flow's medium is seeded from its identity alone, never from
+		// arrival order — determinism the goodput experiment relies on.
+		link.WithChannel(channel.NewAWGN(snr, sh.d.cfg.flowSeed(msg.conn, msg.seq))),
+		link.WithRatePolicy(link.CapacityRate{SNREstimateDB: snr}),
+	)
+	if err != nil {
+		sh.d.out.send(msg.from, record{
+			conn: msg.conn, seq: msg.seq, shard: uint16(sh.id),
+			status: StatusError,
+		})
+		return
+	}
+	sh.pending[key] = struct{}{}
+	sh.inflight[id] = &pendingFlow{key: key, conn: msg.conn, seq: msg.seq, from: msg.from}
+	sh.admitted.Add(1)
+}
+
+// finish converts resolved flows into wire records, updates the shard's
+// accounting, caches the record for retry replay, and hands it to the
+// egress batcher.
+func (sh *shard) finish(results []link.Result) {
+	for i := range results {
+		r := &results[i]
+		pf := sh.inflight[r.ID]
+		if pf == nil {
+			continue
+		}
+		delete(sh.inflight, r.ID)
+		delete(sh.pending, pf.key)
+
+		rec := record{
+			conn:       pf.conn,
+			seq:        pf.seq,
+			shard:      uint16(sh.id),
+			symbols:    uint32(r.Stats.SymbolsSent),
+			ackSymbols: uint32(r.Stats.AckSymbols),
+		}
+		switch {
+		case r.Err == nil:
+			rec.status = StatusDelivered
+			rec.bytes = uint32(len(r.Datagram))
+			rec.checksum = crc32.ChecksumIEEE(r.Datagram)
+			sh.delivered.Add(1)
+			sh.bytes.Add(int64(len(r.Datagram)))
+		case errors.Is(r.Err, link.ErrFlowBudget):
+			rec.status = StatusOutage
+			sh.outaged.Add(1)
+		default:
+			rec.status = StatusError
+			sh.outaged.Add(1)
+		}
+		sh.symbols.Add(int64(r.Stats.SymbolsSent))
+		sh.ackSymbols.Add(int64(r.Stats.AckSymbols))
+		sh.retrans.Add(int64(r.Stats.Retransmissions))
+		sh.batchesRej.Add(int64(r.Stats.BatchesRejected))
+		f := r.Stats.Faults
+		sh.frameFault.Add(int64(f.FramesReordered + f.FramesDuplicated +
+			f.FramesTruncated + f.FramesCorrupted + f.FramesBlackedOut))
+		sh.ackFault.Add(int64(f.AcksReordered + f.AcksDuplicated +
+			f.AcksTruncated + f.AcksCorrupted))
+
+		sh.remember(pf.key, rec)
+		sh.d.out.send(pf.from, rec)
+	}
+}
+
+// remember caches a resolved record for replay, evicting FIFO at the cap.
+func (sh *shard) remember(key uint64, rec record) {
+	if len(sh.done) >= doneCacheCap {
+		old := sh.doneFIFO[sh.doneHead]
+		sh.doneHead++
+		delete(sh.done, old)
+		// Compact the FIFO once the dead prefix dominates.
+		if sh.doneHead >= doneCacheCap {
+			sh.doneFIFO = append(sh.doneFIFO[:0], sh.doneFIFO[sh.doneHead:]...)
+			sh.doneHead = 0
+		}
+	}
+	sh.done[key] = rec
+	sh.doneFIFO = append(sh.doneFIFO, key)
+}
+
+// metrics snapshots the shard for the telemetry endpoint.
+func (sh *shard) metrics() ShardMetrics {
+	return ShardMetrics{
+		Shard:           sh.id,
+		Active:          int(sh.admitted.Load() - sh.delivered.Load() - sh.outaged.Load()),
+		Admitted:        sh.admitted.Load(),
+		Delivered:       sh.delivered.Load(),
+		Outaged:         sh.outaged.Load(),
+		DupSubmits:      sh.dupes.Load(),
+		Replays:         sh.replays.Load(),
+		Bytes:           sh.bytes.Load(),
+		Symbols:         sh.symbols.Load(),
+		AckSymbols:      sh.ackSymbols.Load(),
+		Retransmissions: sh.retrans.Load(),
+		BatchesRejected: sh.batchesRej.Load(),
+		FrameFaults:     sh.frameFault.Load(),
+		AckFaults:       sh.ackFault.Load(),
+	}
+}

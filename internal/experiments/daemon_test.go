@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestDaemonGoodputMonotone asserts the acceptance property of the
+// spinald scaling experiment: with common random numbers and one flow
+// per shard, aggregate goodput is monotone nondecreasing in the flow
+// count up to the shard count — each added flow lands on an idle shard
+// and spends exactly the same airtime, so the busiest-shard denominator
+// is flat while the delivered-bits numerator grows.
+func TestDaemonGoodputMonotone(t *testing.T) {
+	tables := DaemonGoodput(DefaultConfig())
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) == 0 || tbl.Rows[0][0] == "error" {
+		t.Fatalf("experiment failed: %+v", tbl.Rows)
+	}
+	const shards = 4
+	var prev float64
+	for _, row := range tbl.Rows {
+		flows, err := strconv.Atoi(row[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered, _ := strconv.Atoi(row[1])
+		if delivered != flows {
+			t.Fatalf("%d flows, %d delivered: %v", flows, delivered, row)
+		}
+		if flows > shards {
+			break
+		}
+		g, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g < prev {
+			t.Fatalf("goodput fell from %.4f to %.4f at %d flows", prev, g, flows)
+		}
+		prev = g
+	}
+}

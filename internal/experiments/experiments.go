@@ -109,6 +109,7 @@ var All = []Experiment{
 	{"feedback-goodput", "Realistic ARQ feedback: goodput under ack delay/loss, chase vs discard", FeedbackGoodput},
 	{"chaos-degradation", "Adversarial links: goodput degradation vs fault intensity (no cliff)", ChaosDegradation},
 	{"baseline-goodput", "Codes bake-off: every §8 code through the link engine vs the LDPC oracle envelope", BaselineGoodput},
+	{"daemon-goodput", "spinald scaling: aggregate goodput vs concurrent flows over one UDP socket", DaemonGoodput},
 }
 
 // ByID finds an experiment by id, or nil.

@@ -92,6 +92,12 @@ type EngineConfig struct {
 	// Params is the spinal code shared by every flow (it sizes the
 	// pooled codecs).
 	Params core.Params
+	// Pool, when non-nil, is an externally owned codec pool this engine
+	// shares with others — the daemon pattern: one warmed pool serving N
+	// per-core engines. Its parameters must match Params (the pool's
+	// workers build codecs from the parameters the pool was created
+	// with). The engine never closes a shared pool; Shards is ignored.
+	Pool *core.CodecPool
 	// Code, when non-nil, selects the channel code every flow runs
 	// instead of the spinal code of Params. The spinal adapter
 	// (code.Spinal) is recognized and unwrapped onto the native pooled
@@ -269,13 +275,14 @@ func (identityChannel) Apply(sym []complex128) []complex128 { return sym }
 // The engine is single-threaded at its API (AddFlow/Step/Drain must not
 // be called concurrently); parallelism lives inside Step's codec rounds.
 type Engine struct {
-	cfg   EngineConfig
-	pool  *core.CodecPool
-	flows []*engineFlow
-	next  FlowID
-	rr    int // round-robin admission cursor
-	seq   uint32
-	rng   *rand.Rand
+	cfg      EngineConfig
+	pool     *core.CodecPool
+	ownsPool bool // pool created here (Close stops it) vs shared (left running)
+	flows    []*engineFlow
+	next     FlowID
+	rr       int // round-robin admission cursor
+	seq      uint32
+	rng      *rand.Rand
 
 	// gcode is the non-spinal channel code every flow runs, nil on the
 	// native spinal path; gcodecs are its per-shard decoder caches (one
@@ -347,11 +354,16 @@ func NewEngine(cfg EngineConfig) *Engine {
 			gcode = nil
 		}
 	}
+	pool, ownsPool := cfg.Pool, false
+	if pool == nil {
+		pool, ownsPool = core.NewCodecPool(cfg.Params, cfg.Shards), true
+	}
 	e := &Engine{
-		cfg:   cfg,
-		pool:  core.NewCodecPool(cfg.Params, cfg.Shards),
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x6c696e6b)),
-		gcode: gcode,
+		cfg:      cfg,
+		pool:     pool,
+		ownsPool: ownsPool,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x6c696e6b)),
+		gcode:    gcode,
 	}
 	if gcode != nil {
 		e.gcodecs = make([]*genericCodec, e.pool.Shards())
@@ -457,8 +469,13 @@ func (e *Engine) SetFlowChannel(id FlowID, ch Channel) bool {
 // telemetry for tests and monitoring).
 func (e *Engine) PoolStats() core.CodecPoolStats { return e.pool.Stats() }
 
-// Close releases the codec workers. The engine must be idle.
-func (e *Engine) Close() { e.pool.Close() }
+// Close releases the codec workers (a shared EngineConfig.Pool is left
+// running for its owner to close). The engine must be idle.
+func (e *Engine) Close() {
+	if e.ownsPool {
+		e.pool.Close()
+	}
+}
 
 // workerDecoder returns the decoder a pool worker uses for an attempt:
 // the worker's own reusable spinal decoder on the native path, the

@@ -3,6 +3,7 @@ package link
 import (
 	"context"
 	"io"
+	"sync"
 
 	"spinal"
 	"spinal/channel"
@@ -20,10 +21,15 @@ import (
 // or its round budget (WithMaxRounds) is exhausted, in which case it
 // returns the flow's error and nothing becomes readable. Read never
 // blocks; like bytes.Buffer it returns io.EOF when nothing is buffered.
-// A Conn is not safe for concurrent use.
+// A Conn serializes its methods with an internal mutex, so concurrent
+// misuse resolves into typed errors — a second Close returns ErrClosed,
+// a Write racing another Write waits its turn — rather than data races;
+// it is still one logical stream, not a concurrency primitive.
 type Conn struct {
-	s         *Session
-	ctx       context.Context
+	s   *Session
+	ctx context.Context
+
+	mu        sync.Mutex
 	buf       []byte
 	off       int
 	stats     Stats
@@ -55,6 +61,8 @@ func DialContext(ctx context.Context, p spinal.Params, model channel.Model, opts
 // delivery; on budget exhaustion or cancellation it reports 0 with the
 // flow's (or context's) error, and the link stays usable.
 func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
 		return 0, ErrClosed
 	}
@@ -100,6 +108,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 // Read drains delivered bytes in write order. It returns io.EOF when
 // nothing is buffered (bytes.Buffer semantics — Write first, then Read).
 func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.off >= len(c.buf) {
 		c.buf, c.off = c.buf[:0], 0
 		return 0, io.EOF
@@ -113,6 +123,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 // aggregate payload bits per channel symbol (ack symbols included under
 // half-duplex accounting).
 func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	st := c.stats
 	if air := st.SymbolsSent + st.AckSymbols; air > 0 {
 		st.Rate = float64(8*c.delivered) / float64(air)
@@ -121,10 +133,13 @@ func (c *Conn) Stats() Stats {
 }
 
 // Close releases the Conn's session. Buffered delivered bytes remain
-// readable.
+// readable (Read does not take the closed path). A second Close returns
+// ErrClosed, mirroring Session.Close.
 func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		return nil
+		return ErrClosed
 	}
 	c.closed = true
 	return c.s.Close()

@@ -1,0 +1,39 @@
+package link
+
+import (
+	"spinal"
+	"spinal/internal/core"
+)
+
+// PoolStats counts codec constructions since a pool started — the
+// observable that proves workers reuse warmed codecs instead of
+// rebuilding them per job (spinald exports it on its telemetry
+// endpoint).
+type PoolStats = core.CodecPoolStats
+
+// CodecPool is a sharded pool of persistent codec workers that several
+// Sessions can share — the daemon pattern: N per-core sessions, one
+// warmed pool, so handing a flow from one session to another never cools
+// the codecs. Create it once, pass it to each session with
+// WithSharedPool, and Close it after every sharing session has closed.
+type CodecPool struct {
+	p *core.CodecPool
+}
+
+// NewCodecPool starts a pool of shards persistent codec workers for the
+// given code parameters (shards ≤ 0 means GOMAXPROCS). Sessions sharing
+// the pool must use the same parameters.
+func NewCodecPool(p spinal.Params, shards int) *CodecPool {
+	return &CodecPool{p: core.NewCodecPool(p, shards)}
+}
+
+// Shards reports the number of worker shards.
+func (cp *CodecPool) Shards() int { return cp.p.Shards() }
+
+// Stats reports construction counters; safe to call concurrently with
+// running sessions.
+func (cp *CodecPool) Stats() PoolStats { return cp.p.Stats() }
+
+// Close stops the workers after draining queued jobs. Idempotent; every
+// session sharing the pool must be closed (or idle forever) first.
+func (cp *CodecPool) Close() { cp.p.Close() }

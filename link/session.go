@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"spinal"
 	"spinal/channel"
@@ -12,8 +13,16 @@ import (
 	ilink "spinal/internal/link"
 )
 
-// ErrClosed reports an operation on a closed Session or Conn.
+// ErrClosed reports an operation on a closed Session or Conn (including
+// a second Close — daemons that tear a connection down from two paths
+// learn which one was late instead of racing).
 var ErrClosed = errors.New("link: session closed")
+
+// ErrDraining reports an operation that arrived while another goroutine
+// holds the session in Drain: admitting or stepping mid-drain has no
+// coherent semantics, so the session rejects it with a typed error
+// instead of interleaving rounds.
+var ErrDraining = errors.New("link: session draining")
 
 // config accumulates the effect of Options. One struct serves both
 // scopes: NewSession reads the engine fields and keeps the flow fields
@@ -148,6 +157,18 @@ func WithCodecPool(shards int) Option {
 	}
 }
 
+// WithSharedPool runs the session's codec work on an externally owned
+// CodecPool shared with other sessions — the daemon pattern: N per-core
+// sessions, one warmed pool. The pool's code parameters must match the
+// session's; the session's Close leaves the pool running for its owner
+// to close. Session-scoped.
+func WithSharedPool(p *CodecPool) Option {
+	return func(c *config) {
+		c.engine.Pool = p.p
+		c.sessionOnly = append(c.sessionOnly, "WithSharedPool")
+	}
+}
+
 // WithMaxBlockBits bounds the code blocks datagrams are segmented into
 // (0 ⇒ the §6 default of 1024). Session-scoped.
 func WithMaxBlockBits(n int) Option {
@@ -215,15 +236,22 @@ func WithInvariantChecks() Option {
 // enter as flows via Send, rounds run via Step or Drain (both honoring
 // context cancellation), and each flow leaves exactly once as a Result.
 //
-// A Session is single-threaded at its API, like the engine beneath it:
-// Send, Step, Drain and Close must not be called concurrently.
-// Parallelism lives inside each round's codec work, on the session's
-// sharded worker pool.
+// A Session serializes its API with an internal mutex, so concurrent
+// misuse resolves into typed errors instead of data races: Send or Step
+// during another goroutine's Drain returns ErrDraining, any call after
+// Close (including a second Close) returns ErrClosed, and a Close that
+// lands mid-Drain stops the drain at the next round boundary (the drain
+// returns the results resolved so far together with ErrClosed). The
+// engine itself still runs one round at a time; parallelism lives inside
+// each round's codec work, on the session's sharded worker pool.
 type Session struct {
 	eng      *ilink.Engine
 	def      flowConfig
 	feedback bool // the session runs an explicit reverse channel
+
+	mu       sync.Mutex // serializes engine access and state transitions
 	closed   bool
+	draining bool
 }
 
 // NewSession starts a link session for the given code parameters.
@@ -250,8 +278,13 @@ func NewSession(p spinal.Params, opts ...Option) (*Session, error) {
 // override the session defaults for this flow. The datagram is not
 // copied — the caller must not mutate it until the flow resolves.
 func (s *Session) Send(datagram []byte, opts ...Option) (FlowID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return 0, ErrClosed
+	}
+	if s.draining {
+		return 0, ErrDraining
 	}
 	c := config{flow: s.def}
 	for _, o := range opts {
@@ -279,8 +312,13 @@ func (s *Session) Send(datagram []byte, opts ...Option) (FlowID, error) {
 // returns the flows it resolved (nil most rounds). A canceled context
 // returns before the round runs.
 func (s *Session) Step(ctx context.Context) ([]Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if s.draining {
+		return nil, ErrDraining
 	}
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
@@ -290,23 +328,60 @@ func (s *Session) Step(ctx context.Context) ([]Result, error) {
 
 // Drain steps until every flow resolves, returning all results. On
 // cancellation it returns the results resolved so far together with the
-// context's error; the session stays usable.
+// context's error; the session stays usable. The session's mutex is
+// released between rounds, so a concurrent Close interrupts the drain at
+// the next round boundary (the drain reports ErrClosed with whatever it
+// resolved) and a concurrent Send or Drain gets ErrDraining back instead
+// of interleaving.
 func (s *Session) Drain(ctx context.Context) ([]Result, error) {
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.draining = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.draining = false
+		s.mu.Unlock()
+	}()
 	var out []Result
-	for s.eng.Active() > 0 {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return out, ErrClosed
+		}
+		if s.eng.Active() == 0 {
+			s.mu.Unlock()
+			return out, nil
+		}
 		if err := ctxErr(ctx); err != nil {
+			s.mu.Unlock()
 			return out, err
 		}
-		out = append(out, s.eng.Step()...)
+		res := s.eng.Step()
+		s.mu.Unlock()
+		out = append(out, res...)
 	}
-	return out, nil
 }
 
 // Active reports the number of unresolved flows.
-func (s *Session) Active() int { return s.eng.Active() }
+func (s *Session) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Active()
+}
+
+// PoolStats reports the session's codec-pool construction counters —
+// under WithSharedPool, the shared pool's, aggregated across every
+// session using it.
+func (s *Session) PoolStats() PoolStats { return s.eng.PoolStats() }
 
 // SetChannel replaces an active flow's medium mid-flight (nil means
 // noiseless) and reports whether the flow was still active.
@@ -315,16 +390,23 @@ func (s *Session) SetChannel(id FlowID, model channel.Model) bool {
 	if model != nil {
 		ch = NewModelChannel(model, 0, 0)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.eng.SetFlowChannel(id, ch)
 }
 
-// Close releases the session's codec workers. The session must be idle;
-// further calls are no-ops.
+// Close releases the session's codec workers (a WithSharedPool pool is
+// left running for its owner). A second Close — or any later call —
+// returns ErrClosed; a Close during another goroutine's Drain takes
+// effect at the next round boundary.
 func (s *Session) Close() error {
-	if !s.closed {
-		s.closed = true
-		s.eng.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
 	}
+	s.closed = true
+	s.eng.Close()
 	return nil
 }
 

@@ -224,8 +224,8 @@ func TestSessionClosed(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Close(); err != nil {
-		t.Fatal("second Close not a no-op")
+	if err := s.Close(); !errors.Is(err, link.ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
 	}
 	if _, err := s.Send([]byte("x")); !errors.Is(err, link.ErrClosed) {
 		t.Fatalf("Send on closed session: %v", err)

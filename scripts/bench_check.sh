@@ -82,18 +82,21 @@ while read -r name ns allocs; do
     fi
 done <"$best"
 
-# Absolute line-rate gate, on top of the relative one: the quantized
-# kernel's operating point (256-bit message, one puncturing pass, B=32)
-# must decode in under 1 ms with zero steady-state allocations. 0.55 ms
-# on the recorded baseline machine leaves ~45% headroom for runner
-# jitter; allocs/op is deterministic everywhere.
-if ! awk '$1 == "BenchmarkDecodeQuantized" {
+# Line-rate gate for the quantized kernel's operating point (256-bit
+# message, one puncturing pass, B=32). Only the allocation half is
+# absolute: zero steady-state allocs/op is deterministic on every
+# machine. Latency is gated relatively — best-of-3 ns/op against the
+# newest BENCH_*.json through the same 20% threshold as the loop above,
+# CPU-matched runs only. (This replaces the old absolute "<1 ms" line,
+# which measured the CI runner rather than the code and flaked on slow
+# shared machines; on foreign CPUs the ratio below is informational.)
+if ! awk -v gate="$gate" '$1 == "BenchmarkDecodeQuantized" {
     found = 1
-    printf "bench_check: %-22s ns/op %.0f  allocs/op %d  [gate: absolute <1e6 ns, 0 allocs]\n", $1, $2, $3
-    if ($2 + 0 >= 1000000 || $3 + 0 != 0) exit 1
+    printf "bench_check: %-22s ns/op %.0f  allocs/op %d  [gate: 0 allocs absolute; ns relative (%s)]\n", $1, $2, $3, gate
+    if ($3 + 0 != 0) exit 1
 }
 END { if (!found) exit 1 }' "$best"; then
-    echo "bench_check: BenchmarkDecodeQuantized missing or over the 1 ms / 0 allocs line-rate gate" >&2
+    echo "bench_check: BenchmarkDecodeQuantized missing or allocating on the hot path" >&2
     status=1
 fi
 exit $status

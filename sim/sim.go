@@ -48,6 +48,21 @@ func MeasureMultiFlow(cfg MultiFlowConfig) MultiFlowResult {
 // Scenarios lists the named scenarios MeasureScenario accepts.
 func Scenarios() []string { return isim.Scenarios() }
 
+// DaemonLoadConfig drives MeasureDaemonLoad: one spinald-style daemon,
+// a sweep of concurrent flow counts through it over a single client
+// socket.
+type DaemonLoadConfig = isim.DaemonLoadConfig
+
+// DaemonLoadPoint is one sweep point's aggregate outcome.
+type DaemonLoadPoint = isim.DaemonLoadPoint
+
+// MeasureDaemonLoad boots one daemon and measures aggregate goodput —
+// delivered payload bits per symbol of parallel (busiest-shard) airtime
+// — at each configured concurrent-flow count.
+func MeasureDaemonLoad(cfg DaemonLoadConfig) ([]DaemonLoadPoint, error) {
+	return isim.MeasureDaemonLoad(cfg)
+}
+
 // ChaosFaults is the adversarial fault mix the chaos scenarios run
 // under; ackFaults adds the reverse-path (ack) fault kinds. Scale it
 // (link.FaultConfig.Scale) for intensity sweeps.
