@@ -2,7 +2,8 @@
 // input into §6 code blocks, transmits each rateless over a simulated
 // AWGN channel until its CRC verifies, and writes the decoded bytes to
 // stdout. Statistics go to stderr. It is built entirely on the public
-// spinal, spinal/channel, spinal/link and spinal/sim packages.
+// spinal, spinal/channel, spinal/link, spinal/transport and spinal/sim
+// packages.
 //
 // With -flows N > 1 the input is split into N datagrams carried as
 // concurrent flows through one link.Session — shared frames, sharded
@@ -25,7 +26,14 @@
 // of -size random bytes over one UDP socket with bounded per-flow
 // retries, verifying every delivered checksum, and printing the
 // aggregate goodput. It exits nonzero if any flow fails, corrupts, or
-// nothing is delivered.
+// nothing is delivered. -weight stamps each submission's scheduling
+// weight on the wire (honored by a spinald running -sched dwfq).
+//
+// With -fetch the stdin pipe runs through spinal/transport instead of a
+// static flow split: the input streams as a pipeline of 1 KiB link
+// segments under a CUBIC congestion window, with RTT estimated from ack
+// telemetry and RTO-bounded retries. The stderr statistics add the
+// transport's view — SRTT, peak window, loss events.
 //
 // With -code SPEC the session runs a different channel code behind the
 // same link machinery (spinal/code, link.WithCode): spinal (default),
@@ -44,6 +52,9 @@
 //	spinalcat -snr 12 -code raptor < somefile > copy && cmp somefile copy
 //	spinalcat -scenario burst -code ldpc:3/4
 //	spinalcat -loadgen 127.0.0.1:7447 -flows 256 -size 64
+//	spinalcat -loadgen 127.0.0.1:7447 -flows 32 -weight 4
+//	spinalcat -fetch -snr 10 < somefile > copy && cmp somefile copy
+//	spinalcat -scenario mice-elephants -sched dwfq
 package main
 
 import (
@@ -63,6 +74,7 @@ import (
 	"spinal/daemon"
 	"spinal/link"
 	"spinal/sim"
+	"spinal/transport"
 )
 
 func main() {
@@ -73,17 +85,23 @@ func main() {
 		beam     = flag.Int("b", 256, "decoder beam width B")
 		seed     = flag.Int64("seed", 1, "channel noise seed")
 		flows    = flag.Int("flows", 1, "split the input across N concurrent link-session flows")
-		scenario = flag.String("scenario", "", "run a named scenario instead of piping stdin: burst, walk, trace:<file>, churn, feedback-delay, feedback-loss, chaos, chaos-feedback")
+		scenario = flag.String("scenario", "", "run a named scenario instead of piping stdin: burst, walk, trace:<file>, churn, feedback-delay, feedback-loss, chaos, chaos-feedback, mice-elephants, fetch-cubic")
 		policy   = flag.String("policy", "tracking", "scenario rate policy: fixed[:n], capacity[:db], tracking[:db]")
 		faults   = flag.String("faults", "", "adversarial-link fault spec, e.g. reorder=4,dup=0.05,corrupt=0.01 or chaos=2 (see README)")
 		codeSpec = flag.String("code", "spinal", "channel code: spinal, raptor, strider, turbo, ldpc or ldpc:RATE")
 		loadgen  = flag.String("loadgen", "", "drive a running spinald at this UDP address with -flows concurrent flows of -size bytes")
 		size     = flag.Int("size", 64, "loadgen payload bytes per flow")
+		weight   = flag.Int("weight", 0, "loadgen submission scheduling weight (0/1 = default share; needs a dwfq spinald)")
+		fetch    = flag.Bool("fetch", false, "pipe stdin through the congestion-aware transport fetcher instead of a static flow split")
+		sched    = flag.String("sched", "", "scenario admission scheduler: rr (default) or dwfq")
 	)
 	flag.Parse()
 
 	if *loadgen != "" {
-		runLoadgen(*loadgen, *flows, *size, *seed)
+		if *weight < 0 || *weight > 255 {
+			log.Fatalf("-weight %d out of range (wire carries 0..255)", *weight)
+		}
+		runLoadgen(*loadgen, *flows, *size, *seed, uint8(*weight))
 		return
 	}
 
@@ -97,7 +115,7 @@ func main() {
 		if flagSet("flows") {
 			nFlows = *flows
 		}
-		runScenario(*scenario, *policy, *codeSpec, nFlows, *beam, *seed, flagSet("b"), fc)
+		runScenario(*scenario, *policy, *codeSpec, *sched, nFlows, *beam, *seed, flagSet("b"), fc)
 		return
 	}
 
@@ -108,6 +126,10 @@ func main() {
 
 	p := spinal.DefaultParams()
 	p.B = *beam
+	if *fetch {
+		runFetch(data, p, *codeSpec, *snrDB, *seed, fc)
+		return
+	}
 	if *flows < 1 {
 		*flows = 1
 	}
@@ -187,16 +209,17 @@ func parseFaults(spec string) (*link.FaultConfig, error) {
 // and exits nonzero unless every flow resolved and verified. The
 // submission tag is derived from -seed, so repeated runs against one
 // daemon measure fresh flows instead of replaying its idempotence cache.
-func runLoadgen(addr string, flows, size int, seed int64) {
+func runLoadgen(addr string, flows, size int, seed int64, weight uint8) {
 	if flows < 1 {
 		flows = 1
 	}
 	res, err := daemon.RunLoad(daemon.LoadConfig{
-		Addr:  addr,
-		Flows: flows,
-		Size:  size,
-		Seq:   uint32(seed),
-		Seed:  seed,
+		Addr:   addr,
+		Flows:  flows,
+		Size:   size,
+		Seq:    uint32(seed),
+		Seed:   seed,
+		Weight: weight,
 		// A race-instrumented daemon on a loaded CI runner can take
 		// seconds to serve a big burst; give each flow a minute of
 		// bounded patience rather than the default 5 s.
@@ -227,7 +250,7 @@ func flagSet(name string) bool {
 }
 
 // runScenario drives sim.MeasureScenario and prints its statistics.
-func runScenario(scenario, policy, codeSpec string, flows, beam int, seed int64, beamExplicit bool, fc *link.FaultConfig) {
+func runScenario(scenario, policy, codeSpec, sched string, flows, beam int, seed int64, beamExplicit bool, fc *link.FaultConfig) {
 	p := spinal.DefaultParams()
 	if beamExplicit {
 		p.B = beam
@@ -235,12 +258,13 @@ func runScenario(scenario, policy, codeSpec string, flows, beam int, seed int64,
 		p.B = 16 // quick-scale beam: scenario statistics, not peak rate
 	}
 	cfg := sim.ScenarioConfig{
-		Params:   p,
-		Scenario: scenario,
-		Policy:   policy,
-		Flows:    flows,
-		Seed:     seed,
-		Faults:   fc,
+		Params:    p,
+		Scenario:  scenario,
+		Policy:    policy,
+		Flows:     flows,
+		Seed:      seed,
+		Faults:    fc,
+		Scheduler: sched,
 	}
 	if flagSet("code") {
 		cfg.Code = codeSpec
@@ -256,6 +280,43 @@ func runScenario(scenario, policy, codeSpec string, flows, beam int, seed int64,
 	}
 	fmt.Printf("  delivered %d bytes over %d flows in %d engine rounds (%s, B=%d, seed %d)\n",
 		res.Bytes, res.Flows, res.Rounds, codeName, p.B, seed)
+}
+
+// runFetch streams data through the congestion-aware transport fetcher:
+// 1 KiB segments pipelined under a CUBIC window over the simulated AWGN
+// medium, RTT estimated from the link's ack telemetry.
+func runFetch(data []byte, p spinal.Params, codeSpec string, snrDB float64, seed int64, fc *link.FaultConfig) {
+	opts := []link.Option{
+		link.WithChannel(channel.NewAWGN(snrDB, seed)),
+		link.WithRatePolicy(link.CapacityRate{SNREstimateDB: snrDB}),
+		link.WithSeed(seed),
+	}
+	if fc != nil {
+		opts = append(opts, link.WithFaults(*fc))
+	}
+	if flagSet("code") {
+		c, err := code.Parse(codeSpec, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, link.WithCode(c))
+	}
+	res, err := transport.Fetch(context.Background(), data, transport.Config{
+		Params:  p,
+		Options: opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := os.Stdout.Write(res.Payload); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"spinalcat: fetched %d bytes as %d segments in %d rounds (%.2f bits/symbol) at %.1f dB\n",
+		len(res.Payload), res.Segments, res.Steps, res.Goodput, snrDB)
+	fmt.Fprintf(os.Stderr,
+		"spinalcat: transport: srtt %.1f rounds, rto %d, peak window %.1f, %d retries, %d loss events\n",
+		res.SRTT, res.RTO, res.CwndMax, res.Retries, res.Losses)
 }
 
 // runFlows splits data into n contiguous datagrams and drives them as

@@ -39,6 +39,9 @@ func main() {
 		snrDB        = flag.Float64("snr", 10, "simulated AWGN SNR each served flow crosses, in dB")
 		beam         = flag.Int("b", 256, "decoder beam width B")
 		seed         = flag.Int64("seed", 1, "channel noise seed")
+		sched        = flag.String("sched", "", "flow admission scheduler: rr (default) or dwfq, honoring each submission's wire weight")
+		queueDepth   = flag.Int("queue-depth", 0, "per-shard ingress queue capacity (0 = 1024)")
+		doneCache    = flag.Int("done-cache", 0, "per-shard resolved-flow replay cache, the idempotence window (0 = 8192)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
 	)
 	flag.Parse()
@@ -46,13 +49,16 @@ func main() {
 	p := spinal.DefaultParams()
 	p.B = *beam
 	d, err := daemon.New(daemon.Config{
-		Listen:    *listen,
-		Telemetry: *telemetry,
-		Shards:    *shards,
-		Params:    p,
-		SNRdB:     *snrDB,
-		Seed:      *seed,
-		Report:    os.Stderr,
+		Listen:     *listen,
+		Telemetry:  *telemetry,
+		Shards:     *shards,
+		Params:     p,
+		SNRdB:      *snrDB,
+		Seed:       *seed,
+		Scheduler:  *sched,
+		QueueDepth: *queueDepth,
+		DoneCache:  *doneCache,
+		Report:     os.Stderr,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -84,6 +84,17 @@ type Config struct {
 	// A full queue drops the submission — the client's bounded retry
 	// resubmits it — rather than blocking the socket loop.
 	QueueDepth int
+	// DoneCache bounds each shard's memory of resolved flows, the
+	// idempotence window for retried submissions (0 ⇒ 8192). Beyond the
+	// cap the oldest record is evicted FIFO and a very late retry is
+	// served as a fresh flow — wasteful but still correct, since a flow's
+	// channel seed and therefore its outcome are identity-derived.
+	DoneCache int
+	// Scheduler selects each shard's flow-admission scheduler: "" or
+	// "rr" is the engine-default round-robin, "dwfq" is deficit-weighted
+	// fair queuing honoring each submission's wire weight. New rejects
+	// anything else.
+	Scheduler string
 	// BatchRecords caps result records per egress datagram (0 ⇒ 32).
 	BatchRecords int
 	// Faults, when non-nil, runs every served flow through the link
@@ -108,6 +119,9 @@ func (c *Config) withDefaults() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
+	}
+	if c.DoneCache <= 0 {
+		c.DoneCache = 8192
 	}
 	if c.BatchRecords <= 0 {
 		c.BatchRecords = 32
@@ -162,6 +176,11 @@ type Daemon struct {
 // the loops.
 func New(cfg Config) (*Daemon, error) {
 	cfg.withDefaults()
+	switch cfg.Scheduler {
+	case "", "rr", "dwfq":
+	default:
+		return nil, fmt.Errorf("daemon: unknown scheduler %q (want rr or dwfq)", cfg.Scheduler)
+	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: resolve %s: %w", cfg.Listen, err)
@@ -275,8 +294,9 @@ func (d *Daemon) recvLoop() {
 		}
 		sh := d.shards[int(sub.conn)%len(d.shards)]
 		msg := ingressMsg{
-			conn: sub.conn,
-			seq:  sub.seq,
+			conn:   sub.conn,
+			seq:    sub.seq,
+			weight: sub.weight,
 			// The read buffer is reused; the shard owns a copy.
 			payload: append([]byte(nil), sub.payload...),
 			from:    from,
@@ -394,7 +414,10 @@ type FlowMetrics struct {
 	AckSymbols int64 `json:"ack_symbols"`
 }
 
-// ShardMetrics is one shard's engine accounting.
+// ShardMetrics is one shard's engine accounting. QueueLen/QueueCap
+// snapshot the ingress queue (the backpressure signal behind
+// ingress_dropped); the Sched* counters mirror the shard session's
+// scheduler accounting and stay zero under the default round-robin.
 type ShardMetrics struct {
 	Shard           int   `json:"shard"`
 	Active          int   `json:"active"`
@@ -410,6 +433,13 @@ type ShardMetrics struct {
 	BatchesRejected int64 `json:"batches_rejected"`
 	FrameFaults     int64 `json:"frame_faults"`
 	AckFaults       int64 `json:"ack_faults"`
+	QueueLen        int   `json:"queue_len"`
+	QueueCap        int   `json:"queue_cap"`
+	SchedQuanta     int64 `json:"sched_quanta_granted,omitempty"`
+	SchedAdmitted   int64 `json:"sched_symbols_admitted,omitempty"`
+	SchedAckCharged int64 `json:"sched_ack_symbols_charged,omitempty"`
+	SchedDeadlines  int64 `json:"sched_deadline_misses,omitempty"`
+	SchedDeficit    int64 `json:"sched_deficit_outstanding,omitempty"`
 }
 
 // PoolMetrics is the shared codec pool's reuse telemetry.

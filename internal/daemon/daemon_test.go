@@ -43,12 +43,12 @@ func startDaemon(t *testing.T, cfg Config) (*Daemon, *bytes.Buffer) {
 
 func TestWireRoundTrip(t *testing.T) {
 	payload := []byte("sixty-four bytes of datagram payload for the wire round trip!!")
-	dg := appendSubmit(nil, 7, 42, payload)
+	dg := appendSubmit(nil, 7, 42, 4, payload)
 	sub, err := parseSubmit(dg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sub.conn != 7 || sub.seq != 42 || !bytes.Equal(sub.payload, payload) {
+	if sub.conn != 7 || sub.seq != 42 || sub.weight != 4 || !bytes.Equal(sub.payload, payload) {
 		t.Fatalf("submit round trip mangled: %+v", sub)
 	}
 
@@ -139,7 +139,7 @@ func TestDaemonDrainFlushesInFlight(t *testing.T) {
 	const n = 8
 	payload := bytes.Repeat([]byte{0xa5}, 48)
 	for i := 0; i < n; i++ {
-		client.Write(appendSubmit(nil, uint32(i+1), 0, payload))
+		client.Write(appendSubmit(nil, uint32(i+1), 0, 0, payload))
 	}
 	// Wait until every submission is admitted, then drain under it.
 	deadline := time.Now().Add(10 * time.Second)
@@ -196,7 +196,7 @@ func TestDaemonIdempotentSubmits(t *testing.T) {
 	}
 	defer client.Close()
 
-	sub := appendSubmit(nil, 5, 9, []byte("idempotence probe payload"))
+	sub := appendSubmit(nil, 5, 9, 0, []byte("idempotence probe payload"))
 	for i := 0; i < 3; i++ {
 		client.Write(sub)
 	}
@@ -266,6 +266,36 @@ func TestDaemonGoodputMonotone(t *testing.T) {
 	}
 }
 
+// TestDaemonSchedulerConfig pins the scheduler/queue config plumbing: an
+// unknown scheduler name is rejected at New, a dwfq daemon serves
+// weighted submissions and exports nonzero scheduler counters plus the
+// configured ingress queue capacity, and a tiny done-cache (far below
+// the flow count) still serves every flow — eviction costs replay
+// efficiency, never correctness.
+func TestDaemonSchedulerConfig(t *testing.T) {
+	if _, err := New(Config{Scheduler: "wfq2"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	d, _ := startDaemon(t, Config{Shards: 1, SNRdB: 10, Seed: 13,
+		Scheduler: "dwfq", QueueDepth: 64, DoneCache: 4})
+	res, err := RunLoad(LoadConfig{
+		Addr: d.Addr().String(), Flows: 8, Size: 48, Seed: 3, Weight: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 8 || res.Corrupted != 0 {
+		t.Fatalf("weighted load: %v", res)
+	}
+	sm := d.Metrics().Shards[0]
+	if sm.QueueCap != 64 {
+		t.Fatalf("queue cap %d, want the configured 64", sm.QueueCap)
+	}
+	if sm.SchedQuanta == 0 || sm.SchedAdmitted == 0 {
+		t.Fatalf("dwfq scheduler counters silent: %+v", sm)
+	}
+}
+
 // TestDaemonTelemetry smoke-tests the /metrics endpoint's JSON schema.
 func TestDaemonTelemetry(t *testing.T) {
 	d, _ := startDaemon(t, Config{Shards: 2, Telemetry: "127.0.0.1:0", SNRdB: 10})
@@ -316,7 +346,7 @@ func TestDaemonRejectsWhileDraining(t *testing.T) {
 	// Flip the state by hand (Shutdown would close the socket before the
 	// probe lands); the recv loop must now answer with a rejection.
 	d.state.Store(stateDraining)
-	client.Write(appendSubmit(nil, 77, 0, []byte("late")))
+	client.Write(appendSubmit(nil, 77, 0, 0, []byte("late")))
 	rec := readOneRecord(t, client)
 	if rec.conn != 77 || rec.status != StatusRejected {
 		t.Fatalf("mid-drain submission got %+v, want StatusRejected", rec)

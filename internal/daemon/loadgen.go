@@ -35,6 +35,9 @@ type LoadConfig struct {
 	Retries int
 	// Seed draws the payload bytes.
 	Seed int64
+	// Weight is each submission's scheduling weight on the wire (0 and 1
+	// both mean the default share; only a dwfq daemon honors it).
+	Weight uint8
 	// CommonPayload sends the same Seed-drawn payload on every flow.
 	// Against a CommonChannel daemon this makes every flow's transfer
 	// byte-identical, so per-flow airtime is exactly constant — the
@@ -141,7 +144,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	res := LoadResult{Flows: cfg.Flows}
 	start := time.Now()
 	submit := func(f *lgFlow) {
-		buf := appendSubmit(make([]byte, 0, submitHeader+len(f.payload)), f.conn, cfg.Seq, f.payload)
+		buf := appendSubmit(make([]byte, 0, submitHeader+len(f.payload)), f.conn, cfg.Seq, cfg.Weight, f.payload)
 		conn.Write(buf)
 	}
 	for _, id := range order {

@@ -12,18 +12,11 @@ import (
 	"spinal/link"
 )
 
-// doneCacheCap bounds each shard's memory of resolved flows. A retried
-// submission whose flow already resolved gets its record replayed from
-// this cache (idempotence); beyond the cap, the oldest memory is evicted
-// and a very late retry is served as a fresh flow — wasteful but still
-// correct, since the flow's channel seed and therefore its outcome are
-// identity-derived.
-const doneCacheCap = 8192
-
 // ingressMsg is one admitted submission on its way to a shard.
 type ingressMsg struct {
 	conn    uint32
 	seq     uint32
+	weight  uint8
 	payload []byte
 	from    *net.UDPAddr
 }
@@ -86,6 +79,9 @@ func newShard(d *Daemon, id int) (*shard, error) {
 	}
 	if d.cfg.Faults != nil {
 		opts = append(opts, link.WithFaults(*d.cfg.Faults))
+	}
+	if d.cfg.Scheduler == "dwfq" {
+		opts = append(opts, link.WithScheduler(link.SchedulerConfig{}))
 	}
 	sess, err := link.NewSession(d.cfg.Params, opts...)
 	if err != nil {
@@ -169,12 +165,18 @@ func (sh *shard) admit(msg ingressMsg) {
 		return
 	}
 	snr := sh.d.cfg.SNRdB
-	id, err := sh.sess.Send(msg.payload,
+	sendOpts := []link.Option{
 		// The flow's medium is seeded from its identity alone, never from
 		// arrival order — determinism the goodput experiment relies on.
 		link.WithChannel(channel.NewAWGN(snr, sh.d.cfg.flowSeed(msg.conn, msg.seq))),
 		link.WithRatePolicy(link.CapacityRate{SNREstimateDB: snr}),
-	)
+	}
+	if w := int(msg.weight); w > 1 {
+		// Weight 0 and 1 are both the default share; under a round-robin
+		// daemon the engine ignores the option entirely.
+		sendOpts = append(sendOpts, link.WithWeight(w))
+	}
+	id, err := sh.sess.Send(msg.payload, sendOpts...)
 	if err != nil {
 		sh.d.out.send(msg.from, record{
 			conn: msg.conn, seq: msg.seq, shard: uint16(sh.id),
@@ -236,14 +238,16 @@ func (sh *shard) finish(results []link.Result) {
 	}
 }
 
-// remember caches a resolved record for replay, evicting FIFO at the cap.
+// remember caches a resolved record for replay, evicting FIFO at the
+// configured cap (Config.DoneCache).
 func (sh *shard) remember(key uint64, rec record) {
-	if len(sh.done) >= doneCacheCap {
+	limit := sh.d.cfg.DoneCache
+	if len(sh.done) >= limit {
 		old := sh.doneFIFO[sh.doneHead]
 		sh.doneHead++
 		delete(sh.done, old)
 		// Compact the FIFO once the dead prefix dominates.
-		if sh.doneHead >= doneCacheCap {
+		if sh.doneHead >= limit {
 			sh.doneFIFO = append(sh.doneFIFO[:0], sh.doneFIFO[sh.doneHead:]...)
 			sh.doneHead = 0
 		}
@@ -254,7 +258,7 @@ func (sh *shard) remember(key uint64, rec record) {
 
 // metrics snapshots the shard for the telemetry endpoint.
 func (sh *shard) metrics() ShardMetrics {
-	return ShardMetrics{
+	m := ShardMetrics{
 		Shard:           sh.id,
 		Active:          int(sh.admitted.Load() - sh.delivered.Load() - sh.outaged.Load()),
 		Admitted:        sh.admitted.Load(),
@@ -269,5 +273,18 @@ func (sh *shard) metrics() ShardMetrics {
 		BatchesRejected: sh.batchesRej.Load(),
 		FrameFaults:     sh.frameFault.Load(),
 		AckFaults:       sh.ackFault.Load(),
+		QueueLen:        len(sh.in),
+		QueueCap:        cap(sh.in),
 	}
+	if sh.d.cfg.Scheduler == "dwfq" {
+		// Session methods are mutex-guarded, so reading the scheduler's
+		// counters here is safe against the shard's serving loop.
+		ss := sh.sess.SchedulerStats()
+		m.SchedQuanta = ss.QuantaGranted
+		m.SchedAdmitted = ss.SymbolsAdmitted
+		m.SchedAckCharged = ss.AckSymbolsCharged
+		m.SchedDeadlines = ss.DeadlineMisses
+		m.SchedDeficit = ss.DeficitOutstanding
+	}
+	return m
 }

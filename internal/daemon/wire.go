@@ -43,7 +43,7 @@ var ErrBadDatagram = errors.New("daemon: malformed datagram")
 const maxPayload = 60000
 
 const (
-	submitHeader = 9  // kind + conn + seq
+	submitHeader = 10 // kind + conn + seq + weight
 	batchHeader  = 3  // kind + count
 	recordLen    = 27 // one result record
 )
@@ -51,18 +51,22 @@ const (
 // submission is one parsed client request: serve payload as one link
 // flow on connection conn, submission tag seq. (conn, seq) identifies
 // the flow end to end — retried submissions of the same pair are
-// idempotent at the daemon.
+// idempotent at the daemon. weight is the flow's scheduling weight under
+// a fair-queuing daemon (0 and 1 both mean the default share; ignored by
+// a round-robin daemon).
 type submission struct {
 	conn    uint32
 	seq     uint32
+	weight  uint8
 	payload []byte
 }
 
 // appendSubmit encodes a submission.
-func appendSubmit(dst []byte, conn, seq uint32, payload []byte) []byte {
+func appendSubmit(dst []byte, conn, seq uint32, weight uint8, payload []byte) []byte {
 	dst = append(dst, kindSubmit)
 	dst = binary.LittleEndian.AppendUint32(dst, conn)
 	dst = binary.LittleEndian.AppendUint32(dst, seq)
+	dst = append(dst, weight)
 	return append(dst, payload...)
 }
 
@@ -75,6 +79,7 @@ func parseSubmit(data []byte) (submission, error) {
 	return submission{
 		conn:    binary.LittleEndian.Uint32(data[1:]),
 		seq:     binary.LittleEndian.Uint32(data[5:]),
+		weight:  data[9],
 		payload: data[submitHeader:],
 	}, nil
 }

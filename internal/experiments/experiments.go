@@ -110,6 +110,8 @@ var All = []Experiment{
 	{"chaos-degradation", "Adversarial links: goodput degradation vs fault intensity (no cliff)", ChaosDegradation},
 	{"baseline-goodput", "Codes bake-off: every §8 code through the link engine vs the LDPC oracle envelope", BaselineGoodput},
 	{"daemon-goodput", "spinald scaling: aggregate goodput vs concurrent flows over one UDP socket", DaemonGoodput},
+	{"flow-fairness", "Flow scheduling: mice-elephants fairness and tail latency, RR vs DWFQ", FlowFairness},
+	{"transport-fetch", "Congestion-aware fetch: CUBIC pipeline vs reverse-channel impairment", TransportFetch},
 }
 
 // ByID finds an experiment by id, or nil.

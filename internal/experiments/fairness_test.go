@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestFairnessOrdering asserts the flow-fairness experiment's headline
+// claims on the exact configuration the table reports (32 concurrent
+// flows, quick scale): DWFQ reaches near-perfect fairness (Jain ≥ 0.95),
+// strictly beats round-robin's index, and does not worsen the mice
+// completion tail.
+func TestFairnessOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	rr := fairnessPoint(cfg, 32, "rr")
+	dwfq := fairnessPoint(cfg, 32, "dwfq")
+	if rr.Delivered != rr.Flows || dwfq.Delivered != dwfq.Flows {
+		t.Fatalf("fairness mix not fully delivered: rr %d/%d, dwfq %d/%d",
+			rr.Delivered, rr.Flows, dwfq.Delivered, dwfq.Flows)
+	}
+	if dwfq.JainIndex < 0.95 {
+		t.Fatalf("DWFQ Jain index %.4f below the 0.95 bar", dwfq.JainIndex)
+	}
+	if dwfq.JainIndex <= rr.JainIndex {
+		t.Fatalf("DWFQ Jain %.4f does not beat RR's %.4f", dwfq.JainIndex, rr.JainIndex)
+	}
+	if dwfq.MiceP99Rounds > rr.MiceP99Rounds {
+		t.Fatalf("DWFQ mice p99 %d rounds worse than RR's %d",
+			dwfq.MiceP99Rounds, rr.MiceP99Rounds)
+	}
+	t.Logf("jain rr=%.4f dwfq=%.4f, mice p99 rr=%d dwfq=%d",
+		rr.JainIndex, dwfq.JainIndex, rr.MiceP99Rounds, dwfq.MiceP99Rounds)
+}
+
+// TestTransportFetchTable smoke-runs the transport-fetch experiment: all
+// three reverse-channel rows complete, and the impaired row records the
+// loss events the CUBIC sawtooth is made of.
+func TestTransportFetchTable(t *testing.T) {
+	tables := TransportFetch(DefaultConfig())
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("unexpected table shape: %+v", tables)
+	}
+	lossy := tables[0].Rows[2]
+	if lossy[3] == "0" {
+		t.Fatalf("lossy-feedback fetch recorded no loss events: %v", lossy)
+	}
+}

@@ -142,6 +142,13 @@ type EngineConfig struct {
 	// and one when the sender applies it (AckDelivered). Purely
 	// observational — the engine ignores anything the observer does.
 	Observer FeedbackObserver
+	// Scheduler, when non-nil, replaces the round-robin admission phase
+	// with deficit-weighted fair queuing (see sched.go): per-flow weights
+	// and priority classes, optional deadlines, and quantum-based credit
+	// accounting over symbol spend, with half-duplex ack airtime debited
+	// from the flow that caused it. nil keeps the legacy round-robin
+	// admission bit for bit.
+	Scheduler *SchedulerConfig
 	// Faults, when non-nil, runs every flow's traffic through a seeded
 	// deterministic fault injector: each round's share of the frame
 	// crosses the wire codec and may be reordered, duplicated, truncated,
@@ -207,6 +214,21 @@ type FlowConfig struct {
 	Pause PausePolicy
 	// MaxRounds overrides the engine's give-up budget (0 ⇒ inherit).
 	MaxRounds int
+	// Weight is the flow's share of the link under a DWFQ scheduler
+	// (EngineConfig.Scheduler): a weight-2 flow earns twice the per-round
+	// symbol credit of a weight-1 flow (0 ⇒ 1). Ignored under the
+	// default round-robin admission.
+	Weight int
+	// Priority is the flow's strict scheduling class under DWFQ: higher
+	// classes are served before lower ones each round (and can starve
+	// them — use Weight within a class for proportional sharing).
+	// Ignored under round-robin.
+	Priority int
+	// Deadline, when positive, resolves the flow with ErrDeadline once it
+	// has aged that many rounds without completing; under DWFQ, deadline
+	// flows are additionally served earliest-deadline-first within their
+	// priority class. 0 means no deadline.
+	Deadline int
 }
 
 // FlowResult reports a resolved flow: its reassembled datagram on
@@ -248,6 +270,15 @@ type engineFlow struct {
 	// check (EngineConfig.CheckInvariants), to assert monotonicity.
 	prevAcked []bool
 
+	// DWFQ state (EngineConfig.Scheduler): the flow's weight, strict
+	// priority class, optional deadline in rounds, and its symbol-credit
+	// balance. Unused under the legacy round-robin admission (weight is
+	// still defaulted so SchedStats stays meaningful).
+	weight   int
+	prio     int
+	deadline int
+	deficit  int64
+
 	// Pause-policy state, present only when FlowConfig.Pause is set: the
 	// sender hears acks only at burst boundaries.
 	pause      PausePolicy
@@ -280,7 +311,8 @@ type Engine struct {
 	ownsPool bool // pool created here (Close stops it) vs shared (left running)
 	flows    []*engineFlow
 	next     FlowID
-	rr       int // round-robin admission cursor
+	rr       int   // round-robin admission cursor (legacy scheduler)
+	sched    *dwfq // DWFQ state, nil under round-robin
 	seq      uint32
 	rng      *rand.Rand
 
@@ -365,6 +397,9 @@ func NewEngine(cfg EngineConfig) *Engine {
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x6c696e6b)),
 		gcode:    gcode,
 	}
+	if cfg.Scheduler != nil {
+		e.sched = &dwfq{cfg: *cfg.Scheduler}
+	}
 	if gcode != nil {
 		e.gcodecs = make([]*genericCodec, e.pool.Shards())
 		for i := range e.gcodecs {
@@ -402,7 +437,13 @@ func (e *Engine) AddFlow(datagram []byte, fc FlowConfig) FlowID {
 		rate:      fc.Rate,
 		pause:     fc.Pause,
 		maxRounds: fc.MaxRounds,
+		weight:    fc.Weight,
+		prio:      fc.Priority,
+		deadline:  fc.Deadline,
 		bytes:     len(datagram),
+	}
+	if fl.weight <= 0 {
+		fl.weight = 1
 	}
 	if fl.ch == nil {
 		fl.ch = identityChannel{}
@@ -514,23 +555,14 @@ func shardOf(id FlowID, block int) int {
 	return int(h >> 33)
 }
 
-// Step runs one round — schedule, encode, air, decode, ACK — and returns
-// the flows resolved by it (nil most rounds). It is cheap to call with no
-// active flows.
-func (e *Engine) Step() []FlowResult {
-	if len(e.flows) == 0 {
-		return nil
-	}
-
-	// Schedule: round-robin from the fairness cursor, one batch of fresh
-	// symbol IDs per outstanding block, until the shared frame's symbol
-	// budget is spent. Flows left out neither transmit nor age. Under a
-	// FeedbackConfig a block additionally transmits only when its ARQ
-	// timer grants it — first pass (window permitting), nack continuation,
-	// or timeout retransmission — because the sender cannot see decodes,
-	// only delayed acks.
-	round := int(e.seq)
-	e.items = e.items[:0]
+// scheduleRR is the legacy admission phase: round-robin from the
+// fairness cursor, one batch of fresh symbol IDs per outstanding block,
+// until the shared frame's symbol budget is spent. Flows left out
+// neither transmit nor age. Under a FeedbackConfig a block additionally
+// transmits only when its ARQ timer grants it — first pass (window
+// permitting), nack continuation, or timeout retransmission — because
+// the sender cannot see decodes, only delayed acks.
+func (e *Engine) scheduleRR(round int) {
 	budget := e.cfg.frameSymbols()
 	symbols := 0
 	offered := 0
@@ -606,6 +638,28 @@ func (e *Engine) Step() []FlowResult {
 		}
 	}
 	e.rr = (e.rr + offered) % maxInt(len(e.flows), 1)
+}
+
+// Step runs one round — schedule, encode, air, decode, ACK — and returns
+// the flows resolved by it (nil most rounds). It is cheap to call with no
+// active flows.
+func (e *Engine) Step() []FlowResult {
+	if len(e.flows) == 0 {
+		return nil
+	}
+
+	// Schedule: admission is round-robin by default (scheduleRR) or
+	// deficit-weighted fair queuing when EngineConfig.Scheduler is set
+	// (scheduleDWFQ in sched.go). Both fill e.items with one batch of
+	// fresh symbol IDs per admitted (flow, block) pair, bounded by the
+	// shared frame's symbol budget.
+	round := int(e.seq)
+	e.items = e.items[:0]
+	if e.sched != nil {
+		e.scheduleDWFQ(round)
+	} else {
+		e.scheduleRR(round)
+	}
 	e.seq++
 
 	// Encode: pooled workers regenerate each batch's symbols. On the
@@ -774,7 +828,7 @@ func (e *Engine) Step() []FlowResult {
 			case fl.pause == nil && fl.rx && e.cfg.HalfDuplex != nil:
 				// §6's instant compressed ack still occupies the shared
 				// medium when half-duplex accounting is on.
-				fl.ackSymbols += e.cfg.HalfDuplex.airtime(ackWireLen(fl.rcv.ack(uint32(round))))
+				e.chargeAck(fl, ackWireLen(fl.rcv.ack(uint32(round))))
 			}
 			fl.tx, fl.rx = false, false
 		}
@@ -784,7 +838,7 @@ func (e *Engine) Step() []FlowResult {
 				fl.rx = false
 				a := fl.rcv.ack(uint32(round))
 				if e.cfg.HalfDuplex != nil {
-					fl.ackSymbols += e.cfg.HalfDuplex.airtime(ackWireLen(a))
+					e.chargeAck(fl, ackWireLen(a))
 				}
 				e.observe(fl, round, AckSent, a)
 				fl.fb.Send(a)
@@ -808,6 +862,12 @@ func (e *Engine) Step() []FlowResult {
 				e.outaged++
 			}
 			results = append(results, r)
+		case fl.deadline > 0 && fl.rounds >= fl.deadline:
+			results = append(results, e.resolve(fl, ErrDeadline))
+			e.outaged++
+			if e.sched != nil {
+				e.sched.stats.DeadlineMisses++
+			}
 		case fl.rounds >= fl.maxRounds:
 			results = append(results, e.resolve(fl, ErrFlowBudget))
 			e.outaged++
@@ -825,6 +885,34 @@ func (e *Engine) Step() []FlowResult {
 		e.checkInvariants(round)
 	}
 	return results
+}
+
+// chargeAck converts one ack's wire bytes into half-duplex reverse
+// airtime and charges it to the flow that caused it. Under DWFQ the same
+// symbols are additionally debited from the flow's credit balance, so
+// reverse airtime competes with the flow's own forward spend instead of
+// being free. Callers guard on e.cfg.HalfDuplex != nil.
+func (e *Engine) chargeAck(fl *engineFlow, wireBytes int) {
+	n := e.cfg.HalfDuplex.airtime(wireBytes)
+	fl.ackSymbols += n
+	if e.sched != nil {
+		fl.deficit -= int64(n)
+		e.sched.stats.AckSymbolsCharged += int64(n)
+	}
+}
+
+// SchedStats snapshots the DWFQ scheduler's accounting. Zero-valued when
+// the engine runs the legacy round-robin admission.
+func (e *Engine) SchedStats() SchedulerStats {
+	if e.sched == nil {
+		return SchedulerStats{}
+	}
+	st := e.sched.stats
+	st.Flows = len(e.flows)
+	for _, fl := range e.flows {
+		st.DeficitOutstanding += fl.deficit
+	}
+	return st
 }
 
 // faultDeliver runs every flow's forward-path fault injector for one
@@ -913,7 +1001,7 @@ func (e *Engine) applyAck(fl *engineFlow, a framing.Ack, round int) {
 func (e *Engine) applyPauseAck(fl *engineFlow, round int) {
 	a := fl.rcv.ack(uint32(round))
 	if e.cfg.HalfDuplex != nil {
-		fl.ackSymbols += e.cfg.HalfDuplex.airtime(ackWireLen(a))
+		e.chargeAck(fl, ackWireLen(a))
 	}
 	e.observe(fl, round, AckSent, a)
 	e.observe(fl, round, AckDelivered, a)

@@ -123,6 +123,40 @@ func goldenConfigs() []ScenarioConfig {
 			Seed:         20260730,
 		})
 	}
+	// The scheduler rows: the same 32-flow bimodal mice-elephants mix
+	// under round-robin and under DWFQ at the processor-sharing quantum
+	// (FrameSymbols/Flows), pinning Jain's index and the mice latency
+	// percentiles for both — the fairness gap itself is a golden outcome.
+	// Appended after every pre-existing config so the legacy golden
+	// entries stay byte-identical.
+	for _, sched := range []string{"rr", "dwfq"} {
+		cfgs = append(cfgs, ScenarioConfig{
+			Params:           multiFlowParams(),
+			Scenario:         "mice-elephants",
+			Policy:           "capacity:12",
+			Flows:            32,
+			Concurrency:      32,
+			MaxRounds:        1 << 12,
+			MaxBlockBits:     192,
+			FrameSymbols:     2048,
+			Shards:           2,
+			Seed:             20260807,
+			Scheduler:        sched,
+			SchedulerQuantum: 64, // 2048 frame symbols / 32 flows
+		})
+	}
+	// The transport row: one CUBIC-windowed fetch through 4-round-delayed
+	// 20%-lossy feedback, pinning segment retries, loss events, the final
+	// SRTT estimate and the peak window alongside the airtime totals.
+	cfgs = append(cfgs, ScenarioConfig{
+		Params:       multiFlowParams(),
+		Scenario:     "fetch-cubic",
+		MaxBytes:     16 << 10,
+		MaxBlockBits: 192,
+		FrameSymbols: 1024,
+		Shards:       2,
+		Seed:         20260807,
+	})
 	return cfgs
 }
 

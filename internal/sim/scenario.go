@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -87,6 +88,14 @@ type ScenarioConfig struct {
 	// the charged symbols are reported in ScenarioResult.AckSymbols and
 	// included in Goodput's denominator.
 	HalfDuplex bool
+	// Scheduler selects the engine's admission scheduler: "" or "rr" is
+	// the default round-robin, "dwfq" is deficit-weighted fair queuing
+	// (link.WithScheduler). The mice-elephants scenario compares the two.
+	Scheduler string
+	// SchedulerQuantum is the DWFQ per-weight-unit symbol credit per
+	// round (0 ⇒ the engine default). The fairness scenarios set it to
+	// the processor-sharing fair share, FrameSymbols/Flows.
+	SchedulerQuantum int
 }
 
 // ScenarioResult aggregates a scenario run. It is flat and map-free so
@@ -138,6 +147,25 @@ type ScenarioResult struct {
 	AcksFaulted     int64 `json:"acks_faulted,omitempty"`
 	BatchesRejected int64 `json:"batches_rejected,omitempty"`
 	SymbolsDeduped  int64 `json:"symbols_deduped,omitempty"`
+	// Scheduler names the admission scheduler when it is not the default
+	// round-robin; JainIndex and the MiceP*Rounds percentiles are the
+	// mice-elephants scenario's fairness metrics — Jain's index over
+	// per-flow throughput (delivered bits per sojourn round) and the mice
+	// flows' completion-latency percentiles. All omitted from the JSON
+	// when unset so the pre-scheduler golden outcomes stay byte-identical.
+	Scheduler     string  `json:"scheduler,omitempty"`
+	JainIndex     float64 `json:"jain_index,omitempty"`
+	MiceP50Rounds int     `json:"mice_p50_rounds,omitempty"`
+	MiceP95Rounds int     `json:"mice_p95_rounds,omitempty"`
+	MiceP99Rounds int     `json:"mice_p99_rounds,omitempty"`
+	// SegmentRetries, LossEvents, SRTTRounds and CwndMax are the
+	// fetch-cubic scenario's transport metrics: segment attempts beyond
+	// the first, deduplicated congestion events, the final smoothed RTT
+	// estimate in rounds, and the peak congestion window in segments.
+	SegmentRetries int     `json:"segment_retries,omitempty"`
+	LossEvents     int     `json:"loss_events,omitempty"`
+	SRTTRounds     float64 `json:"srtt_rounds,omitempty"`
+	CwndMax        float64 `json:"cwnd_max,omitempty"`
 }
 
 func (r ScenarioResult) String() string {
@@ -153,6 +181,18 @@ func (r ScenarioResult) String() string {
 		s += fmt.Sprintf(", %d frame / %d ack faults, %d batches rejected, %d symbols deduped",
 			r.FramesFaulted, r.AcksFaulted, r.BatchesRejected, r.SymbolsDeduped)
 	}
+	if r.JainIndex > 0 {
+		sched := r.Scheduler
+		if sched == "" {
+			sched = "rr"
+		}
+		s += fmt.Sprintf(", %s jain %.3f, mice p50/p95/p99 %d/%d/%d rounds",
+			sched, r.JainIndex, r.MiceP50Rounds, r.MiceP95Rounds, r.MiceP99Rounds)
+	}
+	if r.SRTTRounds > 0 {
+		s += fmt.Sprintf(", %d segment retries, %d losses, srtt %.1f rounds, peak window %.1f",
+			r.SegmentRetries, r.LossEvents, r.SRTTRounds, r.CwndMax)
+	}
 	return s
 }
 
@@ -160,7 +200,8 @@ func (r ScenarioResult) String() string {
 // a file argument).
 func Scenarios() []string {
 	return []string{"burst", "walk", "trace:<file>", "churn",
-		"feedback-delay", "feedback-loss", "chaos", "chaos-feedback"}
+		"feedback-delay", "feedback-loss", "chaos", "chaos-feedback",
+		"mice-elephants", "fetch-cubic"}
 }
 
 // ChaosFaults is the adversarial fault mix of the chaos scenarios:
@@ -255,8 +296,15 @@ func scenarioChannels(name string, seed int64) (func(i int) (channel.Model, floa
 	case name == "chaos-feedback":
 		fc := ChaosFaults(true)
 		return churn, &link.FeedbackConfig{DelayRounds: 2, Loss: 0.1}, &fc, nil
+	case name == "mice-elephants":
+		// Fairness scenario: a homogeneous steady 12 dB medium, so every
+		// completion-latency difference between the bimodal flow sizes is
+		// attributable to scheduling, not channel luck.
+		return func(i int) (channel.Model, float64) {
+			return channel.NewAWGN(12, flowSeed(i)), 12
+		}, nil, nil, nil
 	}
-	return nil, nil, nil, fmt.Errorf("sim: unknown scenario %q (want burst, walk, trace:<file>, churn, feedback-delay, feedback-loss, chaos or chaos-feedback)", name)
+	return nil, nil, nil, fmt.Errorf("sim: unknown scenario %q (want burst, walk, trace:<file>, churn, feedback-delay, feedback-loss, chaos, chaos-feedback, mice-elephants or fetch-cubic)", name)
 }
 
 // NewPolicy builds a fresh RatePolicy from its spec (see
@@ -305,6 +353,11 @@ func NewPolicy(spec string, hintDB float64) (link.RatePolicy, error) {
 // link.Engine and aggregates goodput and outage statistics. Runs are
 // deterministic given Seed.
 func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	if cfg.Scenario == "fetch-cubic" {
+		// The fetch scenario is driven by the transport tier's fetcher, not
+		// the flow-population loop below.
+		return measureFetchScenario(cfg)
+	}
 	flows := cfg.Flows
 	if flows <= 0 {
 		flows = 16
@@ -340,7 +393,8 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		policy = "tracking"
 	}
 
-	res := ScenarioResult{Scenario: cfg.Scenario, Policy: policy, Code: cfg.Code, Flows: flows}
+	res := ScenarioResult{Scenario: cfg.Scenario, Policy: policy, Code: cfg.Code,
+		Scheduler: cfg.Scheduler, Flows: flows}
 
 	newModel, feedback, faults, err := scenarioChannels(cfg.Scenario, cfg.Seed)
 	if err != nil {
@@ -372,6 +426,13 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	if cfg.HalfDuplex {
 		opts = append(opts, link.WithHalfDuplex(0))
 	}
+	switch cfg.Scheduler {
+	case "", "rr":
+	case "dwfq":
+		opts = append(opts, link.WithScheduler(link.SchedulerConfig{Quantum: cfg.SchedulerQuantum}))
+	default:
+		return res, fmt.Errorf("sim: unknown scheduler %q (want rr or dwfq)", cfg.Scheduler)
+	}
 	if cfg.Code != "" {
 		c, err := code.Parse(cfg.Code, cfg.Params)
 		if err != nil {
@@ -388,6 +449,17 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	want := make(map[link.FlowID][]byte, conc)
+	// Fairness bookkeeping for the mice-elephants scenario: admission
+	// round and size class per flow, so sojourn times and per-flow
+	// throughput can be attributed after resolution.
+	miceElephants := cfg.Scenario == "mice-elephants"
+	type flowMeta struct {
+		admitRound int
+		elephant   bool
+	}
+	meta := make(map[link.FlowID]flowMeta, conc)
+	var flowThroughput []float64
+	var miceSojourns []int
 	// Active channels live in an ID-ordered slice, not a map: the
 	// per-round StateDB sum must visit flows in a fixed order or float
 	// rounding would leak map iteration order into the golden results.
@@ -403,9 +475,23 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		if err != nil {
 			return err
 		}
-		n := minB
-		if maxB > minB {
-			n += rng.Intn(maxB - minB + 1)
+		var n int
+		elephant := false
+		if miceElephants {
+			// Deterministic bimodal mix, sized by index: every 8th flow is a
+			// 1 KiB elephant, the rest are sub-128 B mice — the same
+			// population under every scheduler, so the fairness percentiles
+			// compare scheduling and nothing else.
+			if admitted%8 == 0 {
+				n, elephant = 1024, true
+			} else {
+				n = 64 + 16*(admitted%4)
+			}
+		} else {
+			n = minB
+			if maxB > minB {
+				n += rng.Intn(maxB - minB + 1)
+			}
 		}
 		data := make([]byte, n)
 		rng.Read(data)
@@ -415,6 +501,7 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			return err
 		}
 		want[id] = data
+		meta[id] = flowMeta{admitRound: res.Rounds, elephant: elephant}
 		active = append(active, activeFlow{id, fc})
 		admitted++
 		return nil
@@ -463,8 +550,21 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			default:
 				res.Delivered++
 				res.Bytes += int64(len(r.Datagram))
+				if miceElephants {
+					m := meta[r.ID]
+					sojourn := res.Rounds - m.admitRound
+					if sojourn < 1 {
+						sojourn = 1
+					}
+					flowThroughput = append(flowThroughput,
+						float64(8*len(r.Datagram))/float64(sojourn))
+					if !m.elephant {
+						miceSojourns = append(miceSojourns, sojourn)
+					}
+				}
 			}
 			delete(want, r.ID)
+			delete(meta, r.ID)
 			for i := range active {
 				if active[i].id == r.ID {
 					active = append(active[:i], active[i+1:]...)
@@ -487,5 +587,46 @@ func MeasureScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	if stateN > 0 {
 		res.MeanStateDB = stateSum / float64(stateN)
 	}
+	if miceElephants {
+		res.JainIndex = jainIndex(flowThroughput)
+		res.MiceP50Rounds = percentileInt(miceSojourns, 50)
+		res.MiceP95Rounds = percentileInt(miceSojourns, 95)
+		res.MiceP99Rounds = percentileInt(miceSojourns, 99)
+	}
 	return res, nil
+}
+
+// jainIndex is Jain's fairness index (Σx)²/(n·Σx²) over per-flow
+// throughput: 1.0 is perfect fairness, 1/n is one flow taking everything.
+func jainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// percentileInt is the nearest-rank percentile of xs (sorted copy; 0 for
+// an empty slice).
+func percentileInt(xs []int, p int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

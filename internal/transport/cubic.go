@@ -1,0 +1,131 @@
+package transport
+
+import "math"
+
+// controller is a congestion window over in-flight segments. onAck is
+// called once per delivered segment, onLoss once per deduplicated loss
+// event; both receive the fetcher's step clock (engine rounds) and the
+// current smoothed RTT so window growth can be paced in RTT units.
+type controller interface {
+	onAck(step int, srtt float64)
+	onLoss(step int)
+	window() float64
+}
+
+// CUBIC constants from RFC 8312: β is the multiplicative decrease
+// factor, C scales the cubic growth polynomial.
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// cubic is the RFC 8312 window: slow start to ssthresh, then
+// W(t) = C·(t−K)³ + Wmax with t in RTTs since the last loss epoch —
+// concave recovery toward the previous loss point Wmax, plateau, then
+// convex probing past it. Fast convergence lowers Wmax an extra notch
+// when losses arrive while the window is still shrinking, ceding
+// bandwidth to new flows faster.
+type cubic struct {
+	cwnd       float64
+	ssthresh   float64
+	maxWindow  float64
+	wMax       float64
+	k          float64
+	epochStart int // step of the current growth epoch; -1 = none yet
+}
+
+func newCubic(initWindow, maxWindow int) *cubic {
+	return &cubic{
+		cwnd:       float64(initWindow),
+		ssthresh:   float64(maxWindow), // slow start until the first loss
+		maxWindow:  float64(maxWindow),
+		epochStart: -1,
+	}
+}
+
+func (c *cubic) window() float64 { return c.cwnd }
+
+func (c *cubic) onAck(step int, srtt float64) {
+	if c.cwnd < c.ssthresh {
+		c.cwnd++ // slow start: one window per delivered segment
+	} else {
+		if c.epochStart < 0 {
+			// First congestion-avoidance ack of an epoch anchors the curve.
+			c.epochStart = step
+			if c.wMax < c.cwnd {
+				c.wMax = c.cwnd
+			}
+			c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+		}
+		if srtt < 1 {
+			srtt = 1
+		}
+		t := float64(step-c.epochStart) / srtt
+		target := cubicC*math.Pow(t-c.k, 3) + c.wMax
+		if target > c.cwnd {
+			c.cwnd += (target - c.cwnd) / c.cwnd
+		} else {
+			// At or past the plateau with no loss: probe minimally (the TCP
+			// friendliness term is moot here — there is no competing AIMD
+			// flow inside one fetcher).
+			c.cwnd += 0.01 / c.cwnd
+		}
+	}
+	if c.cwnd > c.maxWindow {
+		c.cwnd = c.maxWindow
+	}
+}
+
+func (c *cubic) onLoss(step int) {
+	if c.cwnd < c.wMax {
+		// Fast convergence: the flow was still below the old maximum when
+		// it lost again, so remember an even lower ceiling.
+		c.wMax = c.cwnd * (2 - cubicBeta) / 2
+	} else {
+		c.wMax = c.cwnd
+	}
+	c.cwnd *= cubicBeta
+	if c.cwnd < 1 {
+		c.cwnd = 1
+	}
+	c.ssthresh = math.Max(c.cwnd, 2)
+	c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+	c.epochStart = step
+}
+
+// aimd is the classic TCP-Reno-shaped alternative: slow start, then +1
+// window per window of delivered segments, halving on loss.
+type aimd struct {
+	cwnd      float64
+	ssthresh  float64
+	maxWindow float64
+}
+
+func newAIMD(initWindow, maxWindow int) *aimd {
+	return &aimd{
+		cwnd:      float64(initWindow),
+		ssthresh:  float64(maxWindow),
+		maxWindow: float64(maxWindow),
+	}
+}
+
+func (a *aimd) window() float64 { return a.cwnd }
+
+func (a *aimd) onAck(int, float64) {
+	if a.cwnd < a.ssthresh {
+		a.cwnd++
+	} else {
+		a.cwnd += 1 / a.cwnd
+	}
+	if a.cwnd > a.maxWindow {
+		a.cwnd = a.maxWindow
+	}
+}
+
+func (a *aimd) onLoss(int) {
+	a.cwnd /= 2
+	if a.cwnd < 1 {
+		a.cwnd = 1
+	}
+	a.ssthresh = math.Max(a.cwnd, 2)
+}

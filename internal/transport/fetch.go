@@ -1,0 +1,344 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"spinal"
+	"spinal/link"
+)
+
+// ErrSegmentRetries reports a segment that exhausted its retry budget:
+// every attempt ran out its RTO-sized round budget without delivering.
+var ErrSegmentRetries = errors.New("transport: segment exceeded its retry budget")
+
+// Config parameterizes a Fetcher.
+type Config struct {
+	// Params is the spinal code the fetch runs over (used when the
+	// fetcher builds its own session; zero value ⇒ spinal.DefaultParams).
+	Params spinal.Params
+	// Options configure the fetcher-owned session: channel, rate policy,
+	// feedback, half-duplex accounting, scheduler, ... The fetcher
+	// registers itself as the session's FeedbackObserver for RTT
+	// telemetry, overriding any WithFeedbackObserver among these.
+	Options []link.Option
+	// Session, when non-nil, is an existing session the fetch runs over
+	// instead; the fetcher steps it, foreign flows resolving alongside
+	// are returned in Result.Foreign, and Close leaves it open. RTT is
+	// then estimated from segment completions only (the session's
+	// observer slot belongs to its owner).
+	Session *link.Session
+
+	// SegmentBytes is the payload bytes per pipelined segment (one link
+	// flow each; 0 ⇒ 1024).
+	SegmentBytes int
+	// InitWindow and MaxWindow bound the congestion window in segments
+	// (0 ⇒ 2 and 64).
+	InitWindow int
+	MaxWindow  int
+	// Control selects the window algorithm: "cubic" (default) or "aimd".
+	Control string
+	// InitRTO, MinRTO and MaxRTO bound the per-segment round budget in
+	// engine rounds (0 ⇒ 48, 16, 512). A segment whose attempt exceeds
+	// the current RTO (doubled per retry) resolves as lost and is
+	// retried with the window reduced.
+	InitRTO int
+	MinRTO  int
+	MaxRTO  int
+	// MaxRetries bounds attempts per segment before the fetch fails with
+	// ErrSegmentRetries (0 ⇒ 8).
+	MaxRetries int
+	// WindowTrace, when non-nil, receives (step, cwnd) after every engine
+	// round — the convergence tests' window oscilloscope.
+	WindowTrace func(step int, cwnd float64)
+}
+
+func (c Config) segmentBytes() int {
+	if c.SegmentBytes <= 0 {
+		return 1024
+	}
+	return c.SegmentBytes
+}
+
+func (c Config) initWindow() int {
+	if c.InitWindow <= 0 {
+		return 2
+	}
+	return c.InitWindow
+}
+
+func (c Config) maxWindow() int {
+	if c.MaxWindow <= 0 {
+		return 64
+	}
+	return c.MaxWindow
+}
+
+func (c Config) initRTO() int {
+	if c.InitRTO <= 0 {
+		return 48
+	}
+	return c.InitRTO
+}
+
+func (c Config) minRTO() int {
+	if c.MinRTO <= 0 {
+		return 16
+	}
+	return c.MinRTO
+}
+
+func (c Config) maxRTO() int {
+	if c.MaxRTO <= 0 {
+		return 512
+	}
+	return c.MaxRTO
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return 8
+	}
+	return c.MaxRetries
+}
+
+// Result reports one completed fetch.
+type Result struct {
+	// Payload is the reassembled datagram, byte-identical to what was
+	// fetched.
+	Payload []byte
+	// Segments is the number of pipelined segments; Retries counts
+	// segment attempts beyond the first; Losses counts deduplicated
+	// congestion (loss) events that reduced the window.
+	Segments int
+	Retries  int
+	Losses   int
+	// Steps is the number of engine rounds the fetch drove.
+	Steps int
+	// SRTT and RTO are the final smoothed RTT estimate and retransmission
+	// timeout, in rounds.
+	SRTT float64
+	RTO  int
+	// CwndMax and CwndFinal are the peak and final congestion windows, in
+	// segments.
+	CwndMax   float64
+	CwndFinal float64
+	// SymbolsSent and AckSymbols aggregate the segments' airtime;
+	// Goodput is payload bits per channel symbol over both.
+	SymbolsSent int
+	AckSymbols  int
+	Goodput     float64
+	// Foreign holds flows that resolved during the fetch but belong to
+	// the surrounding session (Config.Session), not this fetch.
+	Foreign []link.Result
+}
+
+// segment is one pipelined unit of the payload in flight.
+type segment struct {
+	index  int
+	data   []byte
+	tries  int
+	txStep int  // step clock value when the current attempt was admitted
+	sample bool // an ack-telemetry RTT sample was taken for this attempt
+}
+
+// Fetcher streams payloads over a link session as congestion-controlled
+// segment pipelines. It is single-threaded: one Fetch at a time, and the
+// fetcher must not be shared across goroutines.
+type Fetcher struct {
+	cfg   Config
+	sess  *link.Session
+	owned bool
+	rtt   *rttEstimator
+
+	// step is the fetcher's round clock, advanced once per engine round
+	// it drives; both RTT sample endpoints use it.
+	step     int
+	inflight map[link.FlowID]*segment
+}
+
+// NewFetcher builds a fetcher and, unless cfg.Session is set, its own
+// link session from cfg.Params and cfg.Options.
+func NewFetcher(cfg Config) (*Fetcher, error) {
+	f := &Fetcher{
+		cfg:      cfg,
+		rtt:      newRTTEstimator(cfg.initRTO(), cfg.minRTO(), cfg.maxRTO()),
+		inflight: make(map[link.FlowID]*segment),
+	}
+	switch cfg.Control {
+	case "", "cubic", "aimd":
+	default:
+		return nil, fmt.Errorf("transport: unknown congestion control %q", cfg.Control)
+	}
+	if cfg.Session != nil {
+		f.sess = cfg.Session
+		return f, nil
+	}
+	p := cfg.Params
+	if p == (spinal.Params{}) {
+		p = spinal.DefaultParams()
+	}
+	opts := append(append([]link.Option(nil), cfg.Options...),
+		link.WithFeedbackObserver(f))
+	s, err := link.NewSession(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	f.sess, f.owned = s, true
+	return f, nil
+}
+
+// Close releases the fetcher's own session; a caller-provided
+// Config.Session is left open for its owner.
+func (f *Fetcher) Close() error {
+	if !f.owned {
+		return nil
+	}
+	return f.sess.Close()
+}
+
+// ObserveFeedback implements link.FeedbackObserver: the first delivered
+// ack of each in-flight segment's attempt is an RTT sample — the
+// earliest telemetry the reverse channel offers, rounds before the
+// segment completes. Called synchronously from inside the session's
+// Step, on the fetching goroutine.
+func (f *Fetcher) ObserveFeedback(ev link.FeedbackEvent) {
+	if ev.Kind != link.AckDelivered {
+		return
+	}
+	seg, ok := f.inflight[ev.Flow]
+	if !ok || seg.sample {
+		return
+	}
+	seg.sample = true
+	f.rtt.observe(f.step + 1 - seg.txStep) // the current round is completing
+}
+
+// Fetch streams payload through the session as a pipeline of segments
+// and returns the reassembled bytes with transfer statistics. On context
+// cancellation or a segment exhausting its retries it returns the error;
+// segments still in flight keep transmitting on the session and are
+// drained (and accounted) by the session's next user.
+func (f *Fetcher) Fetch(ctx context.Context, payload []byte) (*Result, error) {
+	segBytes := f.cfg.segmentBytes()
+	n := (len(payload) + segBytes - 1) / segBytes
+	if n == 0 {
+		n = 1 // an empty payload is one empty segment, not zero work
+	}
+	queue := make([]*segment, n)
+	for i := range queue {
+		lo := i * segBytes
+		hi := lo + segBytes
+		if lo > len(payload) {
+			lo = len(payload)
+		}
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		queue[i] = &segment{index: i, data: payload[lo:hi]}
+	}
+
+	var ctl controller
+	if f.cfg.Control == "aimd" {
+		ctl = newAIMD(f.cfg.initWindow(), f.cfg.maxWindow())
+	} else {
+		ctl = newCubic(f.cfg.initWindow(), f.cfg.maxWindow())
+	}
+
+	res := &Result{Segments: n, CwndMax: ctl.window()}
+	parts := make([][]byte, n)
+	delivered := 0
+	// Deduplicate loss events: only a segment launched after the last
+	// window reduction may reduce it again (RFC 6298 / Karn's-algorithm
+	// spirit — one congestion event per window generation).
+	lastLoss := -1
+
+	for delivered < n {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for len(queue) > 0 && len(f.inflight) < int(ctl.window()) {
+			seg := queue[0]
+			queue = queue[1:]
+			budget := f.rtt.backoff(seg.tries)
+			id, err := f.sess.Send(seg.data, link.WithMaxRounds(budget))
+			if err != nil {
+				return nil, err
+			}
+			seg.txStep = f.step
+			seg.sample = false
+			f.inflight[id] = seg
+		}
+		results, err := f.sess.Step(ctx)
+		if err != nil {
+			return nil, err
+		}
+		f.step++
+		res.Steps++
+		for i := range results {
+			r := results[i]
+			seg, mine := f.inflight[r.ID]
+			if !mine {
+				res.Foreign = append(res.Foreign, r)
+				continue
+			}
+			delete(f.inflight, r.ID)
+			res.SymbolsSent += r.Stats.SymbolsSent
+			res.AckSymbols += r.Stats.AckSymbols
+			if r.Err == nil {
+				if !seg.sample {
+					// No ack telemetry (no WithFeedback, or a shared
+					// session): the completion itself is the RTT sample.
+					f.rtt.observe(f.step - seg.txStep)
+				}
+				parts[seg.index] = r.Datagram
+				delivered++
+				ctl.onAck(f.step, f.rtt.srtt)
+				continue
+			}
+			// Any resolution error — budget exhaustion (the designed RTO
+			// path), a deadline, an outage — is a loss signal.
+			seg.tries++
+			res.Retries++
+			if seg.tries > f.cfg.maxRetries() {
+				return nil, fmt.Errorf("%w: segment %d after %d attempts (last: %v)",
+					ErrSegmentRetries, seg.index, seg.tries, r.Err)
+			}
+			if seg.txStep > lastLoss {
+				ctl.onLoss(f.step)
+				lastLoss = f.step
+				res.Losses++
+			}
+			queue = append([]*segment{seg}, queue...) // retry first: in-order bias
+		}
+		if w := ctl.window(); w > res.CwndMax {
+			res.CwndMax = w
+		}
+		if f.cfg.WindowTrace != nil {
+			f.cfg.WindowTrace(f.step, ctl.window())
+		}
+	}
+
+	for _, p := range parts {
+		res.Payload = append(res.Payload, p...)
+	}
+	res.SRTT = f.rtt.srtt
+	res.RTO = f.rtt.rto
+	res.CwndFinal = ctl.window()
+	if air := res.SymbolsSent + res.AckSymbols; air > 0 {
+		res.Goodput = float64(8*len(res.Payload)) / float64(air)
+	}
+	return res, nil
+}
+
+// Fetch is the one-shot convenience: build a fetcher, stream payload,
+// close. See Fetcher for the reusable form.
+func Fetch(ctx context.Context, payload []byte, cfg Config) (*Result, error) {
+	f, err := NewFetcher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.Fetch(ctx, payload)
+}

@@ -1,0 +1,344 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spinal"
+	"spinal/channel"
+	"spinal/link"
+)
+
+func fetchParams() spinal.Params {
+	return spinal.Params{K: 4, B: 16, D: 1, C: 6, Tail: 2, Ways: 8}
+}
+
+func TestRTTEstimator(t *testing.T) {
+	e := newRTTEstimator(48, 16, 512)
+	if e.rto != 48 {
+		t.Fatalf("initial rto = %d, want 48", e.rto)
+	}
+	e.observe(20)
+	if e.srtt != 20 || e.rttvar != 10 {
+		t.Fatalf("first sample: srtt=%v rttvar=%v, want 20/10", e.srtt, e.rttvar)
+	}
+	if e.rto != 60 { // 20 + 4·10
+		t.Fatalf("rto after first sample = %d, want 60", e.rto)
+	}
+	for i := 0; i < 100; i++ {
+		e.observe(20)
+	}
+	// Constant samples: variance decays, RTO converges down to the floor
+	// region srtt + 4·rttvar → 20, clamped at minRTO 16... so ≥ minRTO.
+	if e.srtt < 19.5 || e.srtt > 20.5 {
+		t.Fatalf("srtt did not converge: %v", e.srtt)
+	}
+	if e.rto < 16 || e.rto > 24 {
+		t.Fatalf("rto did not converge: %d", e.rto)
+	}
+	// Backoff doubles per try and clamps at maxRTO.
+	base := e.rto
+	if got := e.backoff(1); got != min(2*base, 512) {
+		t.Fatalf("backoff(1) = %d, want %d", got, 2*base)
+	}
+	if got := e.backoff(20); got != 512 {
+		t.Fatalf("backoff(20) = %d, want maxRTO 512", got)
+	}
+	e2 := newRTTEstimator(48, 16, 512)
+	e2.observe(1000)
+	if e2.rto != 512 {
+		t.Fatalf("rto not clamped: %d", e2.rto)
+	}
+}
+
+func TestCubicWindowShape(t *testing.T) {
+	c := newCubic(2, 64)
+	// Slow start: each ack adds one segment until ssthresh (= max).
+	c.onAck(1, 10)
+	c.onAck(2, 10)
+	if c.cwnd != 4 {
+		t.Fatalf("slow start cwnd = %v, want 4", c.cwnd)
+	}
+	c.onLoss(10)
+	afterLoss := c.cwnd
+	if math.Abs(afterLoss-4*cubicBeta) > 1e-9 {
+		t.Fatalf("loss cwnd = %v, want %v", afterLoss, 4*cubicBeta)
+	}
+	if c.wMax != 4 {
+		t.Fatalf("wMax = %v, want 4", c.wMax)
+	}
+	// Congestion avoidance grows back toward (and past) wMax.
+	for step := 11; step < 400; step++ {
+		c.onAck(step, 10)
+	}
+	if c.cwnd <= afterLoss {
+		t.Fatalf("cubic did not grow after loss: %v", c.cwnd)
+	}
+	if c.cwnd > 64 {
+		t.Fatalf("cwnd exceeded max: %v", c.cwnd)
+	}
+	// Fast convergence: losing below the previous wMax lowers it further.
+	w := c.cwnd
+	c.onLoss(400)
+	c.onLoss(401)
+	if c.wMax >= w {
+		t.Fatalf("fast convergence did not lower wMax: %v vs cwnd %v", c.wMax, w)
+	}
+	if c.cwnd < 1 {
+		t.Fatalf("cwnd fell below 1: %v", c.cwnd)
+	}
+}
+
+func TestFetchPipelineDelivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 8<<10)
+	rng.Read(payload)
+	res, err := Fetch(context.Background(), payload, Config{
+		Params: fetchParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(12, 21)),
+			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}),
+		},
+		SegmentBytes: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if res.Segments != 16 {
+		t.Fatalf("segments = %d, want 16", res.Segments)
+	}
+	if res.SRTT <= 0 || res.RTO <= 0 {
+		t.Fatalf("no RTT estimate: srtt=%v rto=%d", res.SRTT, res.RTO)
+	}
+	if res.CwndMax <= 2 {
+		t.Fatalf("window never opened: max=%v", res.CwndMax)
+	}
+	if res.Goodput <= 0 {
+		t.Fatal("no goodput recorded")
+	}
+	t.Logf("steps=%d srtt=%.1f rto=%d cwndMax=%.1f goodput=%.3f",
+		res.Steps, res.SRTT, res.RTO, res.CwndMax, res.Goodput)
+}
+
+// TestFetchCubicConvergence drives the fetch through the 4-round-delayed
+// lossy feedback channel: acks arrive late and 30% vanish, so segment
+// attempts overrun their RTO budgets, the CUBIC window suffers loss
+// events and recovers. The window trace must show the sawtooth — growth
+// above the initial window, at least one multiplicative decrease, and
+// renewed growth after the last decrease — and the payload must still
+// arrive intact.
+func TestFetchCubicConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	payload := make([]byte, 24<<10)
+	rng.Read(payload)
+	type point struct {
+		step int
+		w    float64
+	}
+	var trace []point
+	res, err := Fetch(context.Background(), payload, Config{
+		Params: fetchParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(10, 31)),
+			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 10}),
+			link.WithFeedback(link.FeedbackConfig{DelayRounds: 4, Loss: 0.3}),
+			link.WithSeed(31),
+		},
+		SegmentBytes: 512,
+		InitRTO:      24,
+		MinRTO:       8,
+		MaxRTO:       96,
+		MaxRetries:   32,
+		WindowTrace:  func(step int, w float64) { trace = append(trace, point{step, w}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if res.Losses < 1 {
+		t.Fatalf("no loss events through the lossy feedback channel (retries=%d)", res.Retries)
+	}
+	var grewPastInit, decreased, regrew bool
+	lastDecrease := -1
+	for i := 1; i < len(trace); i++ {
+		if trace[i].w > 2 {
+			grewPastInit = true
+		}
+		if trace[i].w < trace[i-1].w {
+			decreased = true
+			lastDecrease = i
+		}
+	}
+	for i := lastDecrease + 1; i > 0 && i < len(trace); i++ {
+		if trace[i].w > trace[lastDecrease].w {
+			regrew = true
+			break
+		}
+	}
+	if !grewPastInit || !decreased || !regrew {
+		t.Fatalf("window sawtooth missing: grew=%v decreased=%v regrew=%v (losses=%d)",
+			grewPastInit, decreased, regrew, res.Losses)
+	}
+	t.Logf("steps=%d losses=%d retries=%d srtt=%.1f cwndMax=%.1f",
+		res.Steps, res.Losses, res.Retries, res.SRTT, res.CwndMax)
+}
+
+func TestFetchAIMD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	payload := make([]byte, 4<<10)
+	rng.Read(payload)
+	res, err := Fetch(context.Background(), payload, Config{
+		Params: fetchParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(12, 41)),
+			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}),
+		},
+		SegmentBytes: 512,
+		Control:      "aimd",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if _, err := NewFetcher(Config{Control: "vegas"}); err == nil {
+		t.Fatal("unknown control accepted")
+	}
+}
+
+// TestFetchSharedSession runs a fetch over a caller-owned session that
+// also carries an unrelated flow: the foreign flow's result surfaces in
+// Result.Foreign, and the session stays open after the fetcher closes.
+func TestFetchSharedSession(t *testing.T) {
+	s, err := link.NewSession(fetchParams(),
+		link.WithChannel(channel.NewAWGN(12, 51)),
+		link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	foreign := []byte("a bystander datagram sharing the link")
+	fid, err := s.Send(append([]byte(nil), foreign...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	payload := make([]byte, 2<<10)
+	rng.Read(payload)
+	f, err := NewFetcher(Config{Session: s, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fetch(context.Background(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+	found := false
+	for _, r := range res.Foreign {
+		if r.ID == fid {
+			found = true
+			if r.Err != nil || !bytes.Equal(r.Datagram, foreign) {
+				t.Fatalf("foreign flow mangled: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("foreign flow's result not surfaced")
+	}
+	// The session survived the fetcher: it still accepts traffic.
+	if _, err := s.Send([]byte("still open")); err != nil {
+		t.Fatalf("session closed by fetcher: %v", err)
+	}
+	if _, err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fetch(ctx, make([]byte, 4<<10), Config{
+		Params: fetchParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(12, 61)),
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFetchRetriesExhausted(t *testing.T) {
+	_, err := Fetch(context.Background(), make([]byte, 1024), Config{
+		Params: fetchParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(-15, 71)), // hopeless medium
+		},
+		SegmentBytes: 512,
+		InitRTO:      8,
+		MinRTO:       4,
+		MaxRTO:       16,
+		MaxRetries:   2,
+	})
+	if !errors.Is(err, ErrSegmentRetries) {
+		t.Fatalf("err = %v, want ErrSegmentRetries", err)
+	}
+}
+
+func TestFetchEmptyPayload(t *testing.T) {
+	res, err := Fetch(context.Background(), nil, Config{
+		Params: fetchParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(12, 81)),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Payload) != 0 || res.Segments != 1 {
+		t.Fatalf("empty fetch: %d bytes, %d segments", len(res.Payload), res.Segments)
+	}
+}
+
+// BenchmarkFetchPipeline is the transport tier's headline benchmark: a
+// 16 KiB payload pipelined over a 12 dB AWGN link with instant acks.
+func BenchmarkFetchPipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	payload := make([]byte, 16<<10)
+	rng.Read(payload)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Fetch(context.Background(), payload, Config{
+			Params: fetchParams(),
+			Options: []link.Option{
+				link.WithChannel(channel.NewAWGN(12, int64(i))),
+				link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}),
+			},
+			SegmentBytes: 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Payload) != len(payload) {
+			b.Fatal("short fetch")
+		}
+	}
+}

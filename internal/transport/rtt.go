@@ -1,0 +1,66 @@
+// Package transport is the congestion-aware multi-block fetch tier over
+// the spinal link: it streams a large payload as a pipeline of link-layer
+// segments, estimating round-trip time from ack telemetry and pacing the
+// number of segments in flight with a CUBIC (or AIMD) congestion window,
+// slow start, and RTO-bounded per-segment budgets with exponential
+// backoff. Time is measured in engine rounds — the link simulation's only
+// clock — so every constant that RFC-land states in seconds appears here
+// in rounds.
+package transport
+
+// rttEstimator is the RFC 6298 smoothed RTT filter in round units:
+// srtt ← (1−α)·srtt + α·sample, rttvar ← (1−β)·rttvar + β·|srtt−sample|,
+// rto = srtt + 4·rttvar, clamped to [minRTO, maxRTO].
+type rttEstimator struct {
+	srtt   float64
+	rttvar float64
+	rto    int
+	minRTO int
+	maxRTO int
+}
+
+func newRTTEstimator(initialRTO, minRTO, maxRTO int) *rttEstimator {
+	return &rttEstimator{rto: initialRTO, minRTO: minRTO, maxRTO: maxRTO}
+}
+
+// observe folds one RTT sample (in rounds) into the filter.
+func (e *rttEstimator) observe(sample int) {
+	s := float64(sample)
+	if s < 1 {
+		s = 1
+	}
+	if e.srtt == 0 {
+		// First sample: RFC 6298 §2.2.
+		e.srtt = s
+		e.rttvar = s / 2
+	} else {
+		d := e.srtt - s
+		if d < 0 {
+			d = -d
+		}
+		e.rttvar = 0.75*e.rttvar + 0.25*d
+		e.srtt = 0.875*e.srtt + 0.125*s
+	}
+	rto := int(e.srtt + 4*e.rttvar + 0.5)
+	e.rto = e.clamp(rto)
+}
+
+// backoff returns the RTO for the given retry attempt: the base RTO
+// doubled per try (RFC 6298 §5.5), clamped to the ceiling.
+func (e *rttEstimator) backoff(tries int) int {
+	rto := e.rto
+	for i := 0; i < tries && rto < e.maxRTO; i++ {
+		rto *= 2
+	}
+	return e.clamp(rto)
+}
+
+func (e *rttEstimator) clamp(rto int) int {
+	if rto < e.minRTO {
+		return e.minRTO
+	}
+	if rto > e.maxRTO {
+		return e.maxRTO
+	}
+	return rto
+}

@@ -1,0 +1,131 @@
+package link_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"spinal/channel"
+	"spinal/link"
+)
+
+func dialDeadlineConn(t *testing.T) *link.Conn {
+	t.Helper()
+	c, err := link.Dial(testParams(), channel.NewAWGN(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestConnReadDeadlineExpiresMidRead(t *testing.T) {
+	c := dialDeadlineConn(t)
+	start := time.Now()
+	if err := c.SetReadDeadline(start.Add(80 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing buffered: Read must block on the deadline, not return EOF.
+	n, err := c.Read(make([]byte, 16))
+	if n != 0 || !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read = %d, %v; want 0, os.ErrDeadlineExceeded", n, err)
+	}
+	if waited := time.Since(start); waited < 40*time.Millisecond {
+		t.Fatalf("Read returned after %v, before the deadline could expire", waited)
+	}
+}
+
+func TestConnReadDeadlineUnblocksOnWrite(t *testing.T) {
+	c := dialDeadlineConn(t)
+	if err := c.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("delivered while a reader waits")
+	errc := make(chan error, 1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_, err := c.Write(msg)
+		errc <- err
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("blocked Read: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("read bytes corrupted")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+func TestConnReadDeadlineInPastFailsImmediately(t *testing.T) {
+	c := dialDeadlineConn(t)
+	if err := c.SetReadDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read = %v, want os.ErrDeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("past deadline should fail without blocking")
+	}
+	// Buffered bytes stay readable even past the deadline's failure path
+	// once the deadline is cleared.
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("cleared deadline: Read = %v, want io.EOF", err)
+	}
+}
+
+func TestConnCloseUnblocksRead(t *testing.T) {
+	c := dialDeadlineConn(t)
+	if err := c.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, link.ErrClosed) {
+			t.Fatalf("blocked Read after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the pending Read")
+	}
+	if err := c.SetReadDeadline(time.Time{}); !errors.Is(err, link.ErrClosed) {
+		t.Fatalf("SetReadDeadline after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConnWriteDeadlineExpired(t *testing.T) {
+	c := dialDeadlineConn(t)
+	if err := c.SetDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("never makes it")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Write = %v, want os.ErrDeadlineExceeded", err)
+	}
+	// Clearing the deadlines restores the synchronous Write path (the
+	// stranded flow's airtime is drained and accounted alongside it).
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("second try delivers")
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write after clearing deadline = %d, %v", n, err)
+	}
+}

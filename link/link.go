@@ -111,6 +111,16 @@ type CapacityPolicy = ilink.CapacityPolicy
 // frame.
 type EveryFrame = ilink.EveryFrame
 
+// SchedulerConfig selects deficit-weighted fair queuing for the
+// session's admission phase (see WithScheduler): Quantum is the symbol
+// credit one unit of flow weight earns per round, Burst caps how many
+// rounds of credit an idle flow can bank.
+type SchedulerConfig = ilink.SchedulerConfig
+
+// SchedulerStats is the DWFQ scheduler's accounting (see
+// Session.SchedulerStats).
+type SchedulerStats = ilink.SchedulerStats
+
 // FeedbackConfig describes the reverse (ACK) path and the sender's ARQ
 // reaction to it: delivery delay/jitter/loss, retransmission timeouts,
 // the in-flight window, and chase-combining vs discard-and-retry.
@@ -202,6 +212,9 @@ var (
 	// ErrFlowBudget reports a flow that exhausted its round budget before
 	// every code block decoded.
 	ErrFlowBudget = ilink.ErrFlowBudget
+	// ErrDeadline reports a flow that missed its WithDeadline round
+	// deadline before every code block decoded.
+	ErrDeadline = ilink.ErrDeadline
 	// ErrNilFrame reports a nil frame handed to a receiver.
 	ErrNilFrame = ilink.ErrNilFrame
 	// ErrBadLayout reports a frame with an invalid code-block layout.

@@ -43,6 +43,9 @@ type flowConfig struct {
 	rateFn    func() RatePolicy
 	pause     PausePolicy
 	maxRounds int
+	weight    int
+	priority  int
+	deadline  int
 }
 
 // Option configures a Session (at NewSession) or one flow (at Send).
@@ -98,6 +101,43 @@ func WithMaxRounds(n int) Option {
 	return func(c *config) {
 		c.engine.MaxRounds = n
 		c.flow.maxRounds = n
+	}
+}
+
+// WithWeight sets a flow's share of the link under WithScheduler: a
+// weight-2 flow earns twice the per-round symbol credit of a weight-1
+// flow (0 ⇒ 1). Ignored under the default round-robin admission. Flow-
+// or session-scoped.
+func WithWeight(w int) Option {
+	return func(c *config) { c.flow.weight = w }
+}
+
+// WithPriority puts a flow in a strict scheduling class under
+// WithScheduler: each round serves higher classes before lower ones
+// (and can starve them — use WithWeight within a class for proportional
+// sharing). Ignored under round-robin. Flow- or session-scoped.
+func WithPriority(p int) Option {
+	return func(c *config) { c.flow.priority = p }
+}
+
+// WithDeadline resolves a flow with ErrDeadline once it has aged n
+// rounds without completing; under WithScheduler, deadline flows are
+// additionally served earliest-deadline-first within their priority
+// class. 0 means no deadline. Flow- or session-scoped.
+func WithDeadline(n int) Option {
+	return func(c *config) { c.flow.deadline = n }
+}
+
+// WithScheduler replaces the engine's round-robin admission with
+// deficit-weighted fair queuing: per-flow weights (WithWeight), strict
+// priority classes (WithPriority), optional deadlines (WithDeadline),
+// and quantum-based credit accounting over symbol spend — so elephants
+// cannot starve mice, and under WithHalfDuplex each ack's reverse
+// airtime is debited from the flow that caused it. Session-scoped.
+func WithScheduler(sc SchedulerConfig) Option {
+	return func(c *config) {
+		c.engine.Scheduler = &sc
+		c.sessionOnly = append(c.sessionOnly, "WithScheduler")
 	}
 }
 
@@ -305,6 +345,9 @@ func (s *Session) Send(datagram []byte, opts ...Option) (FlowID, error) {
 		Rate:      rate,
 		Pause:     c.flow.pause,
 		MaxRounds: c.flow.maxRounds,
+		Weight:    c.flow.weight,
+		Priority:  c.flow.priority,
+		Deadline:  c.flow.deadline,
 	}), nil
 }
 
@@ -382,6 +425,15 @@ func (s *Session) Active() int {
 // under WithSharedPool, the shared pool's, aggregated across every
 // session using it.
 func (s *Session) PoolStats() PoolStats { return s.eng.PoolStats() }
+
+// SchedulerStats snapshots the DWFQ scheduler's accounting — credit
+// granted and spent, ack airtime charged, deadline misses, outstanding
+// credit. Zero-valued unless the session was built WithScheduler.
+func (s *Session) SchedulerStats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.SchedStats()
+}
 
 // SetChannel replaces an active flow's medium mid-flight (nil means
 // noiseless) and reports whether the flow was still active.

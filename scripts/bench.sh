@@ -17,6 +17,8 @@ go test -run '^$' -bench 'BenchmarkDecodeSerial$|BenchmarkDecodeParallel4$' \
     -benchtime "$benchtime" -benchmem ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkLinkEngine$' \
     -benchtime "$benchtime" -benchmem ./internal/link/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkFetchPipeline$' \
+    -benchtime "$benchtime" -benchmem ./internal/transport/ >>"$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }

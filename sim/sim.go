@@ -17,9 +17,10 @@ import (
 
 // ScenarioConfig drives MeasureScenario: a named channel workload
 // ("burst", "walk", "trace:<file>", "churn", "feedback-delay",
-// "feedback-loss", "chaos", "chaos-feedback"), a rate-policy spec
-// ("fixed[:n]", "capacity[:db]", "tracking[:db]"), and the
-// population/budget knobs.
+// "feedback-loss", "chaos", "chaos-feedback", "mice-elephants",
+// "fetch-cubic"), a rate-policy spec ("fixed[:n]", "capacity[:db]",
+// "tracking[:db]"), an optional admission scheduler ("rr", "dwfq"), and
+// the population/budget knobs.
 type ScenarioConfig = isim.ScenarioConfig
 
 // ScenarioResult aggregates a scenario run: delivery, goodput, outage,

@@ -1,0 +1,60 @@
+package transport_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spinal"
+	"spinal/channel"
+	"spinal/link"
+	"spinal/transport"
+)
+
+func exampleParams() spinal.Params {
+	return spinal.Params{K: 4, B: 16, D: 1, C: 6, Tail: 2, Ways: 8}
+}
+
+// TestPublicFetch pins the public surface: a fetch through the alias
+// package behaves exactly like the internal one.
+func TestPublicFetch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	payload := make([]byte, 4<<10)
+	rng.Read(payload)
+	res, err := transport.Fetch(context.Background(), payload, transport.Config{
+		Params: exampleParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(12, 7)),
+			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}),
+		},
+		SegmentBytes: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if res.Segments != 8 || res.Goodput <= 0 {
+		t.Fatalf("unexpected result: %d segments, goodput %.3f", res.Segments, res.Goodput)
+	}
+}
+
+func ExampleFetch() {
+	payload := bytes.Repeat([]byte("spinal"), 512) // 3 KiB
+	res, err := transport.Fetch(context.Background(), payload, transport.Config{
+		Params: exampleParams(),
+		Options: []link.Option{
+			link.WithChannel(channel.NewAWGN(12, 1)),
+			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}),
+		},
+		SegmentBytes: 1024,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Payload), res.Segments, bytes.Equal(res.Payload, payload))
+	// Output: 3072 3 true
+}

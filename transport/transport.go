@@ -1,0 +1,62 @@
+// Package transport is the public congestion-aware fetch API over the
+// spinal link — the experiment tier above spinal/link, the way
+// spinal/sim sits above the codec.
+//
+// A Fetcher streams a large payload as a pipeline of link-layer
+// segments: round-trip time is estimated RFC 6298-style from the
+// session's ack telemetry (or from segment completions when none is
+// configured), the number of segments in flight follows a CUBIC (or
+// AIMD) congestion window with slow start, and each segment attempt is
+// bounded by the current RTO with exponential backoff — a lost attempt
+// shrinks the window and is retried. Time is engine rounds, the link
+// simulation's only clock.
+//
+//	res, err := transport.Fetch(ctx, payload, transport.Config{
+//		Options: []link.Option{
+//			link.WithChannel(channel.NewAWGN(12, 1)),
+//			link.WithRatePolicy(link.CapacityRate{SNREstimateDB: 12}),
+//			link.WithFeedback(link.FeedbackConfig{DelayRounds: 4}),
+//		},
+//	})
+//
+// Pair it with link.WithScheduler to fetch fairly alongside competing
+// flows: the fetch's segments are ordinary flows, so per-flow weights,
+// priorities and deadlines apply to them like any other traffic.
+//
+// The concrete types are aliases of the engine-internal implementations,
+// so the public surface and the transport cannot drift apart; see
+// docs/API.md for the stability guarantees.
+package transport
+
+import (
+	"context"
+
+	itransport "spinal/internal/transport"
+)
+
+// Config parameterizes a fetch: the session it runs over (own or
+// shared), segment size, window bounds and control law, RTO bounds, and
+// the retry budget.
+type Config = itransport.Config
+
+// Result reports one completed fetch: the reassembled payload, segment
+// and retry counts, loss events, the final SRTT/RTO estimates, window
+// extremes, airtime totals and goodput.
+type Result = itransport.Result
+
+// Fetcher streams payloads over a link session as congestion-controlled
+// segment pipelines; reuse one to keep RTT state across fetches.
+type Fetcher = itransport.Fetcher
+
+// ErrSegmentRetries reports a segment that exhausted its retry budget.
+var ErrSegmentRetries = itransport.ErrSegmentRetries
+
+// NewFetcher builds a fetcher and, unless cfg.Session is set, its own
+// link session from cfg.Params and cfg.Options.
+func NewFetcher(cfg Config) (*Fetcher, error) { return itransport.NewFetcher(cfg) }
+
+// Fetch is the one-shot convenience: build a fetcher, stream payload,
+// close.
+func Fetch(ctx context.Context, payload []byte, cfg Config) (*Result, error) {
+	return itransport.Fetch(ctx, payload, cfg)
+}
